@@ -1,0 +1,60 @@
+"""Shared benchmark fixtures.
+
+Each bench regenerates one paper figure/table: it runs the matching
+experiment from :mod:`repro.experiments`, prints the rendered text
+figure, writes it under ``benchmarks/reports/`` and asserts the
+qualitative *shape* the paper reports (who wins, by roughly what
+factor, where crossovers fall). Absolute numbers are not expected to
+match the Munich testbed.
+
+Scale control: set ``REPRO_BENCH_SCALE`` to ``quick`` (CI smoke),
+``default`` or ``paper`` (full-length flights, slow).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentSettings
+
+REPORT_DIR = Path(__file__).parent / "reports"
+
+
+def _settings_from_env() -> ExperimentSettings:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "default").lower()
+    if scale == "quick":
+        return ExperimentSettings(duration=60.0, seeds=(1,), warmup=20.0)
+    if scale == "paper":
+        return ExperimentSettings.paper_scale()
+    return ExperimentSettings(duration=150.0, seeds=(1, 2), warmup=30.0)
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    """Experiment scale for this bench run."""
+    return _settings_from_env()
+
+
+@pytest.fixture(scope="session")
+def channel_settings() -> ExperimentSettings:
+    """Larger scale for cheap channel-only probes (Fig. 4/10/13)."""
+    base = _settings_from_env()
+    seeds = tuple(range(1, 1 + max(4, len(base.seeds) * 2)))
+    return ExperimentSettings(
+        duration=max(base.duration, 300.0), seeds=seeds, warmup=base.warmup
+    )
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Callable that prints and persists a rendered figure."""
+    REPORT_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, text: str) -> None:
+        print(f"\n{'=' * 70}\n{text}\n{'=' * 70}")
+        (REPORT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _write

@@ -1,0 +1,25 @@
+"""Bench: ablation — SCReAM RFC 8888 ack window, 64 vs 256.
+
+Reproduces Section 4.2.1's finding: with the Ericsson default of 64
+acknowledged packets per report, delivered packets slide out of the
+report window at urban bitrates and are falsely declared lost;
+widening the window to 256 (the paper's mitigation) sharply reduces
+the false losses.
+"""
+
+from repro.experiments import ackwindow_ablation
+
+
+def test_ackwindow_ablation(benchmark, settings, report):
+    result = benchmark.pedantic(
+        ackwindow_ablation, args=(settings,), rounds=1, iterations=1
+    )
+    report("ablation_ackwindow", result.render())
+
+    small = result.results[64]
+    large = result.results[256]
+    # The narrow window produces distinctly more false losses.
+    assert small.false_losses_per_minute > large.false_losses_per_minute
+    assert small.false_losses_per_minute > 1.0
+    # Needless back-offs cost goodput.
+    assert large.goodput_mbps >= small.goodput_mbps - 0.5

@@ -1,0 +1,23 @@
+"""Bench: ablation — deep vs shallow uplink buffers (bufferbloat).
+
+Shape: the deep buffers cellular operators run (paper Section 4.1/5)
+trade latency for loss — shrinking the buffer to AQM-like depths cuts
+the one-way-delay tail but surfaces drops the deep buffer absorbed.
+"""
+
+from repro.experiments import buffer_ablation
+
+
+def test_buffer_ablation(benchmark, settings, report):
+    result = benchmark.pedantic(
+        buffer_ablation, args=(settings,), rounds=1, iterations=1
+    )
+    report("ablation_buffers", result.render())
+
+    by_bytes = {p.buffer_bytes: p for p in result.points}
+    shallow = by_bytes[250_000]
+    deep = by_bytes[6_000_000]
+    # Deep buffers absorb drops; shallow ones surface them.
+    assert shallow.loss_rate > deep.loss_rate
+    # Shallow buffers bound the delay tail.
+    assert shallow.owd_p99_ms <= deep.owd_p99_ms + 1.0

@@ -1,0 +1,28 @@
+"""Bench: ablation — A3 handover parameters (Section 5 discussion).
+
+Shape: raising hysteresis / time-to-trigger reduces handover churn
+and ping-pong events, the tuning direction the paper proposes for
+aerial users.
+"""
+
+from repro.experiments import ExperimentSettings, a3_ablation
+
+
+def test_a3_ablation(benchmark, settings, report):
+    sweep_settings = ExperimentSettings(
+        duration=settings.duration,
+        seeds=settings.seeds[:1],
+        warmup=settings.warmup,
+    )
+    result = benchmark.pedantic(
+        a3_ablation, args=(sweep_settings,), rounds=1, iterations=1
+    )
+    report("ablation_a3", result.render())
+
+    by_hysteresis = {p.hysteresis_db: p for p in result.points}
+    # More hysteresis, fewer handovers.
+    assert by_hysteresis[1.0].ho_per_s >= by_hysteresis[3.0].ho_per_s
+    assert by_hysteresis[3.0].ho_per_s >= by_hysteresis[6.0].ho_per_s * 0.8
+    # The aggressive setting ping-pongs at least as much as the
+    # conservative one.
+    assert by_hysteresis[1.0].ping_pong >= by_hysteresis[6.0].ping_pong

@@ -1,0 +1,40 @@
+"""Bench: ablation — jitter-buffer depth and drop-on-latency (App. A.4).
+
+Shape: playback latency grows with the configured buffer depth; the
+``drop-on-latency`` strategy the paper proposes for remote piloting
+trims the latency tail at the cost of discarding late packets.
+"""
+
+from repro.experiments import ExperimentSettings, jitterbuffer_ablation
+
+
+def test_jitterbuffer_ablation(benchmark, settings, report):
+    # One seed suffices: the sweep itself is the subject.
+    sweep_settings = ExperimentSettings(
+        duration=settings.duration,
+        seeds=settings.seeds[:1],
+        warmup=settings.warmup,
+    )
+    result = benchmark.pedantic(
+        jitterbuffer_ablation, args=(sweep_settings,), rounds=1, iterations=1
+    )
+    report("ablation_jitterbuffer", result.render())
+
+    by_key = {
+        (p.latency_setting_ms, p.drop_on_latency): p for p in result.points
+    }
+    # Median playback latency increases with buffer depth.
+    assert (
+        by_key[(50.0, False)].median_playback_ms
+        < by_key[(250.0, False)].median_playback_ms
+    )
+    # A 150 ms buffer keeps the median comfortably under 300 ms.
+    assert by_key[(150.0, False)].median_playback_ms < 300.0
+    # drop-on-latency never *increases* the median at equal depth and
+    # actually discards late packets somewhere in the sweep.
+    for depth in (50.0, 100.0, 150.0, 250.0):
+        assert (
+            by_key[(depth, True)].median_playback_ms
+            <= by_key[(depth, False)].median_playback_ms + 20.0
+        )
+    assert any(p.dropped_late > 0 for p in result.points if p.drop_on_latency)

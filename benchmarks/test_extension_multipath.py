@@ -1,0 +1,31 @@
+"""Bench: extension — multipath transmission over two operators.
+
+The paper's forward-looking claim (Section 5 / Conclusion): parallel
+links to multiple operators improve reliability when one network
+deteriorates. Shape: duplicate transmission cuts the delay tail and
+playback-latency violations relative to the single-path baseline, at
+2x the radio cost; round-robin splitting sits in between on cost but
+does not protect against per-path outages.
+"""
+
+from repro.experiments import multipath_experiment
+
+
+def test_multipath_extension(benchmark, settings, report):
+    result = benchmark.pedantic(
+        multipath_experiment, args=(settings,), rounds=1, iterations=1
+    )
+    report("extension_multipath", result.render())
+
+    single = result.by_strategy("single")
+    duplicate = result.by_strategy("duplicate")
+    roundrobin = result.by_strategy("roundrobin")
+
+    # Redundant transmission buys a cleaner delay tail and better
+    # latency compliance than any single operator.
+    assert duplicate.owd_p99_ms < single.owd_p99_ms
+    assert duplicate.latency_below_threshold >= single.latency_below_threshold
+    assert duplicate.stalls_per_minute <= single.stalls_per_minute + 0.05
+    # ...and costs twice the radio resources.
+    assert duplicate.radio_cost == 2.0
+    assert roundrobin.radio_cost == 1.0

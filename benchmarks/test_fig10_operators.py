@@ -1,0 +1,25 @@
+"""Bench: Fig. 10 — rural throughput and HO frequency, P1 vs P2.
+
+Paper shape: the competitor P2 deploys denser rural sites, yielding
+clearly higher capacity *and* more frequent handovers than the
+default operator P1.
+"""
+
+from repro.experiments import fig10_operators
+
+
+def test_fig10_operators(benchmark, channel_settings, report):
+    result = benchmark.pedantic(
+        fig10_operators, args=(channel_settings,), rounds=1, iterations=1
+    )
+    report("fig10_operators", result.render())
+
+    p1_throughput = result.mean_throughput("P1")
+    p2_throughput = result.mean_throughput("P2")
+    # P2's denser rural deployment carries substantially more.
+    assert p2_throughput > p1_throughput * 1.3
+    # P1's rural capacity sits in the paper's ~8-12 Mbps band.
+    assert 5.0 < p1_throughput < 15.0
+
+    # ...and P2 hands over at least as often (Fig. 10(b)).
+    assert result.ho_frequency("P2") >= result.ho_frequency("P1") * 0.9

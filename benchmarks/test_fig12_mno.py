@@ -1,0 +1,37 @@
+"""Bench: Fig. 12 — rural video performance over both operators.
+
+Paper shape: P2's larger rural capacity lifts the adaptive methods'
+goodput and received frame quality (SSIM), while more capacity does
+not automatically improve playback latency (SCReAM's feedback issues
+worsen at higher bitrates).
+"""
+
+from repro.experiments import fig12_mno
+
+
+def test_fig12_mno(benchmark, settings, report):
+    result = benchmark.pedantic(
+        fig12_mno, args=(settings,), rounds=1, iterations=1
+    )
+    report("fig12_mno", result.render())
+
+    # Adaptive methods exploit P2's extra rural capacity (Fig. 12(a)).
+    assert result.mean_goodput("scream", "P2") > result.mean_goodput("scream", "P1")
+    assert result.mean_goodput("gcc", "P2") > result.mean_goodput("gcc", "P1")
+    # The static 8 Mbps pick cannot exploit it.
+    assert abs(
+        result.mean_goodput("static", "P2") - result.mean_goodput("static", "P1")
+    ) < 2.0
+
+    # Quality follows bitrate for the adaptive methods (Fig. 12(d)).
+    assert (
+        result.ssim_above_threshold("scream", "P2")
+        >= result.ssim_above_threshold("scream", "P1") - 0.05
+    )
+
+    # More capacity does not imply better SCReAM playback latency
+    # (Appendix A.3's observation).
+    assert (
+        result.latency_below_threshold("scream", "P2")
+        <= result.latency_below_threshold("scream", "P1") + 0.1
+    )

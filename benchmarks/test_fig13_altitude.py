@@ -1,0 +1,37 @@
+"""Bench: Fig. 13 — ping RTT by altitude band.
+
+Paper shape: no clear RTT trend below 100 m; above it, the proportion
+of high-RTT outliers increases.
+"""
+
+from repro.experiments import fig13_altitude
+
+
+def test_fig13_altitude(benchmark, channel_settings, report):
+    result = benchmark.pedantic(
+        fig13_altitude, args=(channel_settings,), rounds=1, iterations=1
+    )
+    report("fig13_altitude", result.render())
+
+    for environment in ("urban", "rural"):
+        bands = result.cdfs[environment]
+        assert "0-20m" in bands and "101-140m" in bands, bands.keys()
+        low = bands["0-20m"]
+        mid = bands.get("61-100m")
+        high = bands["101-140m"]
+
+        # No clear median trend below 100 m (within 40 % of each other).
+        if mid is not None:
+            assert abs(mid.median - low.median) / low.median < 0.4
+
+        # Above 100 m the outlier tail grows: more mass beyond 300 ms.
+        assert high.fraction_above(0.3) >= low.fraction_above(0.3)
+    # The effect is visible in at least one environment.
+    urban_high = result.cdfs["urban"]["101-140m"]
+    urban_low = result.cdfs["urban"]["0-20m"]
+    rural_high = result.cdfs["rural"]["101-140m"]
+    rural_low = result.cdfs["rural"]["0-20m"]
+    assert (
+        urban_high.fraction_above(0.3) > urban_low.fraction_above(0.3)
+        or rural_high.fraction_above(0.3) > rural_low.fraction_above(0.3)
+    )

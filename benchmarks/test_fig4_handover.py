@@ -1,0 +1,34 @@
+"""Bench: Fig. 4 — handover frequency and execution time, air vs ground.
+
+Paper shape: aerial HO frequency roughly an order of magnitude above
+ground; urban above rural; HET mostly below the 49.5 ms success
+threshold with heavy outliers (up to seconds) concentrated in the air.
+"""
+
+from repro.cellular.handover import HET_SUCCESS_THRESHOLD
+from repro.experiments import fig4_handover, fig4_to_series
+
+
+def test_fig4_handover(benchmark, channel_settings, report):
+    result = benchmark.pedantic(
+        fig4_handover, args=(channel_settings,), rounds=1, iterations=1
+    )
+    report("fig4_handover", result.render())
+    series = fig4_to_series(result)
+
+    # Air >> ground in both environments.
+    assert series["air_over_ground_urban"] > 2.0
+    assert series["air_over_ground_rural"] > 1.5
+    # Urban air busier than rural air (denser deployment).
+    assert series["air_urban_ho_s"] > series["air_rural_ho_s"]
+    # Aerial HO frequency in the paper's observed range (< 0.7 HO/s).
+    assert 0.02 < series["air_urban_ho_s"] < 0.7
+
+    # HET body below the 3GPP success threshold; outliers beyond it.
+    assert series["het_median_ms"] < HET_SUCCESS_THRESHOLD * 1e3
+    assert series["het_max_ms"] > 100.0
+    air_urban = result.het_summary("static-urban-air-P1")
+    grd_urban = result.het_summary("static-urban-ground-P1")
+    assert air_urban is not None and grd_urban is not None
+    # The extreme outliers live in the air.
+    assert air_urban.maximum >= grd_urban.maximum

@@ -1,0 +1,30 @@
+"""Bench: Fig. 5 — one-way latency CDFs, ground vs air, urban vs rural.
+
+Paper shape: ~99 % of ground packets below 100 ms vs ~96 % in the
+air, with the aerial tail stretching beyond 1 s.
+"""
+
+from repro.experiments import fig5_latency
+
+
+def test_fig5_latency(benchmark, settings, report):
+    result = benchmark.pedantic(
+        fig5_latency, args=(settings,), rounds=1, iterations=1
+    )
+    report("fig5_latency", result.render())
+
+    grd_urban = result.fraction_below("static-urban-ground-P1", 0.1)
+    air_urban = result.fraction_below("static-urban-air-P1", 0.1)
+    grd_rural = result.fraction_below("static-rural-ground-P1", 0.1)
+    air_rural = result.fraction_below("static-rural-air-P1", 0.1)
+
+    # The bulk of traffic stays under 100 ms everywhere.
+    for fraction in (grd_urban, air_urban, grd_rural, air_rural):
+        assert fraction > 0.80
+    # Ground is cleaner than air in each environment.
+    assert grd_urban >= air_urban - 0.02
+    assert grd_rural >= air_rural - 0.02
+    # The air has a heavier extreme tail: >1 s outliers exist.
+    air_tail = result.cdfs["static-urban-air-P1"].fraction_above(1.0)
+    grd_tail = result.cdfs["static-urban-ground-P1"].fraction_above(1.0)
+    assert air_tail >= grd_tail

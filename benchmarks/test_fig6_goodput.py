@@ -1,0 +1,39 @@
+"""Bench: Fig. 6 — goodput per bitrate-control method and environment.
+
+Paper shape: urban goodput 19-25 Mbps with the hand-picked static
+25 Mbps stream on top; rural goodput 8-10.5 Mbps where the adaptive
+methods (SCReAM in particular) beat the static 8 Mbps pick.
+"""
+
+from repro.experiments import fig6_goodput
+
+
+def test_fig6_goodput(benchmark, settings, report):
+    result = benchmark.pedantic(
+        fig6_goodput, args=(settings,), rounds=1, iterations=1
+    )
+    report("fig6_goodput", result.render())
+
+    urban_static = result.mean_mbps("static", "urban")
+    urban_gcc = result.mean_mbps("gcc", "urban")
+    urban_scream = result.mean_mbps("scream", "urban")
+    rural_static = result.mean_mbps("static", "rural")
+    rural_gcc = result.mean_mbps("gcc", "rural")
+    rural_scream = result.mean_mbps("scream", "rural")
+
+    # Urban: abundant capacity lets the static stream win (paper: 25
+    # vs 21 / 19); both CCs land in the 10-25 Mbps band.
+    assert urban_static > urban_gcc
+    assert urban_static > urban_scream
+    assert 20.0 < urban_static < 26.0
+    assert 8.0 < urban_gcc < 25.0
+    assert 8.0 < urban_scream < 25.0
+
+    # Rural: constrained capacity; static pinned near its 8 Mbps pick,
+    # SCReAM squeezes out at least as much as the static stream.
+    assert 6.0 < rural_static < 9.0
+    assert rural_scream > rural_static - 1.0
+    assert rural_scream > rural_gcc - 1.0
+    # Urban carries far more than rural for every method.
+    assert urban_static > rural_static * 2
+    assert urban_gcc > rural_gcc

@@ -1,0 +1,42 @@
+"""Bench: Fig. 7 — FPS, SSIM and playback-latency CDFs.
+
+Paper shape: the CCs deviate from 30 FPS more often than static;
+SSIM stays above the 0.5 quality threshold >98 % of the time overall;
+SCReAM's playback latency collapses in the well-provisioned urban
+area (only ~38 % under 300 ms) while staying good (~85 %) in the
+rural area; GCC behaves the other way around.
+"""
+
+from repro.experiments import fig7_video
+
+
+def test_fig7_video(benchmark, settings, report):
+    result = benchmark.pedantic(
+        fig7_video, args=(settings,), rounds=1, iterations=1
+    )
+    report("fig7_video", result.render())
+
+    # Playback latency: SCReAM suffers in urban, recovers in rural.
+    scream_urban = result.latency_below_threshold("scream", "urban")
+    scream_rural = result.latency_below_threshold("scream", "rural")
+    static_urban = result.latency_below_threshold("static", "urban")
+    gcc_urban = result.latency_below_threshold("gcc", "urban")
+    assert scream_urban < static_urban
+    assert scream_urban < gcc_urban
+    assert scream_rural > scream_urban + 0.2
+    # Static and GCC meet the threshold most of the time in urban.
+    assert static_urban > 0.7
+    assert gcc_urban > 0.7
+
+    # SSIM: high-quality delivery dominates everywhere (paper: the
+    # 0.5 threshold is missed 0.37-19.09 % of the time).
+    for cc in ("static", "scream", "gcc"):
+        for env in ("urban", "rural"):
+            fraction = result.ssim_above_threshold(cc, env)
+            assert fraction > 0.80, (cc, env, fraction)
+
+    # FPS: the adaptive methods show more low-FPS episodes than the
+    # static stream (paper Section 4.2.1).
+    static_low = result.fps["static-urban-air-P1"].fraction_below(25.0)
+    scream_low = result.fps["scream-urban-air-P1"].fraction_below(25.0)
+    assert scream_low >= static_low

@@ -1,0 +1,32 @@
+"""Bench: Fig. 8 — latency/loss/handover time series of one GCC flight.
+
+Paper shape: network-latency spikes accompany handovers, and the
+playback latency rises whenever the network latency exceeds the
+jitter-buffer budget.
+"""
+
+import numpy as np
+
+from repro.experiments import fig8_timeseries
+
+
+def test_fig8_timeseries(benchmark, settings, report):
+    result = benchmark.pedantic(
+        fig8_timeseries, args=(settings,), rounds=1, iterations=1
+    )
+    report("fig8_timeseries", result.render())
+
+    # The flight saw handovers and the latency series covers them.
+    assert result.handover_times, "expected at least one handover"
+    assert len(result.network_latency) > 50
+    assert len(result.playback_latency) > 100
+
+    # Latency spikes cluster around handovers (the paper's core Fig. 8
+    # observation).
+    assert result.latency_spike_near_handover()
+
+    # Playback latency is bounded below by the network latency floor
+    # plus the 150 ms jitter buffer.
+    network_median = float(np.median([v for _, v in result.network_latency]))
+    playback_median = float(np.median([v for _, v in result.playback_latency]))
+    assert playback_median > network_median

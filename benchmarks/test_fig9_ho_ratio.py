@@ -1,0 +1,28 @@
+"""Bench: Fig. 9 — max/min latency ratio around handovers.
+
+Paper shape: within 1-second windows, latency before a handover spikes
+to ~8x its minimum on average (outliers to 37x); after the handover
+the ratio relaxes to ~5x.
+"""
+
+from repro.experiments import fig9_ho_ratio
+
+
+def test_fig9_ho_ratio(benchmark, settings, report):
+    result = benchmark.pedantic(
+        fig9_ho_ratio, args=(settings,), rounds=1, iterations=1
+    )
+    report("fig9_ho_ratio", result.render())
+
+    assert result.handover_count > 0
+    before = result.summary.before
+    after = result.summary.after
+    assert before is not None and after is not None
+
+    # Latency clearly departs from flat (ratio 1) around handovers.
+    assert before.mean > 1.5
+    assert after.mean > 1.2
+    # The pre-handover degradation dominates (paper: ~8x vs ~5x).
+    assert before.mean >= after.mean * 0.9
+    # Heavy outliers exist before handovers.
+    assert before.maximum > 3.0

@@ -1,0 +1,45 @@
+"""Bench: Section 4 headline statistics — PER, stall rates, ramp-up.
+
+Paper values: PER 0.06-0.07 % with consecutive drops; urban stall
+rates static 0.11 / SCReAM 0.89 / GCC 1.37 per minute; ramp-up to
+25 Mbps in ~12 s (GCC) and ~25 s (SCReAM).
+"""
+
+from repro.experiments import per_experiment, rampup_experiment, stall_experiment
+
+
+def test_per_level_and_burstiness(benchmark, settings, report):
+    result = benchmark.pedantic(
+        per_experiment, args=(settings,), rounds=1, iterations=1
+    )
+    report("stats_per", result.render())
+    for environment, rate in result.loss_rates.items():
+        # Order of magnitude of the paper's 0.06-0.07 %.
+        assert 0.0001 < rate < 0.01, (environment, rate)
+    # Drops arrive in consecutive bursts.
+    assert result.mean_burst > 1.2
+
+
+def test_stall_rates(benchmark, settings, report):
+    result = benchmark.pedantic(
+        stall_experiment, args=(settings,), rounds=1, iterations=1
+    )
+    report("stats_stalls", result.render())
+    stalls = result.stalls_per_minute
+    # The static stream is the most stable (paper: 0.11/min vs the
+    # CCs' 0.89-1.37/min).
+    assert stalls["static"] <= max(stalls["scream"], stalls["gcc"]) + 0.01
+    # Nothing is stalling pathologically.
+    for cc, rate in stalls.items():
+        assert rate < 6.0, (cc, rate)
+
+
+def test_rampup_times(benchmark, settings, report):
+    result = benchmark.pedantic(
+        rampup_experiment, args=(settings,), rounds=1, iterations=1
+    )
+    report("stats_rampup", result.render())
+    # GCC ramps markedly faster than SCReAM (paper: ~12 s vs ~25 s).
+    assert result.gcc_seconds < result.scream_seconds
+    assert 4.0 < result.gcc_seconds < 30.0
+    assert 12.0 < result.scream_seconds < 60.0

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Compare the three bitrate-control methods in one environment.
+
+Reproduces the paper's core comparison (Fig. 6 / Fig. 7) at small
+scale: static CBR vs GCC vs SCReAM flown over the same seeded channel,
+reporting goodput, playback latency, quality and stalls side by side.
+
+Usage::
+
+    python examples/compare_methods.py [--environment urban|rural]
+                                       [--duration SECONDS] [--seeds N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import ScenarioConfig
+from repro.analysis import format_table
+from repro.experiments import ExperimentSettings, run_matrix
+from repro.metrics import VideoSummary, average_goodput
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--environment", default="rural", choices=["urban", "rural"]
+    )
+    parser.add_argument("--duration", type=float, default=120.0)
+    parser.add_argument("--seeds", type=int, default=2)
+    args = parser.parse_args()
+
+    settings = ExperimentSettings(
+        duration=args.duration,
+        seeds=tuple(range(1, args.seeds + 1)),
+        warmup=min(30.0, args.duration / 4),
+    )
+    configs = [
+        ScenarioConfig(environment=args.environment, platform="air", cc=cc)
+        for cc in ("static", "gcc", "scream")
+    ]
+    print(
+        f"Flying {len(configs) * len(settings.seeds)} runs in the "
+        f"{args.environment} environment..."
+    )
+    grouped = run_matrix(configs, settings)
+
+    rows = []
+    for label, results in sorted(grouped.items()):
+        goodput = sum(
+            average_goodput(
+                r.packet_log, duration=r.duration, warmup=settings.warmup
+            )
+            for r in results
+        ) / len(results)
+        summaries = [
+            VideoSummary.from_result(r, warmup=settings.warmup) for r in results
+        ]
+        rows.append(
+            [
+                label.split("-")[0],
+                f"{goodput / 1e6:.1f}",
+                f"{sum(s.median_latency_ms for s in summaries) / len(summaries):.0f}",
+                f"{sum(s.latency_below_threshold for s in summaries) / len(summaries) * 100:.0f}%",
+                f"{sum(s.ssim_above_threshold for s in summaries) / len(summaries) * 100:.1f}%",
+                f"{sum(s.stalls_per_minute for s in summaries) / len(summaries):.2f}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            [
+                "method",
+                "goodput Mbps",
+                "lat median ms",
+                "lat<300ms",
+                "SSIM>=0.5",
+                "stalls/min",
+            ],
+            rows,
+            title=f"Bitrate-control comparison ({args.environment}, air)",
+        )
+    )
+    print()
+    print(
+        "Paper shape: static wins goodput in urban; SCReAM extracts the most\n"
+        "from the constrained rural link; SCReAM's playback latency collapses\n"
+        "at urban bitrates while staying low in rural (Sections 4.2.1-4.2.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Quickstart: fly one simulated measurement run and print its report.
+
+Runs a single urban UAV flight streaming GCC-adaptive video over the
+emulated LTE network — the basic unit of the paper's measurement
+campaign — then prints the network- and video-level summary the paper
+reports per run.
+
+Usage::
+
+    python examples/quickstart.py [--cc gcc|scream|static]
+                                  [--environment urban|rural]
+                                  [--duration SECONDS] [--seed N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import ScenarioConfig, run_session
+from repro.analysis import format_table
+from repro.metrics import VideoSummary, network_summary
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cc", default="gcc", choices=["gcc", "scream", "static"])
+    parser.add_argument(
+        "--environment", default="urban", choices=["urban", "rural"]
+    )
+    parser.add_argument("--platform", default="air", choices=["air", "ground"])
+    parser.add_argument("--duration", type=float, default=120.0)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    config = ScenarioConfig(
+        cc=args.cc,
+        environment=args.environment,
+        platform=args.platform,
+        duration=args.duration,
+        seed=args.seed,
+    )
+    print(f"Running {config.label()} ({args.duration:.0f} s simulated)...")
+    result = run_session(config)
+
+    net = network_summary(result)
+    video = VideoSummary.from_result(result, warmup=min(30.0, args.duration / 4))
+
+    print()
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["handovers / s", f"{net['ho_per_s']:.3f}"],
+                ["HET median", f"{net['het_median_ms']:.0f} ms"],
+                ["one-way delay median", f"{net['owd_median_ms']:.0f} ms"],
+                ["one-way delay p99", f"{net['owd_p99_ms']:.0f} ms"],
+                ["goodput", f"{net['goodput_mbps']:.1f} Mbps"],
+                ["packet error rate", f"{net['loss_rate'] * 100:.3f} %"],
+                ["cells seen", f"{net['cells_seen']:.0f}"],
+            ],
+            title="Network (Section 4.1 metrics)",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["mean FPS", f"{video.mean_fps:.1f}"],
+                ["time at ~30 FPS", f"{video.fraction_full_fps * 100:.0f} %"],
+                ["playback latency median", f"{video.median_latency_ms:.0f} ms"],
+                [
+                    "playback latency < 300 ms",
+                    f"{video.latency_below_threshold * 100:.0f} %",
+                ],
+                ["SSIM median", f"{video.median_ssim:.3f}"],
+                ["SSIM >= 0.5", f"{video.ssim_above_threshold * 100:.1f} %"],
+                ["stalls / minute", f"{video.stalls_per_minute:.2f}"],
+            ],
+            title="Video delivery (Section 4.2 metrics)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

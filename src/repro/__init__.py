@@ -1,0 +1,39 @@
+"""repro — reproduction of "Analyzing Real-time Video Delivery over
+Cellular Networks for Remote Piloting Aerial Vehicles" (IMC '22).
+
+The package simulates the paper's measurement system end to end: an
+adaptive RTP video pipeline (GCC, SCReAM and static bitrate control)
+streaming over an emulated LTE network driven by UAV flight
+trajectories, plus the metrics and experiment harness that regenerate
+every figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import ScenarioConfig, run_session
+    from repro.metrics import VideoSummary
+
+    result = run_session(ScenarioConfig(cc="gcc", environment="urban",
+                                        duration=120.0, seed=7))
+    print(VideoSummary.from_result(result))
+"""
+
+from repro.core import (
+    ScenarioConfig,
+    Environment,
+    Platform,
+    CcAlgorithm,
+    SessionResult,
+    run_session,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ScenarioConfig",
+    "Environment",
+    "Platform",
+    "CcAlgorithm",
+    "SessionResult",
+    "run_session",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Figure rendering: ASCII CDFs, boxplots, tables, sparklines."""
+
+from repro.analysis.render import (
+    format_table,
+    render_cdf,
+    render_boxplots,
+    render_sparkline,
+)
+from repro.analysis.parse import (
+    RunAnalysis,
+    DatasetReport,
+    analyze_run,
+    analyze_dataset,
+)
+
+__all__ = [
+    "format_table",
+    "render_cdf",
+    "render_boxplots",
+    "render_sparkline",
+    "RunAnalysis",
+    "DatasetReport",
+    "analyze_run",
+    "analyze_dataset",
+]

@@ -1,0 +1,148 @@
+"""Offline dataset analysis — the released parsing scripts' equivalent.
+
+The paper publishes its dataset together with "the parsing and
+visualization scripts". This module is that pipeline for this repo's
+dataset layout: it computes every Section 4 metric purely from the
+exported CSV files (no simulator objects involved), so an external
+researcher can regenerate the figures from data alone::
+
+    from repro.analysis.parse import analyze_dataset
+    report = analyze_dataset("dataset/")
+    print(report.render())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.render import format_table
+from repro.cellular.handover import HET_SUCCESS_THRESHOLD
+from repro.metrics.stats import Cdf
+from repro.traces.dataset import TraceRun, list_runs, load_run
+
+#: Remote-piloting playback/stall threshold used throughout the paper.
+RP_THRESHOLD_S = 0.300
+
+
+@dataclass
+class RunAnalysis:
+    """Metrics of one dataset run, computed from its CSV files."""
+
+    label: str
+    environment: str
+    platform: str
+    cc: str
+    operator: str
+    duration: float
+    packets: int
+    goodput_mbps: float
+    owd_median_ms: float
+    owd_p99_ms: float
+    owd_below_100ms: float
+    ho_per_s: float
+    het_median_ms: float
+    het_success_fraction: float
+    capacity_mean_mbps: float
+
+    @classmethod
+    def from_run(cls, run: TraceRun) -> "RunAnalysis":
+        """Reduce one loaded run."""
+        delays = np.array([p.one_way_delay for p in run.packets])
+        total_bytes = sum(p.size_bytes for p in run.packets)
+        hets = np.array([h.execution_time for h in run.handovers])
+        capacities = np.array([c.uplink_bps for c in run.channel])
+        if delays.size == 0:
+            raise ValueError(f"run {run.meta.get('label')} has no packets")
+        return cls(
+            label=str(run.meta["label"]),
+            environment=str(run.meta["environment"]),
+            platform=str(run.meta["platform"]),
+            cc=str(run.meta["cc"]),
+            operator=str(run.meta["operator"]),
+            duration=run.duration,
+            packets=len(run.packets),
+            goodput_mbps=total_bytes * 8 / run.duration / 1e6,
+            owd_median_ms=float(np.median(delays)) * 1e3,
+            owd_p99_ms=float(np.percentile(delays, 99)) * 1e3,
+            owd_below_100ms=float(np.mean(delays < 0.1)),
+            ho_per_s=len(run.handovers) / run.duration,
+            het_median_ms=float(np.median(hets)) * 1e3 if hets.size else 0.0,
+            het_success_fraction=float(np.mean(hets <= HET_SUCCESS_THRESHOLD))
+            if hets.size
+            else 1.0,
+            capacity_mean_mbps=float(np.mean(capacities)) / 1e6
+            if capacities.size
+            else 0.0,
+        )
+
+
+@dataclass
+class DatasetReport:
+    """Aggregated view over a dataset directory."""
+
+    runs: list[RunAnalysis] = field(default_factory=list)
+
+    def by_series(self) -> dict[str, list[RunAnalysis]]:
+        """Group runs by (cc, environment, platform, operator)."""
+        grouped: dict[str, list[RunAnalysis]] = {}
+        for run in self.runs:
+            key = f"{run.cc}-{run.environment}-{run.platform}-{run.operator}"
+            grouped.setdefault(key, []).append(run)
+        return grouped
+
+    def owd_cdf(self, series: str) -> Cdf:
+        """Pooled OWD CDF of one series (requires re-reading packets).
+
+        For the aggregate report the per-run reductions suffice; this
+        helper exists for figure-level drill-downs.
+        """
+        raise NotImplementedError(
+            "load the runs with repro.traces.load_run for packet-level CDFs"
+        )
+
+    def render(self) -> str:
+        """Per-series summary table."""
+        rows = []
+        for series, runs in sorted(self.by_series().items()):
+            rows.append(
+                [
+                    series,
+                    str(len(runs)),
+                    f"{np.mean([r.goodput_mbps for r in runs]):.1f}",
+                    f"{np.mean([r.owd_median_ms for r in runs]):.0f}",
+                    f"{np.mean([r.owd_below_100ms for r in runs]) * 100:.0f}%",
+                    f"{np.mean([r.ho_per_s for r in runs]):.3f}",
+                    f"{np.mean([r.het_median_ms for r in runs]):.0f}",
+                ]
+            )
+        return format_table(
+            [
+                "series",
+                "runs",
+                "goodput Mbps",
+                "OWD med ms",
+                "OWD<100ms",
+                "HO/s",
+                "HET med ms",
+            ],
+            rows,
+            title="Dataset summary (computed from CSV files)",
+        )
+
+
+def analyze_run(directory: Path | str) -> RunAnalysis:
+    """Analyze a single exported run directory."""
+    return RunAnalysis.from_run(load_run(directory))
+
+
+def analyze_dataset(root: Path | str) -> DatasetReport:
+    """Analyze every run directory under ``root``."""
+    report = DatasetReport()
+    for run_dir in list_runs(root):
+        report.runs.append(analyze_run(run_dir))
+    if not report.runs:
+        raise ValueError(f"no dataset runs found under {root}")
+    return report

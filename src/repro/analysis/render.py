@@ -1,0 +1,110 @@
+"""Text rendering of figures: ASCII CDFs, boxplots and tables.
+
+The paper ships parsing *and visualization* scripts; offline we have
+no matplotlib, so the harness renders every figure as text — CDF
+curves sampled at fixed points, boxplot five-number rows, and aligned
+tables. The benches print these so a run of ``pytest benchmarks``
+reproduces each figure as a readable block.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.metrics.stats import BoxplotSummary, Cdf
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned text table."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_cdf(
+    curves: Mapping[str, Cdf],
+    points: Sequence[float],
+    *,
+    title: str,
+    unit: str = "",
+    fmt: str = "{:.2f}",
+) -> str:
+    """Render CDF curves evaluated at ``points`` as a table.
+
+    One row per evaluation point, one column per curve — the textual
+    equivalent of overlaid CDF lines in the paper's figures.
+    """
+    headers = [f"x {unit}".strip()] + list(curves)
+    rows = []
+    for point in points:
+        row: list[object] = [fmt.format(point)]
+        for cdf in curves.values():
+            row.append(f"{cdf.fraction_below(point):.3f}")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def render_boxplots(
+    summaries: Mapping[str, BoxplotSummary | None],
+    *,
+    title: str,
+    scale: float = 1.0,
+    unit: str = "",
+) -> str:
+    """Render boxplot summaries as five-number rows."""
+    headers = ["series", f"min {unit}", "q1", "median", "q3", "max", "mean", "n"]
+    rows = []
+    for name, summary in summaries.items():
+        if summary is None:
+            rows.append([name, "-", "-", "-", "-", "-", "-", "0"])
+            continue
+        rows.append(
+            [
+                name,
+                f"{summary.minimum * scale:.2f}",
+                f"{summary.q1 * scale:.2f}",
+                f"{summary.median * scale:.2f}",
+                f"{summary.q3 * scale:.2f}",
+                f"{summary.maximum * scale:.2f}",
+                f"{summary.mean * scale:.2f}",
+                str(summary.count),
+            ]
+        )
+    return format_table(headers, rows, title=title)
+
+
+def render_sparkline(
+    values: Sequence[float],
+    *,
+    width: int = 72,
+    label: str = "",
+) -> str:
+    """Render a coarse one-line sparkline of a time series."""
+    if not values:
+        return f"{label} (no data)"
+    blocks = " .:-=+*#%@"
+    lo, hi = min(values), max(values)
+    span = hi - lo or 1.0
+    step = max(1, len(values) // width)
+    chars = []
+    for i in range(0, len(values), step):
+        window = values[i : i + step]
+        level = (max(window) - lo) / span
+        chars.append(blocks[min(int(level * (len(blocks) - 1)), len(blocks) - 1)])
+    prefix = f"{label} " if label else ""
+    return f"{prefix}[{''.join(chars)}] min={lo:.3g} max={hi:.3g}"

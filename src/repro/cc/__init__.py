@@ -1,0 +1,21 @@
+"""Congestion controllers: GCC, SCReAM and the static baseline."""
+
+from repro.cc.base import (
+    CongestionController,
+    StaticBitrateController,
+    FeedbackKind,
+    SentPacket,
+    CcLogEntry,
+)
+from repro.cc.gcc import GccController
+from repro.cc.scream import ScreamController
+
+__all__ = [
+    "CongestionController",
+    "StaticBitrateController",
+    "FeedbackKind",
+    "SentPacket",
+    "CcLogEntry",
+    "GccController",
+    "ScreamController",
+]

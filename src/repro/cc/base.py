@@ -1,0 +1,120 @@
+"""Congestion-controller interface shared by GCC, SCReAM and static CBR.
+
+The sender pipeline (:mod:`repro.core.sender`) drives a controller
+through a narrow interface:
+
+* :meth:`CongestionController.target_bitrate` — what the encoder
+  should produce (sampled at frame boundaries);
+* :meth:`CongestionController.pacing_rate` — how fast the pacer may
+  drain the RTP send queue;
+* :meth:`CongestionController.can_send` — window gate (SCReAM limits
+  bytes in flight to its cwnd; GCC and static always allow);
+* :meth:`CongestionController.on_packet_sent` /
+  :meth:`CongestionController.on_feedback` — the event feed.
+
+Controllers also declare which RTCP feedback flavour the receiver must
+generate (:attr:`FeedbackKind`), mirroring the paper's setup where GCC
+used transport-wide-CC feedback and SCReAM used RFC 8888.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class FeedbackKind(enum.Enum):
+    """Which RTCP extension the receiver must produce for a controller."""
+
+    NONE = "none"
+    TWCC = "twcc"
+    CCFB = "ccfb"
+
+
+@dataclass
+class SentPacket:
+    """Sender-side record of a transmitted RTP packet."""
+
+    sequence: int
+    transport_seq: int | None
+    size_bytes: int
+    send_time: float
+    frame_id: int = -1
+    acked: bool = False
+    lost: bool = False
+
+
+@dataclass
+class CcLogEntry:
+    """One sample of a controller's internal state, for analysis."""
+
+    time: float
+    target_bitrate: float
+    extra: dict[str, float] = field(default_factory=dict)
+
+
+class CongestionController:
+    """Base class for bitrate controllers.
+
+    Subclasses override the event hooks; the base class provides the
+    target-bitrate log that the experiment harness reads.
+    """
+
+    #: RTCP feedback flavour this controller consumes.
+    feedback_kind: FeedbackKind = FeedbackKind.NONE
+    #: Whether RTP packets must carry the transport-wide sequence ext.
+    uses_transport_seq: bool = False
+    #: Receiver feedback interval in seconds (ignored for NONE).
+    feedback_interval: float = 0.05
+
+    def __init__(self, initial_bitrate: float) -> None:
+        if initial_bitrate <= 0:
+            raise ValueError(f"initial_bitrate must be positive: {initial_bitrate}")
+        self._target_bitrate = float(initial_bitrate)
+        self.log: list[CcLogEntry] = []
+
+    def target_bitrate(self, now: float) -> float:
+        """Bitrate the encoder should currently produce (bits/s)."""
+        return self._target_bitrate
+
+    def pacing_rate(self, now: float) -> float:
+        """Rate at which the pacer may drain the send queue (bits/s)."""
+        return math.inf
+
+    def can_send(self, bytes_in_flight: int, packet_size: int, now: float) -> bool:
+        """Whether the window allows sending ``packet_size`` more bytes."""
+        return True
+
+    def on_packet_sent(self, packet: SentPacket, now: float) -> None:
+        """Notification that ``packet`` left the pacer."""
+
+    def on_feedback(self, feedback: Any, now: float) -> None:
+        """Deliver an RTCP feedback message (TWCC or CCFB)."""
+
+    def on_queue_state(self, queue_delay: float, queue_bytes: int, now: float) -> None:
+        """Periodic report of the sender RTP queue state."""
+
+    def _record(self, now: float, **extra: float) -> None:
+        self.log.append(
+            CcLogEntry(time=now, target_bitrate=self._target_bitrate, extra=extra)
+        )
+
+
+class StaticBitrateController(CongestionController):
+    """Constant-bitrate "controller" — the paper's baseline.
+
+    The paper transmits at the highest stable rate found in trial
+    runs: 25 Mbps urban, 8 Mbps rural. No feedback is consumed and
+    packets leave as soon as they are packetized.
+    """
+
+    feedback_kind = FeedbackKind.NONE
+    uses_transport_seq = False
+
+    def __init__(self, bitrate: float) -> None:
+        super().__init__(bitrate)
+
+    def target_bitrate(self, now: float) -> float:
+        return self._target_bitrate

@@ -1,0 +1,20 @@
+"""Google Congestion Control (delay + loss based) implementation."""
+
+from repro.cc.gcc.arrival import InterArrival, GroupDelta, PacketGroup
+from repro.cc.gcc.estimator import OveruseEstimator
+from repro.cc.gcc.detector import OveruseDetector, BandwidthUsage
+from repro.cc.gcc.rate_control import AimdRateControl
+from repro.cc.gcc.loss import LossBasedController
+from repro.cc.gcc.controller import GccController
+
+__all__ = [
+    "InterArrival",
+    "GroupDelta",
+    "PacketGroup",
+    "OveruseEstimator",
+    "OveruseDetector",
+    "BandwidthUsage",
+    "AimdRateControl",
+    "LossBasedController",
+    "GccController",
+]

@@ -1,0 +1,103 @@
+"""Inter-arrival packet grouping for the GCC delay filter.
+
+libwebrtc's ``InterArrival``: packets sent within a 5 ms burst window
+form one *packet group*; the Kalman filter operates on inter-group
+deltas rather than per-packet deltas so that sender-side pacing bursts
+do not masquerade as queueing. For consecutive groups ``i-1`` and
+``i`` the filter input is::
+
+    d(i) = (arrival_i - arrival_{i-1}) - (send_i - send_{i-1})
+
+the inter-group one-way delay variation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+#: Packets sent within this window belong to one group (libwebrtc).
+BURST_DELTA = 0.005
+
+
+@dataclass
+class PacketGroup:
+    """Aggregated timing of one packet burst."""
+
+    first_send: float
+    last_send: float
+    first_arrival: float
+    last_arrival: float
+    size_bytes: int
+    packets: int = 1
+
+
+@dataclass
+class GroupDelta:
+    """Filter input computed between two complete packet groups."""
+
+    send_delta: float
+    arrival_delta: float
+    size_delta: int
+
+    @property
+    def delay_variation(self) -> float:
+        """``arrival_delta - send_delta`` in seconds."""
+        return self.arrival_delta - self.send_delta
+
+
+class InterArrival:
+    """Groups packets into send-time bursts and emits group deltas."""
+
+    def __init__(self, *, burst_delta: float = BURST_DELTA) -> None:
+        if burst_delta <= 0:
+            raise ValueError(f"burst_delta must be positive, got {burst_delta}")
+        self.burst_delta = burst_delta
+        self._current: PacketGroup | None = None
+        self._previous: PacketGroup | None = None
+
+    def add_packet(
+        self, send_time: float, arrival_time: float, size_bytes: int
+    ) -> GroupDelta | None:
+        """Feed one received packet (in arrival order).
+
+        Returns a :class:`GroupDelta` when the packet closes the
+        previous group (i.e. starts a new one and a complete previous
+        group exists), else ``None``.
+        """
+        if self._current is None:
+            self._current = PacketGroup(
+                send_time, send_time, arrival_time, arrival_time, size_bytes
+            )
+            return None
+        if self._belongs_to_current(send_time):
+            group = self._current
+            group.last_send = max(group.last_send, send_time)
+            group.first_arrival = min(group.first_arrival, arrival_time)
+            group.last_arrival = max(group.last_arrival, arrival_time)
+            group.size_bytes += size_bytes
+            group.packets += 1
+            return None
+        # New group begins: compute delta against the one just closed.
+        delta: GroupDelta | None = None
+        if self._previous is not None:
+            delta = GroupDelta(
+                send_delta=self._current.last_send - self._previous.last_send,
+                arrival_delta=self._current.last_arrival
+                - self._previous.last_arrival,
+                size_delta=self._current.size_bytes - self._previous.size_bytes,
+            )
+        self._previous = self._current
+        self._current = PacketGroup(
+            send_time, send_time, arrival_time, arrival_time, size_bytes
+        )
+        return delta
+
+    def _belongs_to_current(self, send_time: float) -> bool:
+        assert self._current is not None
+        return send_time - self._current.first_send <= self.burst_delta
+
+    def reset(self) -> None:
+        """Forget group state (used after long outages)."""
+        self._current = None
+        self._previous = None

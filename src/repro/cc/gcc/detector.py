@@ -1,0 +1,114 @@
+"""Over-use detector with adaptive threshold (GCC).
+
+Compares the Kalman gradient estimate against a threshold ``gamma``
+that adapts to the measured gradient itself (Carlucci et al. Section
+3.2; libwebrtc ``OveruseDetector``). Over-use is only signalled after
+the gradient stays above threshold for a sustained time and keeps
+growing — a single delayed group must not collapse the rate.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class BandwidthUsage(enum.Enum):
+    """Detector output consumed by the AIMD rate controller."""
+
+    NORMAL = "normal"
+    OVERUSING = "overusing"
+    UNDERUSING = "underusing"
+
+
+class OveruseDetector:
+    """Adaptive-threshold hypothesis test on the delay gradient."""
+
+    def __init__(
+        self,
+        *,
+        initial_threshold_ms: float = 15.0,
+        k_up: float = 0.0087,
+        k_down: float = 0.039,
+        overusing_time_threshold_ms: float = 30.0,
+        min_threshold_ms: float = 9.0,
+        max_threshold_ms: float = 600.0,
+    ) -> None:
+        self._threshold = initial_threshold_ms
+        self.k_up = k_up
+        self.k_down = k_down
+        self.overusing_time_threshold = overusing_time_threshold_ms
+        self.min_threshold = min_threshold_ms
+        self.max_threshold = max_threshold_ms
+        self._last_update_ms: float | None = None
+        self._time_over_using = -1.0
+        self._overuse_counter = 0
+        self._hypothesis = BandwidthUsage.NORMAL
+        self._prev_offset = 0.0
+
+    @property
+    def threshold_ms(self) -> float:
+        """Current adaptive threshold gamma in milliseconds."""
+        return self._threshold
+
+    @property
+    def state(self) -> BandwidthUsage:
+        """Latest detector hypothesis."""
+        return self._hypothesis
+
+    def detect(
+        self,
+        offset_ms: float,
+        send_delta_ms: float,
+        num_of_deltas: int,
+        now: float,
+    ) -> BandwidthUsage:
+        """Update the hypothesis with a new gradient estimate.
+
+        ``offset_ms`` is the Kalman gradient; the tested statistic is
+        ``min(num_of_deltas, 60) * offset_ms`` as in libwebrtc.
+        """
+        if num_of_deltas < 2:
+            return BandwidthUsage.NORMAL
+        t = min(num_of_deltas, 60) * offset_ms
+        if t > self._threshold:
+            if self._time_over_using == -1.0:
+                # Initialize at half a group interval.
+                self._time_over_using = send_delta_ms / 2.0
+            else:
+                self._time_over_using += send_delta_ms
+            self._overuse_counter += 1
+            if (
+                self._time_over_using > self.overusing_time_threshold
+                and self._overuse_counter > 1
+                and offset_ms >= self._prev_offset
+            ):
+                self._time_over_using = 0.0
+                self._overuse_counter = 0
+                self._hypothesis = BandwidthUsage.OVERUSING
+        elif t < -self._threshold:
+            self._time_over_using = -1.0
+            self._overuse_counter = 0
+            self._hypothesis = BandwidthUsage.UNDERUSING
+        else:
+            self._time_over_using = -1.0
+            self._overuse_counter = 0
+            self._hypothesis = BandwidthUsage.NORMAL
+        self._prev_offset = offset_ms
+        self._update_threshold(t, now)
+        return self._hypothesis
+
+    def _update_threshold(self, t: float, now: float) -> None:
+        now_ms = now * 1e3
+        if self._last_update_ms is None:
+            self._last_update_ms = now_ms
+        if abs(t) > self._threshold + 15.0:
+            # A spike this large is not used for adaptation (libwebrtc).
+            self._last_update_ms = now_ms
+            return
+        k = self.k_down if abs(t) < self._threshold else self.k_up
+        time_delta = min(now_ms - self._last_update_ms, 100.0)
+        self._threshold += k * (abs(t) - self._threshold) * time_delta
+        self._threshold = min(
+            max(self._threshold, self.min_threshold), self.max_threshold
+        )
+        self._last_update_ms = now_ms

@@ -1,0 +1,122 @@
+"""Kalman filter estimating the queuing-delay gradient (GCC).
+
+This is the arrival-time filter from the original GCC design
+(Carlucci et al., MMSys '16; libwebrtc ``OveruseEstimator``): a
+two-state Kalman filter whose measurement is the inter-group delay
+variation ``d(i)`` and whose state is ``[1/C, m]`` — the inverse of
+the bottleneck capacity and the queuing-delay gradient ``m`` (ms per
+group). The over-use detector thresholds ``m``.
+
+Internally the filter works in milliseconds (as libwebrtc does); the
+public API takes seconds.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class OveruseEstimator:
+    """Two-state Kalman filter for the one-way delay gradient."""
+
+    def __init__(self) -> None:
+        # State: slope (ms/byte, ~1/capacity) and offset (ms).
+        self._slope = 8.0 / 512.0
+        self._offset = 0.0
+        self._prev_offset = 0.0
+        # Error covariance and process noise (libwebrtc defaults).
+        self._e = [[100.0, 0.0], [0.0, 1e-1]]
+        self._process_noise = [1e-13, 1e-3]
+        self._avg_noise = 0.0
+        self._var_noise = 50.0
+        self.num_of_deltas = 0
+
+    @property
+    def offset_ms(self) -> float:
+        """Current queuing-delay gradient estimate in milliseconds."""
+        return self._offset
+
+    @property
+    def prev_offset_ms(self) -> float:
+        """Gradient estimate before the last update."""
+        return self._prev_offset
+
+    @property
+    def var_noise(self) -> float:
+        """Current measurement-noise variance estimate."""
+        return self._var_noise
+
+    def update(
+        self,
+        arrival_delta: float,
+        send_delta: float,
+        size_delta: int,
+        *,
+        in_stable_state: bool,
+    ) -> float:
+        """Fold one inter-group sample into the filter.
+
+        Parameters are in seconds/bytes; returns the updated gradient
+        estimate in milliseconds.
+        """
+        t_delta_ms = arrival_delta * 1e3
+        ts_delta_ms = send_delta * 1e3
+        t_ts_delta = t_delta_ms - ts_delta_ms
+        fs_delta = float(size_delta)
+        self.num_of_deltas = min(self.num_of_deltas + 1, 60)
+
+        # Prediction step: state is modelled constant, covariance grows.
+        self._e[0][0] += self._process_noise[0]
+        self._e[1][1] += self._process_noise[1]
+
+        h = (fs_delta, 1.0)
+        eh = (
+            self._e[0][0] * h[0] + self._e[0][1] * h[1],
+            self._e[1][0] * h[0] + self._e[1][1] * h[1],
+        )
+        residual = t_ts_delta - self._slope * h[0] - self._offset
+
+        # Noise estimate update (clamped residual, libwebrtc style).
+        max_residual = 3.0 * math.sqrt(self._var_noise)
+        clamped = max(-max_residual, min(max_residual, residual))
+        self._update_noise_estimate(clamped, ts_delta_ms, in_stable_state)
+
+        denom = self._var_noise + h[0] * eh[0] + h[1] * eh[1]
+        if denom <= 0:
+            denom = 1e-9
+        k = (eh[0] / denom, eh[1] / denom)
+
+        ikh = [
+            [1.0 - k[0] * h[0], -k[0] * h[1]],
+            [-k[1] * h[0], 1.0 - k[1] * h[1]],
+        ]
+        e00, e01 = self._e[0]
+        e10, e11 = self._e[1]
+        self._e = [
+            [ikh[0][0] * e00 + ikh[0][1] * e10, ikh[0][0] * e01 + ikh[0][1] * e11],
+            [ikh[1][0] * e00 + ikh[1][1] * e10, ikh[1][0] * e01 + ikh[1][1] * e11],
+        ]
+
+        self._prev_offset = self._offset
+        self._slope += k[0] * residual
+        self._offset += k[1] * residual
+        return self._offset
+
+    def _update_noise_estimate(
+        self, residual: float, ts_delta_ms: float, stable_state: bool
+    ) -> None:
+        if not stable_state:
+            return
+        # Faster forgetting for larger inter-group gaps (libwebrtc).
+        alpha = 0.01 if self.num_of_deltas > 600 else 0.1
+        beta = pow(1.0 - alpha, min(ts_delta_ms, 100.0) * 30.0 / 1000.0)
+        self._avg_noise = beta * self._avg_noise + (1.0 - beta) * residual
+        self._var_noise = beta * self._var_noise + (1.0 - beta) * (
+            (self._avg_noise - residual) ** 2
+        )
+        if self._var_noise < 1.0:
+            self._var_noise = 1.0
+
+    def reset(self) -> None:
+        """Re-initialize the filter (after long connectivity gaps)."""
+        self.__init__()

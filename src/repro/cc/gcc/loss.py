@@ -1,0 +1,55 @@
+"""GCC loss-based controller.
+
+The companion controller to the delay-based estimator (Carlucci et
+al. Section 3.1): per feedback interval it inspects the fraction of
+lost packets and
+
+* decreases the rate ``A <- A * (1 - 0.5 * loss)`` when loss > 10 %;
+* increases it ``A <- 1.05 * A`` when loss < 2 %;
+* holds otherwise.
+
+The final GCC target is the minimum of the delay-based and loss-based
+rates.
+"""
+
+from __future__ import annotations
+
+
+class LossBasedController:
+    """Loss-fraction driven bitrate bound."""
+
+    def __init__(
+        self,
+        *,
+        initial_bitrate: float,
+        min_bitrate: float = 2e6,
+        max_bitrate: float = 25e6,
+        high_loss: float = 0.10,
+        low_loss: float = 0.02,
+    ) -> None:
+        if not 0.0 <= low_loss < high_loss <= 1.0:
+            raise ValueError("need 0 <= low_loss < high_loss <= 1")
+        self.min_bitrate = min_bitrate
+        self.max_bitrate = max_bitrate
+        self.high_loss = high_loss
+        self.low_loss = low_loss
+        self._rate = float(min(max(initial_bitrate, min_bitrate), max_bitrate))
+        self.last_loss_fraction = 0.0
+
+    @property
+    def rate(self) -> float:
+        """Current loss-based bitrate bound (bits/s)."""
+        return self._rate
+
+    def update(self, lost: int, total: int) -> float:
+        """Fold one feedback interval's loss statistics."""
+        if total <= 0:
+            return self._rate
+        loss = lost / total
+        self.last_loss_fraction = loss
+        if loss > self.high_loss:
+            self._rate *= 1.0 - 0.5 * loss
+        elif loss < self.low_loss:
+            self._rate *= 1.05
+        self._rate = min(max(self._rate, self.min_bitrate), self.max_bitrate)
+        return self._rate

@@ -1,0 +1,163 @@
+"""AIMD remote-rate controller (GCC delay-based control).
+
+State machine from Carlucci et al. / libwebrtc ``AimdRateControl``:
+
+* ``OVERUSING`` -> Decrease: rate = beta * measured incoming rate
+  (beta = 0.85), then Hold;
+* ``UNDERUSING`` -> Hold (let queues drain);
+* ``NORMAL`` -> Increase.
+
+The increase is *multiplicative* (8 %/s) while far from the last
+known congestion point and *additive* (about one packet per response
+time) once the incoming rate approaches the decaying average of the
+rates at which over-use previously occurred ("near convergence").
+
+A startup phase — until the first over-use is seen — uses a more
+aggressive multiplicative factor, standing in for libwebrtc's initial
+probing. The paper measures the resulting ramp-up to 25 Mbps at
+roughly 12 s for GCC (Section 4.2.1); the ramp-up bench checks that
+shape.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cc.gcc.detector import BandwidthUsage
+
+
+class AimdRateControl:
+    """Additive-increase / multiplicative-decrease rate control."""
+
+    def __init__(
+        self,
+        *,
+        initial_bitrate: float,
+        min_bitrate: float = 2e6,
+        max_bitrate: float = 25e6,
+        beta: float = 0.85,
+        increase_factor: float = 1.10,
+        startup_increase_factor: float = 1.22,
+        rtt: float = 0.05,
+    ) -> None:
+        self.min_bitrate = min_bitrate
+        self.max_bitrate = max_bitrate
+        self.beta = beta
+        self.increase_factor = increase_factor
+        self.startup_increase_factor = startup_increase_factor
+        self.rtt = rtt
+        self._rate = float(
+            min(max(initial_bitrate, min_bitrate), max_bitrate)
+        )
+        self._state = "hold"
+        self._last_change: float | None = None
+        self._avg_max_bitrate: float | None = None
+        self._var_max_bitrate = 0.4  # normalized variance (libwebrtc)
+        self._seen_first_overuse = False
+        self._time_of_last_decrease: float | None = None
+
+    @property
+    def rate(self) -> float:
+        """Current delay-based bitrate estimate (bits/s)."""
+        return self._rate
+
+    @property
+    def state(self) -> str:
+        """AIMD state: ``hold``, ``increase`` or ``decrease``."""
+        return self._state
+
+    @property
+    def in_startup(self) -> bool:
+        """Whether the aggressive startup ramp is still active."""
+        return not self._seen_first_overuse
+
+    def set_rtt(self, rtt: float) -> None:
+        """Update the round-trip-time used for the additive increase."""
+        if rtt > 0:
+            self.rtt = rtt
+
+    def update(
+        self, usage: BandwidthUsage, incoming_rate: float | None, now: float
+    ) -> float:
+        """Advance the state machine and return the new rate."""
+        self._change_state(usage)
+        if self._last_change is None:
+            self._last_change = now
+        delta = min(now - self._last_change, 1.0)
+        self._last_change = now
+
+        if self._state == "increase":
+            if self._near_convergence(incoming_rate):
+                self._rate += self._additive_increase(delta)
+            else:
+                # Far below the last known congestion point (after a
+                # handover knocked the rate down), libwebrtc recovers
+                # quickly through ALR probing; model that as the
+                # aggressive startup factor until we approach the
+                # remembered link capacity.
+                recovering = (
+                    self._avg_max_bitrate is not None
+                    and self._rate < 0.7 * self._avg_max_bitrate
+                )
+                factor = (
+                    self.startup_increase_factor
+                    if not self._seen_first_overuse or recovering
+                    else self.increase_factor
+                )
+                self._rate *= math.pow(factor, delta)
+            # Do not grow unboundedly past what the path demonstrably
+            # carries (libwebrtc caps at 1.5x the acked bitrate).
+            if incoming_rate is not None:
+                self._rate = min(self._rate, 1.5 * incoming_rate + 10_000.0)
+        elif self._state == "decrease":
+            self._seen_first_overuse = True
+            if (
+                self._time_of_last_decrease is None
+                or now - self._time_of_last_decrease >= self.rtt + 0.1
+            ):
+                basis = incoming_rate if incoming_rate is not None else self._rate
+                # A momentary acked-rate dip (one delayed feedback
+                # interval) must not collapse the estimate: never cut
+                # below half the current rate in one step.
+                self._rate = max(self.beta * basis, 0.5 * self._rate)
+                self._update_max_bitrate_estimate(basis)
+                self._time_of_last_decrease = now
+            self._state = "hold"
+
+        self._rate = min(max(self._rate, self.min_bitrate), self.max_bitrate)
+        return self._rate
+
+    def _change_state(self, usage: BandwidthUsage) -> None:
+        if usage is BandwidthUsage.OVERUSING:
+            self._state = "decrease"
+        elif usage is BandwidthUsage.UNDERUSING:
+            self._state = "hold"
+        else:
+            if self._state == "hold":
+                self._state = "increase"
+
+    def _near_convergence(self, incoming_rate: float | None) -> bool:
+        if incoming_rate is None or self._avg_max_bitrate is None:
+            return False
+        std = math.sqrt(self._var_max_bitrate * self._avg_max_bitrate)
+        return abs(incoming_rate - self._avg_max_bitrate) <= 3.0 * std
+
+    def _additive_increase(self, delta: float) -> float:
+        response_time = self.rtt + 0.1
+        expected_packet_size = self._rate / (30.0 * 8.0)  # bytes per frame slice
+        increase_per_s = max(4_000.0, 8.0 * expected_packet_size / response_time)
+        return increase_per_s * delta
+
+    def _update_max_bitrate_estimate(self, incoming_rate: float) -> None:
+        alpha = 0.05
+        if self._avg_max_bitrate is None:
+            self._avg_max_bitrate = incoming_rate
+        else:
+            self._avg_max_bitrate = (
+                1 - alpha
+            ) * self._avg_max_bitrate + alpha * incoming_rate
+        norm = max(self._avg_max_bitrate, 1.0)
+        self._var_max_bitrate = (1 - alpha) * self._var_max_bitrate + alpha * (
+            (self._avg_max_bitrate - incoming_rate) ** 2 / norm
+        )
+        self._var_max_bitrate = min(max(self._var_max_bitrate, 0.4), 2.5)

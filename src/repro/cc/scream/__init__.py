@@ -1,0 +1,7 @@
+"""SCReAM (RFC 8298) self-clocked rate adaptation implementation."""
+
+from repro.cc.scream.window import ScreamWindow, MSS
+from repro.cc.scream.rate import ScreamRateController
+from repro.cc.scream.controller import ScreamController
+
+__all__ = ["ScreamWindow", "MSS", "ScreamRateController", "ScreamController"]

@@ -1,0 +1,114 @@
+"""SCReAM media (video) rate control.
+
+Separately from the congestion window, SCReAM adjusts the *video
+target bitrate* handed to the encoder (RFC 8298 Section 4.2):
+
+* ramp up at a bounded speed (``ramp_up_speed``, bits/s per second)
+  while the RTP queue is short and the window is not congested — the
+  bounded ramp is what the paper measures as SCReAM's ~25 s rise to
+  25 Mbps;
+* scale the target down proportionally when the RTP queue delay grows
+  (the encoder is outpacing what the self-clocked window transmits);
+* back off multiplicatively on loss events.
+
+The target is additionally capped near the throughput the current
+cwnd can sustain.
+"""
+
+from __future__ import annotations
+
+
+class ScreamRateController:
+    """Video bitrate adaptation layered on the SCReAM window."""
+
+    def __init__(
+        self,
+        *,
+        initial_bitrate: float = 2e6,
+        min_bitrate: float = 2e6,
+        max_bitrate: float = 25e6,
+        ramp_up_speed: float = 0.95e6,
+        queue_delay_guard: float = 0.04,
+        loss_scale: float = 0.95,
+        throughput_headroom: float = 1.1,
+        ack_rate_headroom: float = 1.25,
+    ) -> None:
+        if min_bitrate <= 0 or max_bitrate < min_bitrate:
+            raise ValueError("invalid bitrate range")
+        self.min_bitrate = min_bitrate
+        self.max_bitrate = max_bitrate
+        self.ramp_up_speed = ramp_up_speed
+        self.queue_delay_guard = queue_delay_guard
+        self.loss_scale = loss_scale
+        self.throughput_headroom = throughput_headroom
+        self.ack_rate_headroom = ack_rate_headroom
+        self._target = float(min(max(initial_bitrate, min_bitrate), max_bitrate))
+        self._last_adjust: float | None = None
+        self._congestion_free_since = 0.0
+        self._loss_pending = False
+
+    @property
+    def target(self) -> float:
+        """Current video target bitrate in bits/s."""
+        return self._target
+
+    def on_loss(self) -> None:
+        """Scale the target down after a loss event."""
+        self._target = max(self.min_bitrate, self._target * self.loss_scale)
+        self._loss_pending = True
+
+    def adjust(
+        self,
+        now: float,
+        *,
+        rtp_queue_delay: float,
+        qdelay: float,
+        qdelay_target: float,
+        window_throughput: float,
+        ack_rate: float | None = None,
+    ) -> float:
+        """Periodic rate adjustment; returns the new target."""
+        if self._last_adjust is None:
+            self._last_adjust = now
+            return self._target
+        delta = min(now - self._last_adjust, 0.5)
+        self._last_adjust = now
+        if delta <= 0:
+            return self._target
+
+        if self._loss_pending:
+            self._loss_pending = False
+            self._congestion_free_since = now
+        queue_pressure = rtp_queue_delay / self.queue_delay_guard
+        qdelay_pressure = qdelay / qdelay_target
+        if queue_pressure > 1.0:
+            # The encoder outruns the window badly: cut proportionally.
+            scale = max(0.5, 1.0 - 0.2 * min(queue_pressure - 1.0, 2.0))
+            self._target *= scale
+            self._congestion_free_since = now
+        elif qdelay_pressure > 1.0:
+            # Network queue above target: gentle decrease.
+            self._target *= max(0.8, 1.0 - 0.1 * min(qdelay_pressure - 1.0, 2.0))
+            self._congestion_free_since = now
+        elif queue_pressure < 0.5:
+            # RFC 8298 "fast increase": after a sustained congestion-
+            # free period the ramp accelerates, which is what lets
+            # SCReAM recover quickly after handover dips.
+            speed = self.ramp_up_speed
+            if now - self._congestion_free_since > 2.0:
+                speed *= 2.5
+            self._target += speed * delta
+        # else: hold — a moderately filled RTP queue means the target
+        # already matches what the window transmits; ramping further
+        # would sawtooth straight into the 100 ms discard guard.
+
+        # Never target more than the window demonstrably carries...
+        ceiling = self.throughput_headroom * window_throughput
+        # ...nor much more than the path actually delivered lately —
+        # the target must track the transmit/ack rate, otherwise the
+        # RTP queue grows without bound until the 100 ms discard.
+        if ack_rate is not None and ack_rate > 0:
+            ceiling = min(ceiling, self.ack_rate_headroom * ack_rate)
+        self._target = min(self._target, max(ceiling, self.min_bitrate))
+        self._target = min(max(self._target, self.min_bitrate), self.max_bitrate)
+        return self._target

@@ -1,0 +1,124 @@
+"""SCReAM congestion-window (network) control.
+
+Implements the self-clocked window logic of RFC 8298 / Johansson
+(CSWS '14): the sender may keep at most ``cwnd`` bytes in flight;
+``cwnd`` grows while the estimated queuing delay is below the target
+(default 60 ms) and shrinks when it is above or when a loss event
+occurs (multiplicative 0.8 back-off, at most once per RTT).
+
+The queuing delay is the one-way delay minus a windowed minimum
+("base delay"). Clocks at both ends are synchronized in the
+simulation, matching the paper's GPS-disciplined setup.
+"""
+
+from __future__ import annotations
+
+from repro.util.running import EwmaFilter, WindowedMinMax
+
+#: Maximum segment size used for cwnd arithmetic (bytes).
+MSS = 1200
+
+
+class ScreamWindow:
+    """Self-clocked congestion window."""
+
+    def __init__(
+        self,
+        *,
+        qdelay_target: float = 0.06,
+        gain: float = 1.0,
+        loss_beta: float = 0.8,
+        min_cwnd: int = 2 * MSS,
+        base_delay_window: float = 30.0,
+        bytes_in_flight_headroom: float = 2.0,
+    ) -> None:
+        if qdelay_target <= 0:
+            raise ValueError(f"qdelay_target must be positive: {qdelay_target}")
+        self.qdelay_target = qdelay_target
+        self.gain = gain
+        self.loss_beta = loss_beta
+        self.min_cwnd = min_cwnd
+        self.cwnd = 10 * MSS
+        self.bytes_in_flight = 0
+        self._base_delay = WindowedMinMax(base_delay_window)
+        self._qdelay_avg = EwmaFilter(alpha=0.25)
+        self._max_bif = WindowedMinMax(1.0)
+        self._headroom = bytes_in_flight_headroom
+        self._last_loss_event: float | None = None
+        self.srtt = 0.05
+        self.loss_events = 0
+
+    @property
+    def qdelay(self) -> float:
+        """Smoothed queuing-delay estimate in seconds."""
+        return self._qdelay_avg.value or 0.0
+
+    @property
+    def base_delay(self) -> float:
+        """Current base one-way delay estimate in seconds."""
+        value = self._base_delay.minimum
+        return 0.0 if value != value else value  # NaN check
+
+    def can_send(self, packet_size: int) -> bool:
+        """Whether the window admits ``packet_size`` more bytes."""
+        return self.bytes_in_flight + packet_size <= self.cwnd
+
+    def on_packet_sent(self, size_bytes: int, now: float) -> None:
+        """Account a transmitted packet against the window."""
+        self.bytes_in_flight += size_bytes
+        self._max_bif.update(now, self.bytes_in_flight)
+
+    def on_packet_acked(
+        self, size_bytes: int, one_way_delay: float, now: float
+    ) -> None:
+        """Process an acknowledgment carrying a delay sample."""
+        self.bytes_in_flight = max(0, self.bytes_in_flight - size_bytes)
+        self._base_delay.update(now, one_way_delay)
+        qdelay = max(0.0, one_way_delay - self.base_delay)
+        self._qdelay_avg.update(qdelay)
+        self._grow(size_bytes, now)
+
+    def on_packet_lost(self, size_bytes: int, now: float) -> None:
+        """Process a loss indication (true or false — SCReAM cannot tell)."""
+        self.bytes_in_flight = max(0, self.bytes_in_flight - size_bytes)
+        if (
+            self._last_loss_event is not None
+            and now - self._last_loss_event < self.srtt
+        ):
+            return  # at most one multiplicative back-off per RTT
+        self._last_loss_event = now
+        self.loss_events += 1
+        self.cwnd = max(self.min_cwnd, int(self.cwnd * self.loss_beta))
+
+    def update_srtt(self, rtt_sample: float) -> None:
+        """Fold a round-trip-time sample into the smoothed RTT."""
+        if rtt_sample > 0:
+            self.srtt = 0.9 * self.srtt + 0.1 * rtt_sample
+
+    def _grow(self, bytes_acked: int, now: float) -> None:
+        off_target = (self.qdelay_target - self.qdelay) / self.qdelay_target
+        if off_target > 0:
+            increment = (
+                self.gain * off_target * bytes_acked * MSS / max(self.cwnd, 1)
+            )
+            self.cwnd += int(increment)
+        else:
+            # Above target: proportional gentle decrease (RFC 8298).
+            decrement = (
+                self.gain
+                * abs(off_target)
+                * bytes_acked
+                * MSS
+                / max(self.cwnd, 1)
+            )
+            self.cwnd -= int(0.5 * decrement)
+        # Never grow far beyond what is actually being used.
+        max_bif = self._max_bif.maximum
+        if max_bif == max_bif:  # not NaN
+            ceiling = max(self.min_cwnd, int(self._headroom * max_bif) + MSS)
+            self.cwnd = min(self.cwnd, ceiling)
+        self.cwnd = max(self.cwnd, self.min_cwnd)
+
+    def throughput_estimate(self) -> float:
+        """Rate the current window can sustain, in bits/s."""
+        return self.cwnd * 8.0 / max(self.srtt, 1e-3)

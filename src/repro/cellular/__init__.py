@@ -1,0 +1,61 @@
+"""LTE cellular substrate: layout, propagation, handovers, channel."""
+
+from repro.cellular.layout import Cell, CellLayout, grid_layout, urban_layout, rural_layout
+from repro.cellular.propagation import (
+    PropagationConfig,
+    ShadowingProcess,
+    path_loss_db,
+    antenna_gain_db,
+    rsrp_dbm,
+)
+from repro.cellular.handover import (
+    A3Config,
+    HandoverEngine,
+    HandoverEvent,
+    HetSampler,
+    HET_SUCCESS_THRESHOLD,
+)
+from repro.cellular.operators import (
+    OperatorProfile,
+    get_profile,
+    P1_URBAN,
+    P1_RURAL,
+    P2_URBAN,
+    P2_RURAL,
+)
+from repro.cellular.channel import (
+    CellularChannel,
+    ChannelConfig,
+    CapacitySample,
+    RssiReport,
+    MEASUREMENT_PERIOD,
+)
+
+__all__ = [
+    "Cell",
+    "CellLayout",
+    "grid_layout",
+    "urban_layout",
+    "rural_layout",
+    "PropagationConfig",
+    "ShadowingProcess",
+    "path_loss_db",
+    "antenna_gain_db",
+    "rsrp_dbm",
+    "A3Config",
+    "HandoverEngine",
+    "HandoverEvent",
+    "HetSampler",
+    "HET_SUCCESS_THRESHOLD",
+    "OperatorProfile",
+    "get_profile",
+    "P1_URBAN",
+    "P1_RURAL",
+    "P2_URBAN",
+    "P2_RURAL",
+    "CellularChannel",
+    "ChannelConfig",
+    "CapacitySample",
+    "RssiReport",
+    "MEASUREMENT_PERIOD",
+]

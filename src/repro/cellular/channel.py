@@ -1,0 +1,367 @@
+"""The end-to-end cellular channel driven by a trajectory.
+
+:class:`CellularChannel` ties the substrate together: every 100 ms
+(the LTE measurement period) it
+
+1. reads the UE position from the trajectory,
+2. computes per-cell RSRP (path loss + antenna pattern + shadowing),
+3. advances the A3 handover engine — an executed handover silences
+   the attached network paths for the sampled HET,
+4. derives the uplink/downlink capacity from the serving cell's
+   signal quality and the interference situation, applying the pre-
+   and post-handover degradation windows responsible for the paper's
+   latency spikes around handovers (Fig. 8/9), and the high-altitude
+   interference events behind the RTT outliers above 100 m (Fig. 13).
+
+The instantaneous capacity is exposed as plain ``rate_fn`` callables
+for :class:`repro.net.path.NetworkPath`, and 1 Hz RSSI samples are
+logged exactly as coarsely as the paper's LTE dongles reported them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cellular.handover import A3Config, HandoverEngine, HetSampler
+from repro.cellular.layout import CellLayout
+from repro.cellular.operators import OperatorProfile
+from repro.cellular.propagation import (
+    PropagationConfig,
+    ShadowingProcess,
+    path_loss_db,
+    rsrp_dbm,
+)
+from repro.flight.trajectory import WaypointTrajectory
+from repro.net.path import NetworkPath
+from repro.net.simulator import EventLoop
+from repro.util.rng import RngStreams
+
+#: UE measurement period (100 ms, standard LTE).
+MEASUREMENT_PERIOD = 0.1
+#: Effective usable uplink bandwidth (Hz) after control overhead.
+EFFECTIVE_UL_BANDWIDTH = 7.5e6
+#: Fraction of neighbouring-cell power contributing to interference.
+INTERFERENCE_LOAD = 0.02
+#: Uplink link budget (dB): UE tx power + BS receive gain - noise
+#: floor. ``SNR_ul = UL_BUDGET_DB - path_loss``. Calibrated so the
+#: urban area sustains ~30-45 Mbps and the rural area ~8-13 Mbps,
+#: matching the paper's Fig. 6 operating points.
+UL_BUDGET_DB = 106.0
+
+
+@dataclass
+class CapacitySample:
+    """One 100 ms snapshot of the channel state (for traces/analysis)."""
+
+    time: float
+    uplink_bps: float
+    downlink_bps: float
+    serving_cell: int
+    rsrp_dbm: float
+    sinr_db: float
+    altitude: float
+    in_handover: bool
+
+
+@dataclass
+class RssiReport:
+    """Coarse 1 Hz signal report, as the paper's LTE dongles logged."""
+
+    time: float
+    rssi_dbm: float
+    cell_id: int
+
+
+@dataclass
+class ChannelConfig:
+    """Behavioural knobs of the cellular channel."""
+
+    propagation: PropagationConfig = field(default_factory=PropagationConfig)
+    a3: A3Config = field(default_factory=A3Config)
+    het: HetSampler = field(default_factory=HetSampler)
+    #: Capacity multiplier while the A3 condition builds (pre-HO
+    #: degradation window; the cause of the Fig. 9 "before" spikes).
+    pre_handover_factor: float = 0.5
+    #: Capacity multiplier right after handover completion.
+    post_handover_factor: float = 0.8
+    #: Duration of the post-handover ramp, seconds.
+    post_handover_ramp: float = 0.3
+    #: Fast-fading std-dev (dB) on the ground and in the air.
+    fading_std_ground_db: float = 1.0
+    fading_std_air_db: float = 2.0
+    fading_corr_time: float = 1.0
+    #: Altitude above which interference dropout events start (m).
+    outlier_altitude: float = 100.0
+    #: Dropout event rate at 20 m above the threshold (events/s).
+    outlier_rate: float = 0.03
+    outlier_capacity_factor: float = 0.1
+    outlier_duration_range: tuple[float, float] = (0.3, 1.0)
+    #: Make-before-break handover (the Dual Active Protocol Stack of
+    #: 3GPP Rel-16 the paper discusses in Section 5): when True,
+    #: handover execution keeps the old link alive, so no outage is
+    #: injected and only the radio-quality degradation remains.
+    make_before_break: bool = False
+    #: UE RSRP measurement noise (dB) on the ground and in the air;
+    #: aerial links fluctuate more (side lobes, higher noise floor).
+    meas_noise_ground_db: float = 0.5
+    meas_noise_air_db: float = 2.0
+    #: Per-cell fast RSRP fading that only appears in the air (side-
+    #: lobe multipath): std-dev at full altitude and correlation time.
+    air_fastfade_std_db: float = 3.5
+    air_fastfade_corr_time: float = 0.8
+
+
+class CellularChannel:
+    """Trajectory-driven LTE channel for one UE.
+
+    Parameters
+    ----------
+    loop:
+        Event loop (the channel ticks itself at 10 Hz).
+    layout:
+        Cell deployment to operate in.
+    profile:
+        Operator plan/deployment profile (capacity caps and scaling).
+    trajectory:
+        UE position source.
+    streams:
+        Random-stream factory for shadowing/fading/HET draws.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        layout: CellLayout,
+        profile: OperatorProfile,
+        trajectory: WaypointTrajectory,
+        streams: RngStreams,
+        *,
+        config: ChannelConfig | None = None,
+    ) -> None:
+        self._loop = loop
+        self.layout = layout
+        self.profile = profile
+        self.trajectory = trajectory
+        self.config = config if config is not None else ChannelConfig()
+        self._shadowing = ShadowingProcess(
+            len(layout), self.config.propagation, streams.derive("shadowing")
+        )
+        self.engine = HandoverEngine(
+            len(layout),
+            streams.derive("handover"),
+            config=self.config.a3,
+            het_sampler=self.config.het,
+        )
+        self._fading_rng = streams.derive("fading")
+        self._meas_rng = streams.derive("measurement")
+        self._fastfade_rng = streams.derive("fastfade")
+        self._outlier_rng = streams.derive("outliers")
+        self._fading_db = 0.0
+        self._fastfade = np.zeros(len(layout))
+        self._shadow = np.zeros(len(layout))
+        self._position = trajectory.position(0.0)
+        self._uplink_bps = 1e6
+        self._downlink_bps = 10e6
+        self._outlier_until: float | None = None
+        self._post_ho_until: float | None = None
+        self._paths: list[NetworkPath] = []
+        self.samples: list[CapacitySample] = []
+        self.rssi_log: list[RssiReport] = []
+        self.cells_seen: set[int] = set()
+        self._last_rssi_time = -1.0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach_path(self, path: NetworkPath) -> None:
+        """Register a path whose outage state this channel controls."""
+        self._paths.append(path)
+
+    def uplink_rate(self, now: float) -> float:
+        """Instantaneous uplink capacity in bits/s (rate_fn for paths)."""
+        return self._uplink_bps
+
+    def downlink_rate(self, now: float) -> float:
+        """Instantaneous downlink capacity in bits/s."""
+        return self._downlink_bps
+
+    def start(self) -> None:
+        """Begin the 10 Hz measurement/update loop."""
+        if self._started:
+            raise RuntimeError("channel already started")
+        self._started = True
+        self._tick()
+
+    # ------------------------------------------------------------------
+    # per-tick update
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        now = self._loop.now
+        position = self.trajectory.position(now)
+        shadow = self._shadowing.sample(now, position.altitude)
+        rsrp = np.array(
+            [
+                rsrp_dbm(position, cell, shadow[i], self.config.propagation)
+                for i, cell in enumerate(self.layout.cells)
+            ]
+        )
+        frac = min(position.altitude / 40.0, 1.0)
+        noise_std = self.config.meas_noise_ground_db + frac * (
+            self.config.meas_noise_air_db - self.config.meas_noise_ground_db
+        )
+        rho = math.exp(
+            -MEASUREMENT_PERIOD / self.config.air_fastfade_corr_time
+        )
+        self._fastfade = rho * self._fastfade + math.sqrt(
+            1 - rho * rho
+        ) * self._fastfade_rng.normal(0.0, 1.0, size=self._fastfade.shape)
+        rsrp = (
+            rsrp
+            + self._meas_rng.normal(0.0, noise_std, size=rsrp.shape)
+            + frac * self.config.air_fastfade_std_db * self._fastfade
+        )
+        event = self.engine.measure(now, rsrp, altitude=position.altitude)
+        self._position = position
+        self._shadow = shadow
+        if event is not None:
+            self._begin_outage(event.execution_time)
+        self.cells_seen.add(self.engine.serving_cell)
+        self._update_fading(position.altitude)
+        self._update_outliers(now, position.altitude)
+        uplink, downlink, sinr = self._capacity(now, position)
+        self._uplink_bps = uplink
+        self._downlink_bps = downlink
+        serving_rsrp = self.engine.serving_rsrp()
+        self.samples.append(
+            CapacitySample(
+                time=now,
+                uplink_bps=uplink,
+                downlink_bps=downlink,
+                serving_cell=self.engine.serving_cell,
+                rsrp_dbm=serving_rsrp,
+                sinr_db=sinr,
+                altitude=position.altitude,
+                in_handover=self.engine.in_handover,
+            )
+        )
+        if now - self._last_rssi_time >= 1.0:
+            self._last_rssi_time = now
+            self.rssi_log.append(
+                RssiReport(
+                    time=now,
+                    rssi_dbm=serving_rsrp,
+                    cell_id=self.engine.serving_cell,
+                )
+            )
+        self._loop.call_later(MEASUREMENT_PERIOD, self._tick)
+
+    def _begin_outage(self, het: float) -> None:
+        if self.config.make_before_break:
+            # DAPS: both protocol stacks stay active through the
+            # handover; the execution gap does not interrupt the link.
+            return
+        for path in self._paths:
+            path.set_up(False)
+        self._post_ho_until = self._loop.now + het + self.config.post_handover_ramp
+
+        def back_up() -> None:
+            for path in self._paths:
+                path.set_up(True)
+
+        self._loop.call_later(het, back_up)
+
+    def _update_fading(self, altitude: float) -> None:
+        rho = math.exp(-MEASUREMENT_PERIOD / self.config.fading_corr_time)
+        frac = min(altitude / 40.0, 1.0)
+        std = self.config.fading_std_ground_db + frac * (
+            self.config.fading_std_air_db - self.config.fading_std_ground_db
+        )
+        noise = float(self._fading_rng.normal(0.0, 1.0))
+        self._fading_db = rho * self._fading_db + math.sqrt(1 - rho * rho) * (
+            noise * std
+        )
+
+    def _update_outliers(self, now: float, altitude: float) -> None:
+        if self._outlier_until is not None and now >= self._outlier_until:
+            self._outlier_until = None
+        if self._outlier_until is not None:
+            return
+        excess = altitude - self.config.outlier_altitude
+        if excess <= 0:
+            return
+        rate = self.config.outlier_rate * min(excess / 20.0, 2.0)
+        if self._outlier_rng.random() < rate * MEASUREMENT_PERIOD:
+            low, high = self.config.outlier_duration_range
+            self._outlier_until = now + float(self._outlier_rng.uniform(low, high))
+
+    def _capacity(self, now, position) -> tuple[float, float, float]:
+        filtered = self.engine.filtered_rsrp
+        if filtered is None:
+            return self._uplink_bps, self._downlink_bps, 0.0
+        serving = self.engine.serving_cell
+        cell = self.layout.cells[serving]
+        # Uplink budget: the BS receive antenna is wide in the uplink,
+        # so the uplink SNR follows the 3-D path loss to the serving
+        # site (plus the serving cell's shadowing and fast fading) —
+        # not the down-tilted downlink pattern that drives handovers.
+        distance = position.distance_to(cell.position())
+        loss = path_loss_db(distance, position.altitude, self.config.propagation)
+        # The serving cell's aerial fast fading enters the uplink SNR:
+        # a handover is usually preceded by the serving cell fading
+        # below its neighbours, so capacity dips *before* the A3 event
+        # fires — the origin of the paper's pre-handover latency
+        # spikes (Fig. 8/9).
+        alt_frac = min(position.altitude / 40.0, 1.0)
+        serving_fastfade = (
+            alt_frac
+            * self.config.air_fastfade_std_db
+            * float(self._fastfade[serving])
+        )
+        snr_db = (
+            UL_BUDGET_DB
+            - loss
+            + 0.5 * float(self._shadow[serving])
+            + self._fading_db
+            + serving_fastfade
+        )
+        # Interference rise: in the air many neighbour cells are
+        # received nearly as strongly as the serving one, raising the
+        # effective interference floor; on the ground the serving cell
+        # dominates and the rise is negligible.
+        serving_mw = 10.0 ** (float(filtered[serving]) / 10.0)
+        others_mw = np.power(10.0, np.delete(filtered, serving) / 10.0)
+        interference_ratio = INTERFERENCE_LOAD * float(np.sum(others_mw)) / max(
+            serving_mw, 1e-30
+        )
+        sinr_lin = 10.0 ** (snr_db / 10.0) / (1.0 + interference_ratio)
+        sinr_db_eff = 10.0 * math.log10(max(sinr_lin, 1e-6))
+        uplink = (
+            EFFECTIVE_UL_BANDWIDTH
+            * math.log2(1.0 + sinr_lin)
+            * self.profile.capacity_scale
+        )
+        uplink = min(uplink, self.profile.uplink_plan_cap)
+        downlink = min(6.0 * uplink, self.profile.downlink_plan_cap)
+        # Additional pre-handover degradation while the A3 timer runs:
+        # the radio link that is about to hand over is already poor
+        # (interference from the overtaking cell).
+        pending_age = self.engine.a3_pending_age(now)
+        if pending_age > 0.0:
+            depth = min(pending_age / self.config.a3.time_to_trigger, 1.0)
+            factor = 1.0 - (1.0 - self.config.pre_handover_factor) * depth
+            uplink *= factor
+            downlink *= factor
+        if self._post_ho_until is not None:
+            if now < self._post_ho_until:
+                uplink *= self.config.post_handover_factor
+                downlink *= self.config.post_handover_factor
+            else:
+                self._post_ho_until = None
+        if self._outlier_until is not None:
+            uplink *= self.config.outlier_capacity_factor
+            downlink *= self.config.outlier_capacity_factor
+        return max(uplink, 1e4), max(downlink, 1e4), sinr_db_eff

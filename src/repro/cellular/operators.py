@@ -1,0 +1,128 @@
+"""Mobile network operator profiles (P1 and P2).
+
+The paper uses two MNOs: P1 (default, 300 Mbps down / 50 Mbps up plan
+cap) and P2 (competitor, 500/50 plan cap). Their urban deployments are
+similarly dense, but in the rural area P1's site density is
+significantly lower than P2's; consequently P2 shows higher rural
+throughput *and* more frequent handovers (Fig. 10, Appendix A.3).
+
+An :class:`OperatorProfile` bundles the deployment density, capacity
+scaling and plan caps for one operator in one environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cellular.layout import CellLayout, grid_layout
+
+
+@dataclass(frozen=True)
+class OperatorProfile:
+    """Deployment and plan parameters for one MNO in one environment.
+
+    Attributes
+    ----------
+    name / environment:
+        Operator label ("P1"/"P2") and area ("urban"/"rural").
+    sites / area_radius / site_height:
+        Deployment geometry fed to the layout builder.
+    uplink_plan_cap:
+        Subscription uplink cap in bits/s (both operators: 50 Mbps).
+    capacity_scale:
+        Multiplier on the SINR-derived capacity — models spectrum
+        holdings / carrier aggregation differences between operators.
+    """
+
+    name: str
+    environment: str
+    sites: int
+    area_radius: float
+    site_height: float
+    uplink_plan_cap: float = 40e6
+    downlink_plan_cap: float = 300e6
+    capacity_scale: float = 1.0
+    exclusion_radius: float = 0.0
+
+    def build_layout(self, rng: np.random.Generator) -> CellLayout:
+        """Instantiate this profile's cell layout."""
+        return grid_layout(
+            num_sites=self.sites,
+            area_radius=self.area_radius,
+            rng=rng,
+            sectors_per_site=2,
+            site_height=self.site_height,
+            name=f"{self.environment}-{self.name}",
+            exclusion_radius=self.exclusion_radius,
+        )
+
+
+#: Default operator (P1) in the urban zone: dense deployment.
+P1_URBAN = OperatorProfile(
+    name="P1",
+    environment="urban",
+    sites=16,
+    area_radius=800.0,
+    site_height=28.0,
+    capacity_scale=1.25,
+    exclusion_radius=150.0,
+)
+
+#: Default operator (P1) in the rural zone: sparse deployment —
+#: kilometre-scale inter-site distance limits uplink SINR.
+P1_RURAL = OperatorProfile(
+    name="P1",
+    environment="rural",
+    sites=7,
+    area_radius=4_000.0,
+    site_height=35.0,
+    capacity_scale=1.3,
+    exclusion_radius=1_500.0,
+)
+
+#: Competitor (P2) urban: similar density to P1.
+P2_URBAN = OperatorProfile(
+    name="P2",
+    environment="urban",
+    sites=16,
+    area_radius=800.0,
+    site_height=28.0,
+    uplink_plan_cap=45e6,
+    downlink_plan_cap=500e6,
+    capacity_scale=1.35,
+    exclusion_radius=150.0,
+)
+
+#: Competitor (P2) rural: denser sites than P1 -> higher capacity but
+#: more handovers (Fig. 10).
+P2_RURAL = OperatorProfile(
+    name="P2",
+    environment="rural",
+    sites=16,
+    area_radius=4_000.0,
+    site_height=35.0,
+    uplink_plan_cap=45e6,
+    downlink_plan_cap=500e6,
+    capacity_scale=2.2,
+    exclusion_radius=1_200.0,
+)
+
+_PROFILES: dict[tuple[str, str], OperatorProfile] = {
+    ("P1", "urban"): P1_URBAN,
+    ("P1", "rural"): P1_RURAL,
+    ("P2", "urban"): P2_URBAN,
+    ("P2", "rural"): P2_RURAL,
+}
+
+
+def get_profile(operator: str, environment: str) -> OperatorProfile:
+    """Look up the profile for ``operator`` in ``environment``."""
+    key = (operator.upper(), environment.lower())
+    if key not in _PROFILES:
+        raise KeyError(
+            f"unknown operator/environment {key}; "
+            f"choices: {sorted(_PROFILES)}"
+        )
+    return _PROFILES[key]

@@ -1,0 +1,188 @@
+"""Command-line interface.
+
+Three entry points a downstream user needs:
+
+* ``repro run`` — fly one measurement run and print its summary;
+* ``repro dataset`` — fly a campaign and export it in the released-
+  dataset layout (per-run CSV directories);
+* ``repro figure`` — regenerate one of the paper's figures/tables and
+  print its text rendering.
+
+Installed as the ``repro`` console script; also runnable as
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis import format_table
+from repro.core.config import ScenarioConfig
+from repro.core.session import run_session
+from repro.experiments import ExperimentSettings
+from repro.metrics import VideoSummary, network_summary
+from repro.traces import export_session
+
+#: figure name -> (runner import path, uses channel-scale settings)
+FIGURES: dict[str, tuple[str, bool]] = {
+    "fig4": ("fig4_handover", True),
+    "fig5": ("fig5_latency", False),
+    "fig6": ("fig6_goodput", False),
+    "fig7": ("fig7_video", False),
+    "fig8": ("fig8_timeseries", False),
+    "fig9": ("fig9_ho_ratio", False),
+    "fig10": ("fig10_operators", True),
+    "fig12": ("fig12_mno", False),
+    "fig13": ("fig13_altitude", True),
+    "per": ("per_experiment", False),
+    "stalls": ("stall_experiment", False),
+    "rampup": ("rampup_experiment", False),
+    "ackwindow": ("ackwindow_ablation", False),
+    "jitterbuffer": ("jitterbuffer_ablation", False),
+    "a3": ("a3_ablation", False),
+    "buffers": ("buffer_ablation", False),
+    "daps": ("daps_experiment", False),
+    "multipath": ("multipath_experiment", False),
+}
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cc", default="static", choices=["static", "gcc", "scream"])
+    parser.add_argument("--environment", default="urban", choices=["urban", "rural"])
+    parser.add_argument("--platform", default="air", choices=["air", "ground"])
+    parser.add_argument("--operator", default="P1", choices=["P1", "P2"])
+    parser.add_argument("--duration", type=float, default=180.0)
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def _scenario_from(args: argparse.Namespace) -> ScenarioConfig:
+    return ScenarioConfig(
+        cc=args.cc,
+        environment=args.environment,
+        platform=args.platform,
+        operator=args.operator,
+        duration=args.duration,
+        seed=args.seed,
+    )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run one scenario and print its summary."""
+    config = _scenario_from(args)
+    print(f"Running {config.label()} ({config.duration:.0f} s simulated)...")
+    result = run_session(config)
+    net = network_summary(result)
+    video = VideoSummary.from_result(result, warmup=min(30.0, config.duration / 4))
+    rows = [
+        ["goodput", f"{net['goodput_mbps']:.1f} Mbps"],
+        ["handovers/s", f"{net['ho_per_s']:.3f}"],
+        ["OWD median / p99", f"{net['owd_median_ms']:.0f} / {net['owd_p99_ms']:.0f} ms"],
+        ["PER", f"{net['loss_rate'] * 100:.3f} %"],
+        ["playback latency median", f"{video.median_latency_ms:.0f} ms"],
+        ["playback latency < 300 ms", f"{video.latency_below_threshold * 100:.0f} %"],
+        ["SSIM >= 0.5", f"{video.ssim_above_threshold * 100:.1f} %"],
+        ["stalls/min", f"{video.stalls_per_minute:.2f}"],
+    ]
+    print(format_table(["metric", "value"], rows, title=config.label()))
+    return 0
+
+
+def cmd_dataset(args: argparse.Namespace) -> int:
+    """Fly a campaign and export the dataset layout."""
+    root = Path(args.out)
+    count = 0
+    for environment in args.environments.split(","):
+        for cc in args.methods.split(","):
+            for seed in range(1, args.seeds + 1):
+                config = ScenarioConfig(
+                    cc=cc.strip(),
+                    environment=environment.strip(),
+                    platform=args.platform,
+                    duration=args.duration,
+                    seed=seed,
+                )
+                result = run_session(config)
+                run_dir = export_session(result, root / config.label())
+                print(f"wrote {run_dir}")
+                count += 1
+    print(f"{count} runs exported under {root}/")
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    """Regenerate one figure/table and print its rendering."""
+    if args.name not in FIGURES:
+        print(f"unknown figure {args.name!r}; choices: {', '.join(sorted(FIGURES))}")
+        return 2
+    import repro.experiments as experiments
+
+    runner_name, channel_scale = FIGURES[args.name]
+    runner = getattr(experiments, runner_name)
+    seeds = tuple(range(1, args.seeds + 1))
+    settings = ExperimentSettings(
+        duration=args.duration, seeds=seeds, warmup=min(30.0, args.duration / 4)
+    )
+    if channel_scale:
+        settings = ExperimentSettings(
+            duration=max(args.duration, 300.0),
+            seeds=tuple(range(1, max(args.seeds, 4) + 1)),
+            warmup=settings.warmup,
+        )
+    print(f"Regenerating {args.name} ({settings.duration:.0f} s x {len(settings.seeds)} seeds)...")
+    result = runner(settings)
+    print()
+    print(result.render())
+    return 0
+
+
+def cmd_list_figures(args: argparse.Namespace) -> int:
+    """List the regenerable figures."""
+    for name in sorted(FIGURES):
+        print(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction harness for the IMC'22 remote-piloting "
+        "video-delivery study.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one measurement flight")
+    _add_scenario_arguments(run_parser)
+    run_parser.set_defaults(func=cmd_run)
+
+    dataset_parser = sub.add_parser("dataset", help="export a campaign dataset")
+    dataset_parser.add_argument("--out", default="dataset")
+    dataset_parser.add_argument("--environments", default="urban,rural")
+    dataset_parser.add_argument("--methods", default="static,gcc,scream")
+    dataset_parser.add_argument("--platform", default="air", choices=["air", "ground"])
+    dataset_parser.add_argument("--duration", type=float, default=180.0)
+    dataset_parser.add_argument("--seeds", type=int, default=2)
+    dataset_parser.set_defaults(func=cmd_dataset)
+
+    figure_parser = sub.add_parser("figure", help="regenerate a paper figure")
+    figure_parser.add_argument("name", help="figure id (see list-figures)")
+    figure_parser.add_argument("--duration", type=float, default=150.0)
+    figure_parser.add_argument("--seeds", type=int, default=2)
+    figure_parser.set_defaults(func=cmd_figure)
+
+    list_parser = sub.add_parser("list-figures", help="list regenerable figures")
+    list_parser.set_defaults(func=cmd_list_figures)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Command-and-control (C2) traffic subsystem (Fig. 1's second half)."""
+
+from repro.control.session import (
+    COMMAND_RATE_HZ,
+    COMMAND_BYTES,
+    TELEMETRY_RATE_HZ,
+    TELEMETRY_BYTES,
+    C2Sample,
+    ControlResult,
+    run_control_session,
+)
+
+__all__ = [
+    "COMMAND_RATE_HZ",
+    "COMMAND_BYTES",
+    "TELEMETRY_RATE_HZ",
+    "TELEMETRY_BYTES",
+    "C2Sample",
+    "ControlResult",
+    "run_control_session",
+]

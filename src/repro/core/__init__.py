@@ -1,0 +1,31 @@
+"""Public API: scenario configuration and session execution."""
+
+from repro.core.config import (
+    ScenarioConfig,
+    Environment,
+    Platform,
+    CcAlgorithm,
+    STATIC_BITRATE,
+    MIN_BITRATE,
+    MAX_BITRATE,
+)
+from repro.core.sender import VideoSender, SenderStats
+from repro.core.receiver import VideoReceiver, PacketLogEntry
+from repro.core.session import SessionResult, run_session, build_controller
+
+__all__ = [
+    "ScenarioConfig",
+    "Environment",
+    "Platform",
+    "CcAlgorithm",
+    "STATIC_BITRATE",
+    "MIN_BITRATE",
+    "MAX_BITRATE",
+    "VideoSender",
+    "SenderStats",
+    "VideoReceiver",
+    "PacketLogEntry",
+    "SessionResult",
+    "run_session",
+    "build_controller",
+]

@@ -1,0 +1,220 @@
+"""UAV-side sender pipeline: source -> encoder -> packetizer -> pacer.
+
+Mirrors the paper's GStreamer sender: the source video is re-encoded
+in real time at the target bitrate the congestion controller dictates,
+split into RTP packets and sent over the LTE uplink. The pacer drains
+the RTP send queue at the controller's pacing rate, subject to the
+controller's window (SCReAM's cwnd); SCReAM additionally discards the
+whole send queue when its head-of-line delay exceeds 100 ms — the
+behaviour the paper credits for SCReAM's fast playback-latency
+recovery *and* blames for the receiver-side sequence jumps.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.cc.base import CongestionController, SentPacket
+from repro.net.packet import Datagram, IP_UDP_OVERHEAD_BYTES
+from repro.net.path import NetworkPath
+from repro.net.simulator import EventLoop, PeriodicTimer
+from repro.rtp.packetizer import Packetizer
+from repro.rtp.packets import RtpPacket, timestamp_for
+from repro.rtp.rtcp import ReceiverReport, SenderReport, rtt_from_block
+from repro.video.encoder import EncoderModel
+from repro.video.source import SourceVideo
+
+#: Interval between RTCP sender reports (RFC 3550 scaled for video).
+SENDER_REPORT_INTERVAL = 1.0
+
+
+@dataclass
+class SenderStats:
+    """Counters exposed for analysis and tests."""
+
+    frames_encoded: int = 0
+    packets_sent: int = 0
+    bytes_sent: int = 0
+    queue_discards: int = 0
+    packets_discarded: int = 0
+
+
+class VideoSender:
+    """Encoder + RTP send queue + pacer, driven by a congestion controller."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        source: SourceVideo,
+        encoder: EncoderModel,
+        controller: CongestionController,
+        uplink: NetworkPath,
+        *,
+        ssrc: int = 0x1234,
+    ) -> None:
+        self._loop = loop
+        self.source = source
+        self.encoder = encoder
+        self.controller = controller
+        self.uplink = uplink
+        self.packetizer = Packetizer(
+            ssrc,
+            use_transport_seq=controller.uses_transport_seq,
+        )
+        self.ssrc = ssrc
+        #: (packet, enqueue_time) FIFO awaiting pacing.
+        self._queue: deque[tuple[RtpPacket, float]] = deque()
+        self._queued_bytes = 0
+        self._pacer_busy = False
+        self.stats = SenderStats()
+        self._frame_timer: PeriodicTimer | None = None
+        self._sr_timer: PeriodicTimer | None = None
+        #: (time, rtt) samples from RFC 3550 LSR/DLSR round trips —
+        #: available for every workload, including static runs.
+        self.rtt_samples: list[tuple[float, float]] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin producing frames at the source frame rate."""
+        if self._frame_timer is not None:
+            raise RuntimeError("sender already started")
+        self._frame_timer = PeriodicTimer(
+            self._loop, self.source.frame_interval, self._on_frame_tick
+        )
+        self._sr_timer = PeriodicTimer(
+            self._loop, SENDER_REPORT_INTERVAL, self._send_sender_report
+        )
+
+    def stop(self) -> None:
+        """Stop frame production (queued packets still drain)."""
+        if self._frame_timer is not None:
+            self._frame_timer.stop()
+        if self._sr_timer is not None:
+            self._sr_timer.stop()
+
+    def _send_sender_report(self) -> None:
+        now = self._loop.now
+        report = SenderReport(
+            ssrc=self.ssrc,
+            ntp_time=now,
+            rtp_timestamp=timestamp_for(now),
+            packet_count=self.stats.packets_sent,
+            octet_count=self.stats.bytes_sent,
+        )
+        self.uplink.send(
+            Datagram(
+                size_bytes=report.wire_size + IP_UDP_OVERHEAD_BYTES,
+                payload=report,
+            )
+        )
+
+    def on_receiver_report(self, report: ReceiverReport, now: float) -> None:
+        """Fold an RFC 3550 RR into the sender's RTT log."""
+        for block in report.blocks:
+            if block.ssrc != self.ssrc:
+                continue
+            rtt = rtt_from_block(block, now)
+            if rtt is not None:
+                self.rtt_samples.append((now, rtt))
+
+    # ------------------------------------------------------------------
+    # queue state
+    # ------------------------------------------------------------------
+    @property
+    def queue_delay(self) -> float:
+        """Age of the oldest queued RTP packet in seconds."""
+        if not self._queue:
+            return 0.0
+        return self._loop.now - self._queue[0][1]
+
+    @property
+    def queued_bytes(self) -> int:
+        """Bytes waiting in the RTP send queue."""
+        return self._queued_bytes
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+    def _on_frame_tick(self) -> None:
+        now = self._loop.now
+        self.encoder.set_target_bitrate(self.controller.target_bitrate(now))
+        frame = self.source.next_frame(now)
+        encoded = self.encoder.encode(frame)
+        self.stats.frames_encoded += 1
+        # The encoded frame becomes available after the encode latency.
+        self._loop.call_later(
+            encoded.encode_latency, lambda: self._enqueue_frame_packets(encoded)
+        )
+
+    def _enqueue_frame_packets(self, encoded) -> None:
+        now = self._loop.now
+        self._maybe_discard_queue(now)
+        for packet in self.packetizer.packetize(encoded, now):
+            self._queue.append((packet, now))
+            self._queued_bytes += packet.wire_size
+        self._report_queue_state(now)
+        self._pump()
+
+    def _maybe_discard_queue(self, now: float) -> None:
+        threshold = getattr(self.controller, "rtp_queue_discard_threshold", None)
+        if threshold is None or not self._queue:
+            return
+        if now - self._queue[0][1] > threshold:
+            self.stats.queue_discards += 1
+            self.stats.packets_discarded += len(self._queue)
+            self._queue.clear()
+            self._queued_bytes = 0
+
+    def _report_queue_state(self, now: float) -> None:
+        self.controller.on_queue_state(self.queue_delay, self._queued_bytes, now)
+
+    # ------------------------------------------------------------------
+    # pacing
+    # ------------------------------------------------------------------
+    def _pump(self) -> None:
+        if self._pacer_busy:
+            return
+        self._send_next()
+
+    def _send_next(self) -> None:
+        self._pacer_busy = False
+        if not self._queue:
+            return
+        now = self._loop.now
+        packet, _ = self._queue[0]
+        in_flight = getattr(self.controller, "bytes_in_flight", 0)
+        if not self.controller.can_send(in_flight, packet.wire_size, now):
+            # Window-blocked: poll again shortly (feedback will open it).
+            self._pacer_busy = True
+            self._loop.call_later(0.002, self._send_next)
+            return
+        self._queue.popleft()
+        self._queued_bytes -= packet.wire_size
+        datagram = Datagram(
+            size_bytes=packet.wire_size + IP_UDP_OVERHEAD_BYTES,
+            payload=packet,
+        )
+        self.uplink.send(datagram)
+        self.stats.packets_sent += 1
+        self.stats.bytes_sent += packet.wire_size
+        self.controller.on_packet_sent(
+            SentPacket(
+                sequence=packet.sequence,
+                transport_seq=packet.transport_seq,
+                size_bytes=packet.wire_size,
+                send_time=now,
+                frame_id=packet.frame_id,
+            ),
+            now,
+        )
+        self._report_queue_state(now)
+        rate = self.controller.pacing_rate(now)
+        if rate == float("inf"):
+            delay = 0.0
+        else:
+            delay = packet.wire_size * 8.0 / max(rate, 1e4)
+        self._pacer_busy = True
+        self._loop.call_later(delay, self._send_next)

@@ -1,0 +1,237 @@
+"""Session assembly: build a full measurement run and execute it.
+
+``run_session(config)`` is the library's main entry point. It wires
+
+  trajectory -> cellular channel -> uplink/downlink paths
+  source -> encoder -> packetizer -> pacer -> uplink
+  uplink -> jitter buffer -> assembler -> decoder -> player
+  receiver feedback -> downlink -> congestion controller
+
+runs the event loop for the configured duration, and returns a
+:class:`SessionResult` holding every log the paper's dataset contains
+(per-packet transport log, per-frame playback records, CC state log,
+RRC handover events, 1 Hz RSSI reports, capacity samples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cc.base import CongestionController, StaticBitrateController
+from repro.cc.gcc import GccController
+from repro.cc.scream import ScreamController
+from repro.cellular.channel import CapacitySample, CellularChannel, ChannelConfig, RssiReport
+from repro.cellular.handover import HandoverEvent
+from repro.cellular.operators import get_profile
+from repro.cellular.propagation import PropagationConfig
+from repro.core.config import CcAlgorithm, Environment, Platform, ScenarioConfig
+from repro.core.receiver import PacketLogEntry, VideoReceiver
+from repro.core.sender import SenderStats, VideoSender
+from repro.flight.trajectory import (
+    WaypointTrajectory,
+    ground_trajectory,
+    paper_flight_trajectory,
+)
+from repro.net.loss import GilbertElliottLoss
+from repro.net.path import NetworkPath
+from repro.net.simulator import EventLoop
+from repro.util.rng import RngStreams
+from repro.video.encoder import EncoderModel
+from repro.video.player import PlaybackRecord
+from repro.video.source import SourceVideo
+
+
+@dataclass
+class SessionResult:
+    """All artifacts of one simulated measurement run."""
+
+    config: ScenarioConfig
+    duration: float
+    packet_log: list[PacketLogEntry]
+    playback: list[PlaybackRecord]
+    handovers: list[HandoverEvent]
+    capacity_samples: list[CapacitySample]
+    rssi_log: list[RssiReport]
+    sender_stats: SenderStats
+    cc_log: list = field(default_factory=list)
+    cells_seen: int = 0
+    packets_sent: int = 0
+    packets_lost_radio: int = 0
+    packets_dropped_buffer: int = 0
+    frames_decoded: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def packet_loss_rate(self) -> float:
+        """End-to-end fraction of sent packets that never arrived."""
+        if self.packets_sent == 0:
+            return 0.0
+        delivered = len(self.packet_log)
+        return max(0.0, 1.0 - delivered / self.packets_sent)
+
+
+def build_controller(config: ScenarioConfig) -> CongestionController:
+    """Instantiate the bitrate controller the config asks for."""
+    if config.cc is CcAlgorithm.STATIC:
+        return StaticBitrateController(config.effective_static_bitrate)
+    if config.cc is CcAlgorithm.GCC:
+        return GccController(
+            initial_bitrate=config.min_bitrate,
+            min_bitrate=config.min_bitrate,
+            max_bitrate=config.max_bitrate,
+        )
+    if config.cc is CcAlgorithm.SCREAM:
+        return ScreamController(
+            initial_bitrate=config.min_bitrate,
+            min_bitrate=config.min_bitrate,
+            max_bitrate=config.max_bitrate,
+        )
+    raise ValueError(f"unknown cc {config.cc!r}")
+
+
+def build_trajectory(
+    config: ScenarioConfig, streams: RngStreams
+) -> WaypointTrajectory:
+    """Instantiate the platform trajectory for a run."""
+    if config.platform is Platform.AIR:
+        return paper_flight_trajectory()
+    return ground_trajectory(
+        duration=config.duration,
+        rng=streams.derive("ground-route"),
+    )
+
+
+def build_channel_config(config: ScenarioConfig) -> ChannelConfig:
+    """Channel behaviour knobs per environment, honouring overrides."""
+    if config.environment is Environment.URBAN:
+        channel_config = ChannelConfig(
+            propagation=PropagationConfig.urban(),
+            fading_std_air_db=1.5,
+        )
+    else:
+        # Rural: fewer, more distant cells fluctuate less against each
+        # other, so the aerial side-lobe churn is milder -> the lower
+        # handover frequency of Fig. 4(a)'s rural boxplots. Capacity
+        # fluctuations are slower (shadowing-scale) but proportionally
+        # large at the low rural SNR.
+        channel_config = ChannelConfig(
+            propagation=PropagationConfig.rural(),
+            air_fastfade_std_db=2.0,
+            fading_std_air_db=1.8,
+            fading_corr_time=0.6,
+        )
+    a3 = config.extra.get("a3")
+    if a3 is not None:
+        channel_config.a3 = a3
+    het = config.extra.get("het")
+    if het is not None:
+        channel_config.het = het
+    if config.extra.get("make_before_break"):
+        channel_config.make_before_break = True
+    return channel_config
+
+
+def run_session(config: ScenarioConfig) -> SessionResult:
+    """Execute one measurement run and collect its dataset."""
+    loop = EventLoop()
+    streams = RngStreams(config.seed)
+    profile = get_profile(config.operator, config.environment.value)
+    layout = profile.build_layout(streams.derive("layout"))
+    trajectory = build_trajectory(config, streams)
+    channel = CellularChannel(
+        loop,
+        layout,
+        profile,
+        trajectory,
+        streams.child("channel"),
+        config=build_channel_config(config),
+    )
+
+    controller = build_controller(config)
+    if config.cc is CcAlgorithm.SCREAM and "ramp_up_speed" in config.extra:
+        controller.rate.ramp_up_speed = config.extra["ramp_up_speed"]
+
+    receiver_holder: list[VideoReceiver] = []
+
+    uplink = NetworkPath(
+        loop,
+        channel.uplink_rate,
+        lambda datagram: receiver_holder[0].on_datagram(datagram),
+        base_delay=config.base_owd,
+        jitter_std=config.owd_jitter_std,
+        loss_model=GilbertElliottLoss.from_rate_and_burst(
+            config.loss_rate, config.loss_mean_burst, streams.derive("loss-up")
+        ),
+        buffer_bytes=config.uplink_buffer_bytes,
+        rng=streams.derive("jitter-up"),
+    )
+    downlink = NetworkPath(
+        loop,
+        channel.downlink_rate,
+        lambda datagram: receiver_holder[0].on_feedback_delivered(datagram),
+        base_delay=config.base_owd,
+        jitter_std=config.owd_jitter_std,
+        loss_model=GilbertElliottLoss.from_rate_and_burst(
+            config.loss_rate, config.loss_mean_burst, streams.derive("loss-down")
+        ),
+        buffer_bytes=config.uplink_buffer_bytes,
+        rng=streams.derive("jitter-down"),
+    )
+    channel.attach_path(uplink)
+    channel.attach_path(downlink)
+
+    source = SourceVideo(streams.derive("source"), fps=config.fps)
+    encoder = EncoderModel(
+        streams.derive("encoder"),
+        fps=config.fps,
+        min_bitrate=config.min_bitrate,
+        max_bitrate=config.max_bitrate,
+        initial_bitrate=controller.target_bitrate(0.0),
+    )
+    sender = VideoSender(loop, source, encoder, controller, uplink)
+    receiver = VideoReceiver(
+        loop,
+        controller,
+        downlink,
+        fps=config.fps,
+        jitter_buffer_latency=config.jitter_buffer_latency,
+        drop_on_latency=config.jitter_buffer_drop_on_latency,
+        scream_ack_window=config.scream_ack_window,
+    )
+    receiver_holder.append(receiver)
+    receiver.on_receiver_report = sender.on_receiver_report
+
+    channel.start()
+    sender.start()
+    receiver.start()
+    loop.run_until(config.duration)
+    sender.stop()
+    receiver.stop()
+
+    extra: dict = {}
+    if isinstance(controller, ScreamController):
+        extra["false_loss_candidates"] = controller.false_loss_candidates
+        extra["detected_losses"] = controller.detected_losses
+    if isinstance(controller, GccController):
+        extra["overuse_events"] = controller.overuse_events
+    extra["ping_pong_handovers"] = channel.engine.ping_pong_count()
+    extra["jitter_dropped_late"] = receiver.jitter_buffer.dropped_late_packets
+    extra["rtt_samples"] = list(sender.rtt_samples)
+
+    return SessionResult(
+        config=config,
+        duration=config.duration,
+        packet_log=receiver.packet_log,
+        playback=receiver.player.records,
+        handovers=list(channel.engine.events),
+        capacity_samples=channel.samples,
+        rssi_log=channel.rssi_log,
+        sender_stats=sender.stats,
+        cc_log=controller.log,
+        cells_seen=len(channel.cells_seen),
+        packets_sent=sender.stats.packets_sent,
+        packets_lost_radio=uplink.lost_packets,
+        packets_dropped_buffer=uplink.capacity_link.stats.dropped_overflow,
+        frames_decoded=receiver.decoder.frames_decoded,
+        extra=extra,
+    )

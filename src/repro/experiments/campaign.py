@@ -1,0 +1,205 @@
+"""Campaign drivers: run scenario matrices and lightweight probes.
+
+Three run modes with very different costs:
+
+* :func:`run_matrix` — full video-pipeline sessions (expensive; used
+  by the video-performance figures);
+* :func:`run_channel_probe` — cellular channel only, no video
+  (cheap; used by Fig. 4's handover statistics, which in the paper
+  come from RRC logs independent of the video workload);
+* :func:`run_ping_probe` — small ICMP-like probes over the channel
+  (cheap; used by Fig. 13's altitude-vs-RTT analysis, which the paper
+  measured with pings "without cross traffic").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cellular.channel import CellularChannel
+from repro.cellular.handover import HandoverEvent
+from repro.cellular.operators import get_profile
+from repro.core.config import ScenarioConfig
+from repro.core.session import (
+    SessionResult,
+    build_channel_config,
+    build_trajectory,
+    run_session,
+)
+from repro.experiments.settings import ExperimentSettings
+from repro.net.packet import Datagram
+from repro.net.path import NetworkPath
+from repro.net.simulator import EventLoop, PeriodicTimer
+from repro.util.rng import RngStreams
+
+
+def run_matrix(
+    base_configs: list[ScenarioConfig], settings: ExperimentSettings
+) -> dict[str, list[SessionResult]]:
+    """Run every config across the settings' seeds.
+
+    Returns results grouped by the config's label (seed excluded), one
+    entry per seed.
+    """
+    grouped: dict[str, list[SessionResult]] = {}
+    for base in base_configs:
+        for seed in settings.seeds:
+            config = base.with_overrides(seed=seed, duration=settings.duration)
+            result = run_session(config)
+            key = _series_label(config)
+            grouped.setdefault(key, []).append(result)
+    return grouped
+
+
+def _series_label(config: ScenarioConfig) -> str:
+    return f"{config.cc.value}-{config.environment.value}-{config.platform.value}-{config.operator}"
+
+
+@dataclass
+class ChannelProbeResult:
+    """Channel-only observation of one scenario across seeds."""
+
+    label: str
+    handovers: list[HandoverEvent]
+    duration_total: float
+    uplink_samples: list[float]
+    altitudes: list[float]
+    cells_seen: int
+    ping_pong: int
+
+    @property
+    def ho_frequency(self) -> float:
+        """Handovers per second across all seeds."""
+        return len(self.handovers) / self.duration_total
+
+    @property
+    def het_values(self) -> list[float]:
+        """All handover execution times, seconds."""
+        return [event.execution_time for event in self.handovers]
+
+
+def run_channel_probe(
+    config: ScenarioConfig, settings: ExperimentSettings
+) -> ChannelProbeResult:
+    """Run the cellular channel alone (no video) across seeds."""
+    handovers: list[HandoverEvent] = []
+    uplink: list[float] = []
+    altitudes: list[float] = []
+    cells: set[tuple[int, int]] = set()
+    ping_pong = 0
+    for seed in settings.seeds:
+        run_config = config.with_overrides(seed=seed, duration=settings.duration)
+        loop = EventLoop()
+        streams = RngStreams(seed)
+        profile = get_profile(run_config.operator, run_config.environment.value)
+        layout = profile.build_layout(streams.derive("layout"))
+        trajectory = build_trajectory(run_config, streams)
+        channel = CellularChannel(
+            loop,
+            layout,
+            profile,
+            trajectory,
+            streams.child("channel"),
+            config=build_channel_config(run_config),
+        )
+        channel.start()
+        loop.run_until(settings.duration)
+        handovers.extend(channel.engine.events)
+        uplink.extend(sample.uplink_bps for sample in channel.samples)
+        altitudes.extend(sample.altitude for sample in channel.samples)
+        cells.update((seed, cell) for cell in channel.cells_seen)
+        ping_pong += channel.engine.ping_pong_count()
+    return ChannelProbeResult(
+        label=_series_label(config),
+        handovers=handovers,
+        duration_total=settings.duration * len(settings.seeds),
+        uplink_samples=uplink,
+        altitudes=altitudes,
+        cells_seen=len(cells),
+        ping_pong=ping_pong,
+    )
+
+
+@dataclass
+class PingSample:
+    """One echo measurement: send time, RTT and altitude at send."""
+
+    time: float
+    rtt: float
+    altitude: float
+
+
+def run_ping_probe(
+    config: ScenarioConfig,
+    settings: ExperimentSettings,
+    *,
+    rate_hz: float = 20.0,
+    ping_bytes: int = 92,  # 64-byte ICMP payload + headers
+) -> list[PingSample]:
+    """Measure echo RTTs over the cellular channel (Fig. 13 workload)."""
+    samples: list[PingSample] = []
+    for seed in settings.seeds:
+        run_config = config.with_overrides(seed=seed, duration=settings.duration)
+        loop = EventLoop()
+        streams = RngStreams(seed)
+        profile = get_profile(run_config.operator, run_config.environment.value)
+        layout = profile.build_layout(streams.derive("layout"))
+        trajectory = build_trajectory(run_config, streams)
+        channel = CellularChannel(
+            loop,
+            layout,
+            profile,
+            trajectory,
+            streams.child("channel"),
+            config=build_channel_config(run_config),
+        )
+
+        downlink_holder: list[NetworkPath] = []
+
+        def on_echo(datagram: Datagram) -> None:
+            sent_time, altitude = datagram.payload
+            samples.append(
+                PingSample(
+                    time=sent_time,
+                    rtt=loop.now - sent_time,
+                    altitude=altitude,
+                )
+            )
+
+        def on_uplink_delivery(datagram: Datagram) -> None:
+            echo = Datagram(size_bytes=datagram.size_bytes, payload=datagram.payload)
+            downlink_holder[0].send(echo)
+
+        uplink = NetworkPath(
+            loop,
+            channel.uplink_rate,
+            on_uplink_delivery,
+            base_delay=run_config.base_owd,
+            jitter_std=run_config.owd_jitter_std,
+            rng=streams.derive("jitter-up"),
+        )
+        downlink = NetworkPath(
+            loop,
+            channel.downlink_rate,
+            on_echo,
+            base_delay=run_config.base_owd,
+            jitter_std=run_config.owd_jitter_std,
+            rng=streams.derive("jitter-down"),
+        )
+        downlink_holder.append(downlink)
+        channel.attach_path(uplink)
+        channel.attach_path(downlink)
+
+        def send_ping() -> None:
+            position = trajectory.position(loop.now)
+            uplink.send(
+                Datagram(
+                    size_bytes=ping_bytes,
+                    payload=(loop.now, position.altitude),
+                )
+            )
+
+        channel.start()
+        PeriodicTimer(loop, 1.0 / rate_hz, send_ping)
+        loop.run_until(settings.duration)
+    return samples

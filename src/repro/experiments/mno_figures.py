@@ -1,0 +1,182 @@
+"""Experiment runners for the operator-comparison figures.
+
+* Fig. 10 — rural throughput and handover frequency, P1 vs P2;
+* Fig. 12 — the full video-performance comparison over both
+  operators in the rural environment (Appendix A.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.render import format_table, render_boxplots, render_cdf
+from repro.core.config import ScenarioConfig
+from repro.experiments.campaign import (
+    ChannelProbeResult,
+    run_channel_probe,
+    run_matrix,
+)
+from repro.experiments.settings import ExperimentSettings
+from repro.metrics.stats import BoxplotSummary, Cdf
+from repro.metrics.network import goodput_series
+from repro.metrics.video import (
+    RP_LATENCY_THRESHOLD,
+    SSIM_THRESHOLD,
+    fps_series,
+    playback_latencies,
+    ssim_samples,
+)
+
+
+@dataclass
+class Fig10Result:
+    """Fig. 10: rural capacity and HO frequency per operator."""
+
+    throughput: dict[str, BoxplotSummary]  # operator -> Mbps summary
+    probes: dict[str, ChannelProbeResult]  # operator -> channel probe
+
+    def mean_throughput(self, operator: str) -> float:
+        """Mean rural uplink capacity of ``operator`` in Mbps."""
+        return self.throughput[operator].mean
+
+    def ho_frequency(self, operator: str) -> float:
+        """Aerial handover rate of ``operator`` in the rural area."""
+        return self.probes[operator].ho_frequency
+
+    def render(self) -> str:
+        """Text rendering of both panels."""
+        part_a = render_boxplots(
+            self.throughput,
+            title="Fig 10(a): rural uplink capacity per operator (Mbps)",
+            unit="Mbps",
+        )
+        part_b = format_table(
+            ["operator", "HO/s (air)", "cells seen"],
+            [
+                [op, f"{probe.ho_frequency:.3f}", str(probe.cells_seen)]
+                for op, probe in self.probes.items()
+            ],
+            title="Fig 10(b): rural handover frequency per operator",
+        )
+        return part_a + "\n\n" + part_b
+
+
+def fig10_operators(settings: ExperimentSettings) -> Fig10Result:
+    """Probe the rural channel for both operators."""
+    throughput = {}
+    probes = {}
+    for operator in ("P1", "P2"):
+        config = ScenarioConfig(
+            environment="rural", platform="air", cc="static", operator=operator
+        )
+        probe = run_channel_probe(config, settings)
+        probes[operator] = probe
+        throughput[operator] = BoxplotSummary.from_samples(
+            [rate / 1e6 for rate in probe.uplink_samples]
+        )
+    return Fig10Result(throughput=throughput, probes=probes)
+
+
+@dataclass
+class Fig12Result:
+    """Fig. 12: rural video performance per method and operator."""
+
+    goodput: dict[str, BoxplotSummary]
+    fps: dict[str, Cdf]
+    latency: dict[str, Cdf]
+    ssim: dict[str, Cdf]
+
+    def mean_goodput(self, cc: str, operator: str) -> float:
+        """Mean goodput (Mbps) of one method over one operator."""
+        return self.goodput[f"{cc}-rural-air-{operator}"].mean
+
+    def ssim_above_threshold(self, cc: str, operator: str) -> float:
+        """Fraction of frames meeting the SSIM threshold."""
+        return self.ssim[f"{cc}-rural-air-{operator}"].fraction_above(
+            SSIM_THRESHOLD
+        )
+
+    def latency_below_threshold(self, cc: str, operator: str) -> float:
+        """Fraction of frames within the RP latency threshold."""
+        return self.latency[f"{cc}-rural-air-{operator}"].fraction_below(
+            RP_LATENCY_THRESHOLD
+        )
+
+    def render(self) -> str:
+        """Text rendering of all four panels."""
+        blocks = [
+            render_boxplots(
+                self.goodput,
+                title="Fig 12(a): rural goodput per operator (Mbps)",
+                unit="Mbps",
+            ),
+            render_cdf(
+                self.fps,
+                [1, 10, 20, 28, 30],
+                title="Fig 12(b): FPS CDF",
+                fmt="{:.0f}",
+            ),
+            render_cdf(
+                self.latency,
+                [0.15, 0.2, 0.3, 0.5, 1.0],
+                title="Fig 12(c): playback latency CDF (s)",
+                unit="s",
+            ),
+            render_cdf(
+                self.ssim,
+                [0.25, 0.5, 0.75, 0.9],
+                title="Fig 12(d): SSIM CDF",
+            ),
+        ]
+        return "\n\n".join(blocks)
+
+
+def fig12_mno(settings: ExperimentSettings) -> Fig12Result:
+    """Run the rural matrix over both operators."""
+    # The paper's static rural bitrate was picked for P1 (8 Mbps); it
+    # is kept for P2 as well, matching the appendix methodology.
+    configs = [
+        ScenarioConfig(
+            environment="rural", platform="air", cc=cc, operator=operator
+        )
+        for cc in ("static", "scream", "gcc")
+        for operator in ("P1", "P2")
+    ]
+    grouped = run_matrix(configs, settings)
+    goodput: dict[str, BoxplotSummary] = {}
+    fps: dict[str, Cdf] = {}
+    latency: dict[str, Cdf] = {}
+    ssim: dict[str, Cdf] = {}
+    for label, results in grouped.items():
+        goodput_samples: list[float] = []
+        fps_samples: list[float] = []
+        lat_samples: list[float] = []
+        ssim_vals: list[float] = []
+        for result in results:
+            goodput_samples.extend(
+                rate / 1e6
+                for t, rate in goodput_series(
+                    result.packet_log, duration=result.duration
+                )
+                if t >= settings.warmup
+            )
+            playback = [
+                r for r in result.playback if r.play_time >= settings.warmup
+            ]
+            fps_samples.extend(
+                value
+                for t, value in fps_series(playback, duration=result.duration)
+                if t >= settings.warmup
+            )
+            lat_samples.extend(playback_latencies(playback))
+            frames_encoded = max(
+                result.sender_stats.frames_encoded
+                - int(settings.warmup * result.config.fps),
+                1,
+            )
+            ssim_vals.extend(ssim_samples(playback, frames_encoded=frames_encoded))
+        goodput[label] = BoxplotSummary.from_samples(goodput_samples)
+        fps[label] = Cdf.from_samples(fps_samples)
+        latency[label] = Cdf.from_samples(lat_samples)
+        ssim[label] = Cdf.from_samples(ssim_vals)
+    return Fig12Result(goodput=goodput, fps=fps, latency=latency, ssim=ssim)

@@ -1,0 +1,239 @@
+"""Experiment runners for the network-level figures (Section 4.1).
+
+* Fig. 4 — handover frequency and HET, air vs ground, urban vs rural;
+* Fig. 5 — one-way latency CDFs, air vs ground, urban vs rural;
+* Fig. 9 — max/min latency ratio in 1 s windows around handovers;
+* Fig. 13 — ping RTT by altitude band.
+
+Each runner returns a small dataclass with the figure's series plus a
+``render()`` text block mirroring the published plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.render import format_table, render_boxplots, render_cdf
+from repro.cellular.handover import HET_SUCCESS_THRESHOLD
+from repro.core.config import ScenarioConfig
+from repro.experiments.campaign import (
+    ChannelProbeResult,
+    run_channel_probe,
+    run_matrix,
+    run_ping_probe,
+)
+from repro.experiments.settings import ExperimentSettings
+from repro.metrics.howindow import HoRatioSummary, handover_latency_ratios
+from repro.metrics.stats import BoxplotSummary, Cdf
+from repro.metrics.network import one_way_delays
+
+
+def _scenarios_air_ground() -> list[ScenarioConfig]:
+    return [
+        ScenarioConfig(environment=env, platform=plat, cc="static")
+        for env in ("urban", "rural")
+        for plat in ("air", "ground")
+    ]
+
+
+@dataclass
+class Fig4Result:
+    """Fig. 4: handover statistics per scenario."""
+
+    probes: dict[str, ChannelProbeResult]
+
+    def ho_frequency(self, label: str) -> float:
+        """Handover rate (events/s) for a scenario label."""
+        return self.probes[label].ho_frequency
+
+    def het_summary(self, label: str) -> BoxplotSummary | None:
+        """HET boxplot summary for a scenario label."""
+        values = self.probes[label].het_values
+        if not values:
+            return None
+        return BoxplotSummary.from_samples(values)
+
+    def render(self) -> str:
+        """Text rendering of Fig. 4(a) and (b)."""
+        freq_rows = []
+        for label, probe in self.probes.items():
+            hets = probe.het_values
+            success = (
+                sum(1 for h in hets if h <= HET_SUCCESS_THRESHOLD) / len(hets)
+                if hets
+                else float("nan")
+            )
+            freq_rows.append(
+                [
+                    label,
+                    f"{probe.ho_frequency:.3f}",
+                    str(len(probe.handovers)),
+                    f"{success:.2f}",
+                    str(probe.ping_pong),
+                    str(probe.cells_seen),
+                ]
+            )
+        part_a = format_table(
+            ["scenario", "HO/s", "count", "HET<=49.5ms", "ping-pong", "cells"],
+            freq_rows,
+            title="Fig 4(a): handover frequency (air vs ground)",
+        )
+        part_b = render_boxplots(
+            {label: self.het_summary(label) for label in self.probes},
+            title="Fig 4(b): handover execution time (ms)",
+            scale=1e3,
+            unit="ms",
+        )
+        return part_a + "\n\n" + part_b
+
+
+def fig4_handover(settings: ExperimentSettings) -> Fig4Result:
+    """Run the Fig. 4 scenario matrix (channel-only, cheap)."""
+    probes = {}
+    for config in _scenarios_air_ground():
+        probe = run_channel_probe(config, settings)
+        probes[probe.label] = probe
+    return Fig4Result(probes=probes)
+
+
+@dataclass
+class Fig5Result:
+    """Fig. 5: one-way latency CDFs per scenario."""
+
+    cdfs: dict[str, Cdf]
+
+    def fraction_below(self, label: str, threshold: float) -> float:
+        """CDF value at ``threshold`` seconds for one scenario."""
+        return self.cdfs[label].fraction_below(threshold)
+
+    def render(self) -> str:
+        """Text rendering of the Fig. 5 CDF."""
+        points = [0.02, 0.03, 0.05, 0.1, 0.2, 0.5, 1.0]
+        return render_cdf(
+            self.cdfs,
+            points,
+            title="Fig 5: one-way latency CDF (x in seconds)",
+            unit="s",
+            fmt="{:.2f}",
+        )
+
+
+def fig5_latency(settings: ExperimentSettings) -> Fig5Result:
+    """Run the Fig. 5 matrix: static video over air/ground x urban/rural."""
+    grouped = run_matrix(_scenarios_air_ground(), settings)
+    cdfs = {}
+    for label, results in grouped.items():
+        delays: list[float] = []
+        for result in results:
+            delays.extend(one_way_delays(result.packet_log))
+        cdfs[label] = Cdf.from_samples(delays)
+    return Fig5Result(cdfs=cdfs)
+
+
+@dataclass
+class Fig9Result:
+    """Fig. 9: latency ratios around handovers."""
+
+    summary: HoRatioSummary
+    handover_count: int
+
+    def render(self) -> str:
+        """Text rendering of the before/after boxplots."""
+        return render_boxplots(
+            {"before HO": self.summary.before, "after HO": self.summary.after},
+            title=(
+                "Fig 9: max/min one-way-latency ratio in 1 s windows "
+                f"around {self.handover_count} aerial handovers"
+            ),
+        )
+
+
+def fig9_ho_ratio(settings: ExperimentSettings) -> Fig9Result:
+    """Pool latency ratios around handovers over aerial flights."""
+    configs = [
+        ScenarioConfig(environment=env, platform="air", cc="static")
+        for env in ("urban", "rural")
+    ]
+    grouped = run_matrix(configs, settings)
+    ratios = []
+    count = 0
+    for results in grouped.values():
+        for result in results:
+            count += len(result.handovers)
+            ratios.extend(
+                handover_latency_ratios(result.packet_log, result.handovers)
+            )
+    return Fig9Result(summary=HoRatioSummary.from_ratios(ratios), handover_count=count)
+
+
+#: Altitude bands of Fig. 13, metres above ground.
+ALTITUDE_BANDS = ((0.0, 20.0), (21.0, 60.0), (61.0, 100.0), (101.0, 140.0))
+
+
+@dataclass
+class Fig13Result:
+    """Fig. 13: ping RTT CDFs per altitude band and environment."""
+
+    cdfs: dict[str, dict[str, Cdf]]  # environment -> band -> cdf
+
+    def band_cdf(self, environment: str, band: str) -> Cdf:
+        """RTT CDF of one altitude band."""
+        return self.cdfs[environment][band]
+
+    def render(self) -> str:
+        """Text rendering of both panels."""
+        blocks = []
+        points = [0.04, 0.05, 0.07, 0.1, 0.2, 0.5, 1.0]
+        for environment, bands in self.cdfs.items():
+            blocks.append(
+                render_cdf(
+                    bands,
+                    points,
+                    title=f"Fig 13 ({environment}): ping RTT CDF by altitude band (s)",
+                    unit="s",
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def fig13_altitude(settings: ExperimentSettings) -> Fig13Result:
+    """Measure ping RTT by altitude band in both environments."""
+    cdfs: dict[str, dict[str, Cdf]] = {}
+    for environment in ("urban", "rural"):
+        config = ScenarioConfig(environment=environment, platform="air", cc="static")
+        samples = run_ping_probe(config, settings)
+        bands: dict[str, Cdf] = {}
+        for low, high in ALTITUDE_BANDS:
+            rtts = [s.rtt for s in samples if low <= s.altitude <= high]
+            if len(rtts) >= 10:
+                bands[f"{int(low)}-{int(high)}m"] = Cdf.from_samples(rtts)
+        cdfs[environment] = bands
+    return Fig13Result(cdfs=cdfs)
+
+
+def fig4_to_series(result: Fig4Result) -> dict[str, float]:
+    """Flatten Fig. 4 into the headline comparisons the paper makes."""
+    def freq(env: str, plat: str) -> float:
+        return result.ho_frequency(f"static-{env}-{plat}-P1")
+
+    air_urban = freq("urban", "air")
+    grd_urban = freq("urban", "ground")
+    air_rural = freq("rural", "air")
+    grd_rural = freq("rural", "ground")
+    hets = [
+        h
+        for label in result.probes
+        for h in result.probes[label].het_values
+    ]
+    return {
+        "air_urban_ho_s": air_urban,
+        "grd_urban_ho_s": grd_urban,
+        "air_rural_ho_s": air_rural,
+        "grd_rural_ho_s": grd_rural,
+        "air_over_ground_urban": air_urban / max(grd_urban, 1e-9),
+        "air_over_ground_rural": air_rural / max(grd_rural, 1e-9),
+        "het_median_ms": float(np.median(hets)) * 1e3 if hets else float("nan"),
+        "het_max_ms": float(np.max(hets)) * 1e3 if hets else float("nan"),
+    }

@@ -1,0 +1,41 @@
+"""Shared experiment settings.
+
+Every figure runner takes an :class:`ExperimentSettings`: how long
+each simulated run lasts, which seeds to average over, and how much
+start-of-run warm-up to exclude from steady-state metrics. The
+defaults trade fidelity for runtime (the paper flies ~6 minute
+flights; the benches default to 3 simulated minutes x 2 seeds, which
+regenerates every figure in a few minutes of wall time). Pass
+``ExperimentSettings.paper_scale()`` for full-length flights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Run-length and averaging parameters for experiment runners."""
+
+    duration: float = 180.0
+    seeds: tuple[int, ...] = (1, 2)
+    warmup: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive: {self.duration}")
+        if not self.seeds:
+            raise ValueError("need at least one seed")
+        if not 0 <= self.warmup < self.duration:
+            raise ValueError("warmup must lie within the run duration")
+
+    @classmethod
+    def quick(cls) -> "ExperimentSettings":
+        """Small setting for tests: one short run."""
+        return cls(duration=60.0, seeds=(1,), warmup=15.0)
+
+    @classmethod
+    def paper_scale(cls) -> "ExperimentSettings":
+        """Full-length flights over several seeds (slow)."""
+        return cls(duration=360.0, seeds=(1, 2, 3, 4, 5), warmup=30.0)

@@ -1,0 +1,111 @@
+"""Headline-statistics experiments (Section 4.1 / 4.2 numbers).
+
+* PER level and burstiness (paper: 0.06-0.07 %, consecutive drops);
+* stall rates per method (paper urban: static 0.11, SCReAM 0.89,
+  GCC 1.37 stalls/min).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.render import format_table
+from repro.core.config import ScenarioConfig
+from repro.core.session import run_session
+from repro.experiments.settings import ExperimentSettings
+from repro.metrics.network import LossMetrics
+from repro.metrics.video import StallMetrics
+
+
+@dataclass
+class PerResult:
+    """Packet-error-rate measurement across scenarios."""
+
+    loss_rates: dict[str, float]
+    mean_burst: float
+
+    def render(self) -> str:
+        """Text table next to the paper's 0.06-0.07 %."""
+        rows = [
+            [label, f"{rate * 100:.3f}%"] for label, rate in self.loss_rates.items()
+        ]
+        rows.append(["mean loss-burst length", f"{self.mean_burst:.1f} packets"])
+        return format_table(
+            ["scenario", "PER"],
+            rows,
+            title="Packet error rate (paper: 0.06-0.07 %, bursty)",
+        )
+
+
+def per_experiment(settings: ExperimentSettings) -> PerResult:
+    """Measure the end-to-end PER of static runs in both environments."""
+    loss_rates = {}
+    bursts: list[float] = []
+    for environment in ("urban", "rural"):
+        rates = []
+        for seed in settings.seeds:
+            config = ScenarioConfig(
+                environment=environment,
+                platform="air",
+                cc="static",
+                seed=seed,
+                duration=settings.duration,
+            )
+            result = run_session(config)
+            metrics = LossMetrics.from_result(result)
+            rates.append(metrics.loss_rate)
+            if metrics.mean_burst_length > 0:
+                bursts.append(metrics.mean_burst_length)
+        loss_rates[environment] = float(np.mean(rates))
+    return PerResult(
+        loss_rates=loss_rates,
+        mean_burst=float(np.mean(bursts)) if bursts else 0.0,
+    )
+
+
+@dataclass
+class StallResult:
+    """Stall rates per bitrate-control method (urban)."""
+
+    stalls_per_minute: dict[str, float]
+
+    def render(self) -> str:
+        """Text table next to the paper's stall rates."""
+        paper = {"static": 0.11, "scream": 0.89, "gcc": 1.37}
+        return format_table(
+            ["method", "stalls/min (measured)", "stalls/min (paper)"],
+            [
+                [cc, f"{rate:.2f}", f"{paper.get(cc, float('nan')):.2f}"]
+                for cc, rate in self.stalls_per_minute.items()
+            ],
+            title="Urban stall rates (inter-frame gap > 300 ms)",
+        )
+
+
+def stall_experiment(settings: ExperimentSettings) -> StallResult:
+    """Measure urban stall rates for all three methods."""
+    stalls = {}
+    for cc in ("static", "scream", "gcc"):
+        count = 0.0
+        minutes = 0.0
+        for seed in settings.seeds:
+            config = ScenarioConfig(
+                environment="urban",
+                platform="air",
+                cc=cc,
+                seed=seed,
+                duration=settings.duration,
+            )
+            result = run_session(config)
+            playback = [
+                r for r in result.playback if r.play_time >= settings.warmup
+            ]
+            metrics = StallMetrics.from_playback(
+                playback, duration=settings.duration - settings.warmup
+            )
+            count += metrics.stall_count
+            minutes += (settings.duration - settings.warmup) / 60.0
+        stalls[cc] = count / max(minutes, 1e-9)
+    return StallResult(stalls_per_minute=stalls)

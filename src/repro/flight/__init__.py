@@ -1,0 +1,19 @@
+"""UAV and ground-vehicle trajectories (Fig. 11, Appendix A.2)."""
+
+from repro.flight.trajectory import (
+    Position,
+    WaypointTrajectory,
+    paper_flight_trajectory,
+    ground_trajectory,
+    VERTICAL_SPEED,
+    CRUISE_SPEED,
+)
+
+__all__ = [
+    "Position",
+    "WaypointTrajectory",
+    "paper_flight_trajectory",
+    "ground_trajectory",
+    "VERTICAL_SPEED",
+    "CRUISE_SPEED",
+]

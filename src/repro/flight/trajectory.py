@@ -1,0 +1,179 @@
+"""Flight and ground trajectories.
+
+Reproduces the measurement trajectory of Appendix A.2 / Fig. 11: lift
+off vertically to 40 m, fly a ~200 m horizontal leap, repeat at 80 m
+and 120 m, then descend straight to the take-off location — about six
+minutes of air time. Ground (baseline) runs mimic the motorbike rides
+the authors used: horizontal movement at flight-like speeds at street
+level, including stationary periods (the paper notes the ground data
+set contains more time without horizontal movement).
+
+Positions are local ENU coordinates in metres; altitude is metres
+above ground.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Position:
+    """A point on the trajectory."""
+
+    x: float
+    y: float
+    altitude: float
+    speed: float = 0.0
+
+    def horizontal_distance_to(self, other: "Position") -> float:
+        """Ground-plane distance to ``other`` in metres."""
+        return float(np.hypot(self.x - other.x, self.y - other.y))
+
+    def distance_to(self, other: "Position") -> float:
+        """3-D distance to ``other`` in metres."""
+        return float(
+            np.sqrt(
+                (self.x - other.x) ** 2
+                + (self.y - other.y) ** 2
+                + (self.altitude - other.altitude) ** 2
+            )
+        )
+
+
+class WaypointTrajectory:
+    """Piecewise-linear trajectory through timed waypoints."""
+
+    def __init__(self, times: list[float], points: list[Position]) -> None:
+        if len(times) != len(points):
+            raise ValueError("times and points must have equal length")
+        if len(times) < 2:
+            raise ValueError("need at least two waypoints")
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ValueError("times must be strictly increasing")
+        self._times = times
+        self._points = points
+
+    @property
+    def duration(self) -> float:
+        """Total trajectory duration in seconds."""
+        return self._times[-1] - self._times[0]
+
+    def position(self, t: float) -> Position:
+        """Interpolated position at time ``t`` (clamped to the ends)."""
+        if t <= self._times[0]:
+            return self._points[0]
+        if t >= self._times[-1]:
+            return self._points[-1]
+        i = bisect.bisect_right(self._times, t) - 1
+        t0, t1 = self._times[i], self._times[i + 1]
+        p0, p1 = self._points[i], self._points[i + 1]
+        frac = (t - t0) / (t1 - t0)
+        dx = p1.x - p0.x
+        dy = p1.y - p0.y
+        dz = p1.altitude - p0.altitude
+        seg_len = float(np.sqrt(dx * dx + dy * dy + dz * dz))
+        speed = seg_len / (t1 - t0)
+        return Position(
+            x=p0.x + frac * dx,
+            y=p0.y + frac * dy,
+            altitude=p0.altitude + frac * dz,
+            speed=speed,
+        )
+
+
+#: Climb/descend rate of the DJI-M600-class platform (m/s).
+VERTICAL_SPEED = 2.5
+#: Median horizontal cruise speed reported in the paper (13 km/h).
+CRUISE_SPEED = 13.0 / 3.6
+
+
+def paper_flight_trajectory(
+    *,
+    leap_length: float = 200.0,
+    levels: tuple[float, ...] = (40.0, 80.0, 120.0),
+    cruise_speed: float = CRUISE_SPEED,
+    vertical_speed: float = VERTICAL_SPEED,
+    hover_time: float = 16.0,
+    origin: tuple[float, float] = (0.0, 0.0),
+) -> WaypointTrajectory:
+    """Build the Fig. 11 measurement trajectory.
+
+    Vertical climb to each level followed by a horizontal leap,
+    alternating direction, then a straight descent. The platform
+    hovers briefly at each waypoint (stabilization before the next
+    manoeuvre), which brings the air time to ~6 minutes as in
+    Appendix A.2.
+    """
+    times: list[float] = [0.0]
+    x0, y0 = origin
+    points: list[Position] = [Position(x0, y0, 0.0)]
+    t = 0.0
+    x = x0
+    altitude = 0.0
+    direction = 1.0
+
+    def add(new_t: float, position: Position) -> None:
+        times.append(new_t)
+        points.append(position)
+
+    for level in levels:
+        climb = (level - altitude) / vertical_speed
+        t += climb
+        altitude = level
+        add(t, Position(x, y0, altitude))
+        if hover_time > 0:
+            t += hover_time
+            add(t, Position(x, y0, altitude))
+        t += leap_length / cruise_speed
+        x += direction * leap_length
+        direction = -direction
+        add(t, Position(x, y0, altitude))
+        if hover_time > 0:
+            t += hover_time
+            add(t, Position(x, y0, altitude))
+    t += altitude / vertical_speed
+    add(t, Position(x, y0, 0.0))
+    return WaypointTrajectory(times, points)
+
+
+def ground_trajectory(
+    *,
+    duration: float = 360.0,
+    span: float = 600.0,
+    speed: float = CRUISE_SPEED,
+    idle_fraction: float = 0.35,
+    rng: np.random.Generator | None = None,
+    origin: tuple[float, float] = (0.0, 0.0),
+    altitude: float = 1.5,
+) -> WaypointTrajectory:
+    """Build a motorbike-style ground run.
+
+    Drives back and forth over ``span`` metres with interspersed
+    stationary periods totalling ``idle_fraction`` of the run.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    times: list[float] = [0.0]
+    x0, y0 = origin
+    points: list[Position] = [Position(x0, y0, altitude)]
+    t = 0.0
+    x = x0
+    direction = 1.0
+    while t < duration:
+        if rng.random() < idle_fraction:
+            dwell = float(rng.uniform(5.0, 30.0))
+            t += dwell
+            times.append(t)
+            points.append(Position(x, y0, altitude))
+            continue
+        leg = float(rng.uniform(0.3, 1.0)) * span
+        t += leg / speed
+        x += direction * leg
+        direction = -direction
+        times.append(t)
+        points.append(Position(x, y0, altitude))
+    return WaypointTrajectory(times, points)

@@ -1,0 +1,59 @@
+"""Metrics: statistics primitives, network and video reductions."""
+
+from repro.metrics.stats import BoxplotSummary, Cdf, windowed_rate
+from repro.metrics.network import (
+    HandoverMetrics,
+    LossMetrics,
+    one_way_delays,
+    owd_cdf,
+    goodput_series,
+    goodput_summary,
+    average_goodput,
+    network_summary,
+)
+from repro.metrics.video import (
+    RP_LATENCY_THRESHOLD,
+    SSIM_THRESHOLD,
+    fps_series,
+    fps_cdf,
+    playback_latencies,
+    playback_latency_cdf,
+    ssim_samples,
+    ssim_cdf,
+    StallMetrics,
+    VideoSummary,
+)
+from repro.metrics.howindow import (
+    HoWindowRatio,
+    HoRatioSummary,
+    handover_latency_ratios,
+    latency_ratio_in_window,
+)
+
+__all__ = [
+    "BoxplotSummary",
+    "Cdf",
+    "windowed_rate",
+    "HandoverMetrics",
+    "LossMetrics",
+    "one_way_delays",
+    "owd_cdf",
+    "goodput_series",
+    "goodput_summary",
+    "average_goodput",
+    "network_summary",
+    "RP_LATENCY_THRESHOLD",
+    "SSIM_THRESHOLD",
+    "fps_series",
+    "fps_cdf",
+    "playback_latencies",
+    "playback_latency_cdf",
+    "ssim_samples",
+    "ssim_cdf",
+    "StallMetrics",
+    "VideoSummary",
+    "HoWindowRatio",
+    "HoRatioSummary",
+    "handover_latency_ratios",
+    "latency_ratio_in_window",
+]

@@ -1,0 +1,174 @@
+"""Network-level metrics derived from a session's packet/RRC logs.
+
+Computes the Section 4.1 quantities: handover frequency (events/s),
+HET distributions, one-way latency, goodput and packet error rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cellular.handover import HET_SUCCESS_THRESHOLD, HandoverEvent
+from repro.core.receiver import PacketLogEntry
+from repro.core.session import SessionResult
+from repro.metrics.stats import BoxplotSummary, Cdf, windowed_rate
+
+
+@dataclass
+class HandoverMetrics:
+    """Handover statistics of one run (Fig. 4)."""
+
+    frequency_per_s: float
+    het_seconds: list[float]
+    successful_fraction: float
+    count: int
+
+    @classmethod
+    def from_events(
+        cls, events: list[HandoverEvent], duration: float
+    ) -> "HandoverMetrics":
+        """Reduce RRC handover events over a run of ``duration`` seconds."""
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        hets = [event.execution_time for event in events]
+        successful = (
+            sum(1 for h in hets if h <= HET_SUCCESS_THRESHOLD) / len(hets)
+            if hets
+            else 1.0
+        )
+        return cls(
+            frequency_per_s=len(events) / duration,
+            het_seconds=hets,
+            successful_fraction=successful,
+            count=len(events),
+        )
+
+    def het_summary(self) -> BoxplotSummary | None:
+        """Boxplot summary of HET values, or ``None`` without events."""
+        if not self.het_seconds:
+            return None
+        return BoxplotSummary.from_samples(self.het_seconds)
+
+
+def one_way_delays(packet_log: list[PacketLogEntry]) -> list[float]:
+    """Per-packet one-way delay samples (seconds)."""
+    return [entry.received_at - entry.sent_at for entry in packet_log]
+
+
+def owd_cdf(packet_log: list[PacketLogEntry]) -> Cdf:
+    """Empirical one-way-delay CDF (Fig. 5)."""
+    return Cdf.from_samples(one_way_delays(packet_log))
+
+
+def goodput_series(
+    packet_log: list[PacketLogEntry],
+    *,
+    window: float = 1.0,
+    duration: float | None = None,
+) -> list[tuple[float, float]]:
+    """Received-rate time series in bits/s per ``window`` seconds."""
+    return windowed_rate(
+        [entry.received_at for entry in packet_log],
+        [entry.size_bytes for entry in packet_log],
+        window=window,
+        t_start=0.0,
+        t_end=duration,
+    )
+
+
+def goodput_summary(
+    packet_log: list[PacketLogEntry],
+    *,
+    duration: float,
+    warmup: float = 0.0,
+) -> BoxplotSummary:
+    """Boxplot summary of per-second goodput (Fig. 6), in bits/s.
+
+    ``warmup`` seconds are excluded so CC ramp-up does not dominate the
+    lower tail when that is not the object of study.
+    """
+    series = [
+        rate
+        for t, rate in goodput_series(packet_log, duration=duration)
+        if t >= warmup
+    ]
+    return BoxplotSummary.from_samples(series)
+
+
+def average_goodput(
+    packet_log: list[PacketLogEntry], *, duration: float, warmup: float = 0.0
+) -> float:
+    """Mean received rate in bits/s over the run (after ``warmup``)."""
+    total = sum(
+        entry.size_bytes
+        for entry in packet_log
+        if entry.received_at >= warmup
+    )
+    span = max(duration - warmup, 1e-9)
+    return total * 8.0 / span
+
+
+@dataclass
+class LossMetrics:
+    """Packet error rate and burstiness (Section 4.1)."""
+
+    sent: int
+    delivered: int
+    loss_rate: float
+    mean_burst_length: float
+
+    @classmethod
+    def from_result(cls, result: SessionResult) -> "LossMetrics":
+        """Compute end-to-end loss stats for one run."""
+        sent = result.packets_sent
+        delivered = len(result.packet_log)
+        loss_rate = max(0.0, 1.0 - delivered / sent) if sent else 0.0
+        bursts = _loss_burst_lengths(result.packet_log)
+        mean_burst = float(np.mean(bursts)) if bursts else 0.0
+        return cls(
+            sent=sent,
+            delivered=delivered,
+            loss_rate=loss_rate,
+            mean_burst_length=mean_burst,
+        )
+
+
+def _loss_burst_lengths(packet_log: list[PacketLogEntry]) -> list[int]:
+    """Lengths of consecutive sequence-number gaps in the receive log.
+
+    The receive path is FIFO, so arrival order equals send order and a
+    jump of ``k`` in consecutive received frame-local sequence numbers
+    means ``k - 1`` packets were dropped back to back.
+    """
+    bursts: list[int] = []
+    previous: int | None = None
+    for entry in packet_log:
+        if previous is not None:
+            gap = (entry.sequence - previous) % (1 << 16)
+            if gap > 1:
+                bursts.append(gap - 1)
+        previous = entry.sequence
+    return bursts
+
+
+def network_summary(result: SessionResult) -> dict[str, float]:
+    """One-line network summary for reports."""
+    handovers = HandoverMetrics.from_events(result.handovers, result.duration)
+    loss = LossMetrics.from_result(result)
+    owds = one_way_delays(result.packet_log)
+    return {
+        "ho_per_s": handovers.frequency_per_s,
+        "het_median_ms": float(np.median(handovers.het_seconds) * 1e3)
+        if handovers.het_seconds
+        else 0.0,
+        "owd_median_ms": float(np.median(owds) * 1e3) if owds else 0.0,
+        "owd_p99_ms": float(np.percentile(owds, 99) * 1e3) if owds else 0.0,
+        "goodput_mbps": average_goodput(
+            result.packet_log, duration=result.duration
+        )
+        / 1e6,
+        "loss_rate": loss.loss_rate,
+        "cells_seen": float(result.cells_seen),
+    }

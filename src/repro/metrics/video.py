@@ -1,0 +1,151 @@
+"""Video-delivery metrics (Section 3.2 / 4.2 of the paper).
+
+* **FPS** — played frames per one-second window, compared against the
+  30 FPS source rate (Fig. 7a);
+* **playback latency** — encode-to-display per frame, with the RP
+  threshold of 300 ms (Fig. 7c);
+* **SSIM** — per-frame quality, counting never-played frames as 0 and
+  using the paper's 0.5 acceptability threshold (Fig. 7b);
+* **stalls** — inter-frame display gaps exceeding 300 ms, reported as
+  stalls/minute (Section 4.2.1: SCReAM 0.89, GCC 1.37, static 0.11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.session import SessionResult
+from repro.metrics.stats import Cdf
+from repro.video.player import PlaybackRecord
+
+#: RP latency / stall threshold the paper derives (~300 ms).
+RP_LATENCY_THRESHOLD = 0.300
+#: SSIM acceptability threshold for remote piloting (Section 4.2.3).
+SSIM_THRESHOLD = 0.5
+
+
+def fps_series(
+    playback: list[PlaybackRecord], *, duration: float, window: float = 1.0
+) -> list[tuple[float, float]]:
+    """Frames displayed per ``window`` over the run."""
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    edges = np.arange(0.0, duration + window, window)
+    times = np.asarray([record.play_time for record in playback], dtype=float)
+    counts, _ = np.histogram(times, bins=edges)
+    return [(float(edges[i]), float(counts[i] / window)) for i in range(len(counts))]
+
+
+def fps_cdf(
+    playback: list[PlaybackRecord], *, duration: float, warmup: float = 0.0
+) -> Cdf:
+    """CDF of the per-second frame rate (Fig. 7a)."""
+    samples = [
+        fps for t, fps in fps_series(playback, duration=duration) if t >= warmup
+    ]
+    return Cdf.from_samples(samples)
+
+
+def playback_latencies(playback: list[PlaybackRecord]) -> list[float]:
+    """Per-frame encode-to-display latency samples in seconds."""
+    return [record.playback_latency for record in playback]
+
+
+def playback_latency_cdf(playback: list[PlaybackRecord]) -> Cdf:
+    """CDF of the playback latency (Fig. 7c)."""
+    return Cdf.from_samples(playback_latencies(playback))
+
+
+def ssim_samples(
+    playback: list[PlaybackRecord], *, frames_encoded: int
+) -> list[float]:
+    """Per-frame SSIM, padding never-played frames with 0.
+
+    The paper scores a frame 0 "if the frame was not played"; frames
+    that were encoded but never displayed therefore count against the
+    quality distribution.
+    """
+    played = [record.ssim for record in playback]
+    missing = max(0, frames_encoded - len(played))
+    return played + [0.0] * missing
+
+
+def ssim_cdf(playback: list[PlaybackRecord], *, frames_encoded: int) -> Cdf:
+    """CDF of per-frame SSIM including unplayed frames (Fig. 7b)."""
+    return Cdf.from_samples(ssim_samples(playback, frames_encoded=frames_encoded))
+
+
+@dataclass
+class StallMetrics:
+    """Video stall accounting (inter-frame gap > 300 ms)."""
+
+    stall_count: int
+    stalls_per_minute: float
+    total_stall_time: float
+    longest_stall: float
+
+    @classmethod
+    def from_playback(
+        cls,
+        playback: list[PlaybackRecord],
+        *,
+        duration: float,
+        threshold: float = RP_LATENCY_THRESHOLD,
+    ) -> "StallMetrics":
+        """Detect stalls in the playback record of one run."""
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        gaps = [
+            b.play_time - a.play_time
+            for a, b in zip(playback, playback[1:])
+        ]
+        stalls = [gap for gap in gaps if gap > threshold]
+        return cls(
+            stall_count=len(stalls),
+            stalls_per_minute=len(stalls) / (duration / 60.0),
+            total_stall_time=float(sum(stalls)),
+            longest_stall=float(max(stalls)) if stalls else 0.0,
+        )
+
+
+@dataclass
+class VideoSummary:
+    """The headline per-run video numbers the paper reports."""
+
+    mean_fps: float
+    fraction_full_fps: float
+    latency_below_threshold: float
+    median_latency_ms: float
+    ssim_above_threshold: float
+    median_ssim: float
+    stalls_per_minute: float
+    frames_played: int
+
+    @classmethod
+    def from_result(
+        cls, result: SessionResult, *, warmup: float = 0.0
+    ) -> "VideoSummary":
+        """Compute the summary for one session."""
+        playback = [r for r in result.playback if r.play_time >= warmup]
+        if not playback:
+            return cls(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0)
+        duration = result.duration
+        fps = fps_cdf(playback, duration=duration, warmup=warmup)
+        latency = playback_latency_cdf(playback)
+        frames_encoded = max(
+            result.sender_stats.frames_encoded - int(warmup * result.config.fps), 1
+        )
+        ssim = ssim_cdf(playback, frames_encoded=frames_encoded)
+        stalls = StallMetrics.from_playback(playback, duration=duration - warmup)
+        return cls(
+            mean_fps=fps.mean,
+            fraction_full_fps=fps.fraction_above(result.config.fps - 2.0),
+            latency_below_threshold=latency.fraction_below(RP_LATENCY_THRESHOLD),
+            median_latency_ms=latency.median * 1e3,
+            ssim_above_threshold=ssim.fraction_above(SSIM_THRESHOLD),
+            median_ssim=ssim.median,
+            stalls_per_minute=stalls.stalls_per_minute,
+            frames_played=len(playback),
+        )

@@ -1,0 +1,17 @@
+"""Multipath delivery over parallel operators (Section 5 extension)."""
+
+from repro.multipath.session import (
+    MODES,
+    DedupReceiver,
+    MultipathResult,
+    MultipathUplink,
+    run_multipath_session,
+)
+
+__all__ = [
+    "MODES",
+    "DedupReceiver",
+    "MultipathResult",
+    "MultipathUplink",
+    "run_multipath_session",
+]

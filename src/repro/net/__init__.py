@@ -1,0 +1,28 @@
+"""Discrete-event engine and generic network-path primitives."""
+
+from repro.net.simulator import EventLoop, EventHandle, PeriodicTimer
+from repro.net.packet import Datagram, IP_UDP_OVERHEAD_BYTES
+from repro.net.links import CapacityLink, DelayLine, LinkStats
+from repro.net.loss import (
+    LossModel,
+    NoLoss,
+    BernoulliLoss,
+    GilbertElliottLoss,
+)
+from repro.net.path import NetworkPath
+
+__all__ = [
+    "EventLoop",
+    "EventHandle",
+    "PeriodicTimer",
+    "Datagram",
+    "IP_UDP_OVERHEAD_BYTES",
+    "CapacityLink",
+    "DelayLine",
+    "LinkStats",
+    "LossModel",
+    "NoLoss",
+    "BernoulliLoss",
+    "GilbertElliottLoss",
+    "NetworkPath",
+]

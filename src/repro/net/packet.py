@@ -1,0 +1,58 @@
+"""Transport-level datagram abstraction.
+
+The simulator moves :class:`Datagram` objects instead of raw bytes: a
+datagram records its size (which drives serialization and queueing
+delay), the time it entered the network, and an opaque payload — an
+RTP packet, an RTCP feedback packet, or a probe. Components along the
+path annotate the datagram so that end-host metrics can be derived
+without global state.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_DATAGRAM_IDS = itertools.count(1)
+
+#: Overhead added on the wire on top of the application payload:
+#: 20 (IP) + 8 (UDP) bytes. RTP header overhead is accounted for by the
+#: packetizer, which sizes RTP packets explicitly.
+IP_UDP_OVERHEAD_BYTES = 28
+
+
+@dataclass
+class Datagram:
+    """A single UDP datagram in flight.
+
+    Attributes
+    ----------
+    size_bytes:
+        On-the-wire size including IP/UDP headers.
+    payload:
+        Opaque upper-layer object (e.g. :class:`repro.rtp.RtpPacket`).
+    sent_at:
+        Simulated time the sender handed the datagram to the network.
+    received_at:
+        Filled in on delivery; ``None`` while in flight or when lost.
+    uid:
+        Monotone unique id, handy for logging and loss accounting.
+    """
+
+    size_bytes: int
+    payload: Any
+    sent_at: float = 0.0
+    received_at: float | None = None
+    uid: int = field(default_factory=lambda: next(_DATAGRAM_IDS))
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"datagram size must be positive, got {self.size_bytes}")
+
+    @property
+    def one_way_delay(self) -> float:
+        """Network one-way delay in seconds; ``nan`` until delivered."""
+        if self.received_at is None:
+            return float("nan")
+        return self.received_at - self.sent_at

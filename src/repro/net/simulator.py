@@ -1,0 +1,179 @@
+"""Discrete-event simulation core.
+
+Everything in the reproduction runs on one :class:`EventLoop`: the
+encoder ticks, packet departures and arrivals, RTCP feedback timers,
+handover state transitions and the player clock are all events. The
+loop keeps a priority queue of ``(time, sequence, callback)`` entries;
+the monotonically increasing sequence number makes execution order
+deterministic for simultaneous events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    order: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`EventLoop.call_at` allowing cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent)."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._event.cancelled
+
+    @property
+    def when(self) -> float:
+        """Scheduled firing time in simulated seconds."""
+        return self._event.time
+
+
+class EventLoop:
+    """A minimal, deterministic discrete-event loop.
+
+    Examples
+    --------
+    >>> loop = EventLoop()
+    >>> fired = []
+    >>> _ = loop.call_at(1.5, lambda: fired.append(loop.now))
+    >>> loop.run_until(2.0)
+    >>> fired
+    [1.5]
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[_Event] = []
+        self._order = itertools.count()
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute time ``when``.
+
+        Scheduling in the past raises ``ValueError`` — it always
+        indicates a component bug rather than a meaningful request.
+        """
+        if math.isnan(when):
+            raise ValueError("cannot schedule event at NaN time")
+        if when < self._now:
+            raise ValueError(
+                f"cannot schedule event at {when:.6f}s before now ({self._now:.6f}s)"
+            )
+        event = _Event(when, next(self._order), callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def call_later(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` after ``delay`` seconds."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.call_at(self._now + delay, callback)
+
+    def run_until(self, end_time: float) -> None:
+        """Run events up to and including ``end_time``.
+
+        The clock is left at ``end_time`` even when the queue drains
+        earlier, so periodic components can be restarted consistently.
+        """
+        if self._running:
+            raise RuntimeError("event loop is already running")
+        self._running = True
+        try:
+            while self._queue and self._queue[0].time <= end_time:
+                event = heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.callback()
+            self._now = max(self._now, end_time)
+        finally:
+            self._running = False
+
+    def run(self) -> None:
+        """Run until the event queue is exhausted."""
+        if self._running:
+            raise RuntimeError("event loop is already running")
+        self._running = True
+        try:
+            while self._queue:
+                event = heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.callback()
+        finally:
+            self._running = False
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+
+class PeriodicTimer:
+    """Repeatedly invokes a callback at a fixed period on an event loop.
+
+    The timer re-arms itself after each tick until :meth:`stop` is
+    called. Used for encoder frame ticks, RTCP feedback intervals and
+    the modem's 1-second RSSI reports.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        period: float,
+        callback: Callable[[], None],
+        *,
+        start_at: float | None = None,
+    ) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self._loop = loop
+        self.period = period
+        self._callback = callback
+        self._handle: EventHandle | None = None
+        self._stopped = False
+        first = loop.now + period if start_at is None else start_at
+        self._handle = loop.call_at(first, self._tick)
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self._callback()
+        if not self._stopped:
+            self._handle = self._loop.call_later(self.period, self._tick)
+
+    def stop(self) -> None:
+        """Cancel the timer; no further ticks will fire."""
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+
+    @property
+    def stopped(self) -> bool:
+        """Whether :meth:`stop` has been called."""
+        return self._stopped

@@ -1,0 +1,56 @@
+"""RTP/RTCP transport: packets, packetization, feedback, jitter buffer."""
+
+from repro.rtp.packets import (
+    RtpPacket,
+    RTP_HEADER_BYTES,
+    TWCC_EXTENSION_BYTES,
+    VIDEO_CLOCK_RATE,
+    SEQ_MOD,
+    TS_MOD,
+    seq_distance,
+    seq_less_than,
+    timestamp_for,
+)
+from repro.rtp.packetizer import (
+    Packetizer,
+    FrameAssembler,
+    AssembledFrame,
+    DEFAULT_MTU_PAYLOAD,
+)
+from repro.rtp.jitter_buffer import JitterBuffer
+from repro.rtp.twcc import TwccFeedback, TwccRecorder
+from repro.rtp.ccfb import CcfbReport, CcfbPacketReport, CcfbRecorder
+from repro.rtp.rtcp import (
+    SenderReport,
+    ReceiverReport,
+    ReportBlock,
+    RtcpAccountant,
+    rtt_from_block,
+)
+
+__all__ = [
+    "RtpPacket",
+    "RTP_HEADER_BYTES",
+    "TWCC_EXTENSION_BYTES",
+    "VIDEO_CLOCK_RATE",
+    "SEQ_MOD",
+    "TS_MOD",
+    "seq_distance",
+    "seq_less_than",
+    "timestamp_for",
+    "Packetizer",
+    "FrameAssembler",
+    "AssembledFrame",
+    "DEFAULT_MTU_PAYLOAD",
+    "JitterBuffer",
+    "TwccFeedback",
+    "TwccRecorder",
+    "CcfbReport",
+    "CcfbPacketReport",
+    "CcfbRecorder",
+    "SenderReport",
+    "ReceiverReport",
+    "ReportBlock",
+    "RtcpAccountant",
+    "rtt_from_block",
+]

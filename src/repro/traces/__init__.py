@@ -1,0 +1,39 @@
+"""Dataset schema, export/import and channel-trace replay."""
+
+from repro.traces.schema import (
+    PacketRecord,
+    HandoverRecord,
+    ChannelRecord,
+    write_csv,
+    read_csv,
+    parse_csv,
+)
+from repro.traces.dataset import (
+    TraceRun,
+    export_session,
+    load_run,
+    list_runs,
+    PACKETS_FILE,
+    HANDOVERS_FILE,
+    CHANNEL_FILE,
+    META_FILE,
+)
+from repro.traces.replay import TraceReplayChannel
+
+__all__ = [
+    "PacketRecord",
+    "HandoverRecord",
+    "ChannelRecord",
+    "write_csv",
+    "read_csv",
+    "parse_csv",
+    "TraceRun",
+    "export_session",
+    "load_run",
+    "list_runs",
+    "PACKETS_FILE",
+    "HANDOVERS_FILE",
+    "CHANNEL_FILE",
+    "META_FILE",
+    "TraceReplayChannel",
+]

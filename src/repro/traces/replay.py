@@ -1,0 +1,82 @@
+"""Trace replay: drive a network path from a recorded channel trace.
+
+The reproducibility hook the paper's release enables: instead of the
+live cellular model, a :class:`TraceReplayChannel` replays a recorded
+``channel.csv`` — capacity over time plus handover outages — so a
+video-pipeline experiment runs against the *exact same* channel
+twice. This is how the ablation benches hold the channel fixed while
+varying one pipeline knob.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.net.path import NetworkPath
+from repro.net.simulator import EventLoop
+from repro.traces.schema import ChannelRecord, HandoverRecord
+
+
+class TraceReplayChannel:
+    """Replays capacity samples and handover outages from a trace.
+
+    Exposes the same ``uplink_rate`` / ``downlink_rate`` / ``attach_path``
+    / ``start`` surface as :class:`repro.cellular.channel.CellularChannel`,
+    so :mod:`repro.core` pipelines run unchanged on recorded channels.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        channel: list[ChannelRecord],
+        handovers: list[HandoverRecord] | None = None,
+    ) -> None:
+        if not channel:
+            raise ValueError("channel trace must not be empty")
+        self._loop = loop
+        self._times = [record.time for record in channel]
+        if any(b <= a for a, b in zip(self._times, self._times[1:])):
+            raise ValueError("channel trace times must be strictly increasing")
+        self._records = channel
+        self._handovers = list(handovers or [])
+        self._paths: list[NetworkPath] = []
+        self._started = False
+
+    def _record_at(self, now: float) -> ChannelRecord:
+        index = bisect.bisect_right(self._times, now) - 1
+        return self._records[max(index, 0)]
+
+    def uplink_rate(self, now: float) -> float:
+        """Uplink capacity at simulated time ``now`` (step-wise)."""
+        return self._record_at(now).uplink_bps
+
+    def downlink_rate(self, now: float) -> float:
+        """Downlink capacity at simulated time ``now`` (step-wise)."""
+        return self._record_at(now).downlink_bps
+
+    def attach_path(self, path: NetworkPath) -> None:
+        """Register a path whose outages this replay controls."""
+        self._paths.append(path)
+
+    def start(self) -> None:
+        """Schedule the handover outages recorded in the trace."""
+        if self._started:
+            raise RuntimeError("replay already started")
+        self._started = True
+        for event in self._handovers:
+            if event.time < self._loop.now:
+                continue
+            self._loop.call_at(event.time, self._make_outage(event))
+
+    def _make_outage(self, event: HandoverRecord):
+        def begin() -> None:
+            for path in self._paths:
+                path.set_up(False)
+
+            def end() -> None:
+                for path in self._paths:
+                    path.set_up(True)
+
+            self._loop.call_later(event.execution_time, end)
+
+        return begin

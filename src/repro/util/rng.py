@@ -1,0 +1,62 @@
+"""Deterministic random-stream derivation.
+
+Every stochastic component in the simulator draws from its own
+:class:`numpy.random.Generator`, derived from the scenario seed and a
+stable string label. Two runs with the same scenario seed therefore
+produce identical results regardless of the order in which components
+are constructed, and changing one component's draws never perturbs
+another's.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+
+class RngStreams:
+    """Factory for named, independent random generators.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for the whole scenario.
+
+    Examples
+    --------
+    >>> streams = RngStreams(42)
+    >>> a = streams.derive("fading")
+    >>> b = streams.derive("loss")
+    >>> a is not b
+    True
+    >>> streams2 = RngStreams(42)
+    >>> float(a.random()) == float(streams2.derive("fading").random())
+    True
+    """
+
+    def __init__(self, seed: int) -> None:
+        self._seed = int(seed)
+
+    @property
+    def seed(self) -> int:
+        """The root seed this factory was created with."""
+        return self._seed
+
+    def derive(self, label: str) -> np.random.Generator:
+        """Return a fresh generator for ``label``.
+
+        The same ``(seed, label)`` pair always yields an identical
+        stream; distinct labels yield independent streams.
+        """
+        tag = zlib.crc32(label.encode("utf-8"))
+        return np.random.default_rng(np.random.SeedSequence([self._seed, tag]))
+
+    def child(self, label: str) -> "RngStreams":
+        """Return a sub-factory namespaced under ``label``.
+
+        Useful when a subsystem needs to hand out further streams
+        without risking label collisions with its siblings.
+        """
+        tag = zlib.crc32(label.encode("utf-8"))
+        return RngStreams((self._seed * 1_000_003 + tag) % (2**63))

@@ -1,0 +1,132 @@
+"""Small streaming statistics helpers used across the stack.
+
+These are deliberately dependency-free and O(1)/O(window) so they can
+run inside per-packet hot paths of the simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+
+class EwmaFilter:
+    """Exponentially weighted moving average.
+
+    Parameters
+    ----------
+    alpha:
+        Smoothing factor in (0, 1]; higher values track faster.
+    initial:
+        Optional initial value. When omitted, the first update seeds
+        the average directly.
+    """
+
+    def __init__(self, alpha: float, initial: float | None = None) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._value = initial
+
+    @property
+    def value(self) -> float | None:
+        """Current average, or ``None`` before the first update."""
+        return self._value
+
+    def update(self, sample: float) -> float:
+        """Fold ``sample`` into the average and return the new value."""
+        if self._value is None:
+            self._value = float(sample)
+        else:
+            self._value += self.alpha * (sample - self._value)
+        return self._value
+
+    def reset(self, value: float | None = None) -> None:
+        """Forget history, optionally re-seeding with ``value``."""
+        self._value = value
+
+
+class RunningMinMax:
+    """Tracks the minimum and maximum of an unbounded stream."""
+
+    def __init__(self) -> None:
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.count = 0
+
+    def update(self, sample: float) -> None:
+        """Fold ``sample`` into the running extrema."""
+        self.count += 1
+        if sample < self.minimum:
+            self.minimum = float(sample)
+        if sample > self.maximum:
+            self.maximum = float(sample)
+
+    @property
+    def spread(self) -> float:
+        """``max - min`` seen so far (``nan`` before any update)."""
+        if self.count == 0:
+            return math.nan
+        return self.maximum - self.minimum
+
+
+class WindowedMinMax:
+    """Minimum/maximum over a sliding time window.
+
+    Samples are ``(timestamp, value)`` pairs; old samples expire once
+    they fall outside ``window`` seconds of the latest timestamp. Used
+    by SCReAM's base-delay tracking and the handover latency-ratio
+    analysis (Fig. 9).
+
+    Implemented with monotonic deques so :meth:`update`,
+    :attr:`minimum` and :attr:`maximum` are all O(1) amortized — this
+    sits on the per-ack hot path of the SCReAM controller.
+    """
+
+    def __init__(self, window: float) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+        self._count = 0
+        # Monotonic deques of (time, value): _mins ascending values,
+        # _maxs descending values.
+        self._mins: deque[tuple[float, float]] = deque()
+        self._maxs: deque[tuple[float, float]] = deque()
+        self._times: deque[float] = deque()
+
+    def update(self, now: float, value: float) -> None:
+        """Add a sample at time ``now`` and expire stale entries."""
+        value = float(value)
+        self._times.append(now)
+        self._count += 1
+        while self._mins and self._mins[-1][1] >= value:
+            self._mins.pop()
+        self._mins.append((now, value))
+        while self._maxs and self._maxs[-1][1] <= value:
+            self._maxs.pop()
+        self._maxs.append((now, value))
+        horizon = now - self.window
+        while self._times and self._times[0] < horizon:
+            self._times.popleft()
+            self._count -= 1
+        while self._mins and self._mins[0][0] < horizon:
+            self._mins.popleft()
+        while self._maxs and self._maxs[0][0] < horizon:
+            self._maxs.popleft()
+
+    @property
+    def minimum(self) -> float:
+        """Smallest value in the window (``nan`` when empty)."""
+        if not self._mins:
+            return math.nan
+        return self._mins[0][1]
+
+    @property
+    def maximum(self) -> float:
+        """Largest value in the window (``nan`` when empty)."""
+        if not self._maxs:
+            return math.nan
+        return self._maxs[0][1]
+
+    def __len__(self) -> int:
+        return self._count

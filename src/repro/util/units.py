@@ -1,0 +1,39 @@
+"""Unit conversion helpers.
+
+Module boundaries in this project use SI base units: seconds for time,
+bytes for sizes, bits per second for rates. These helpers make call
+sites that deal in milliseconds or Mbps readable without ad-hoc
+``* 1e6`` arithmetic scattered around.
+"""
+
+from __future__ import annotations
+
+
+def bytes_to_bits(num_bytes: float) -> float:
+    """Convert a byte count to bits."""
+    return num_bytes * 8.0
+
+
+def bits_to_bytes(num_bits: float) -> float:
+    """Convert a bit count to bytes (may be fractional)."""
+    return num_bits / 8.0
+
+
+def mbps(rate_mbps: float) -> float:
+    """Express a rate given in Mbit/s as bits per second."""
+    return rate_mbps * 1e6
+
+
+def to_mbps(rate_bps: float) -> float:
+    """Express a rate given in bits per second as Mbit/s."""
+    return rate_bps / 1e6
+
+
+def ms(duration_ms: float) -> float:
+    """Express a duration given in milliseconds as seconds."""
+    return duration_ms / 1e3
+
+
+def to_ms(duration_s: float) -> float:
+    """Express a duration given in seconds as milliseconds."""
+    return duration_s * 1e3

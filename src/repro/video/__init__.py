@@ -1,0 +1,28 @@
+"""Video pipeline: source, encoder, quality, decoder and player models."""
+
+from repro.video.frames import (
+    FrameType,
+    SourceFrame,
+    EncodedFrame,
+    DecodedFrame,
+)
+from repro.video.source import SourceVideo, FULL_HD_PIXELS
+from repro.video.encoder import EncoderModel
+from repro.video.quality import RateDistortionModel, ArtifactModel
+from repro.video.decoder import DecoderModel
+from repro.video.player import Player, PlaybackRecord
+
+__all__ = [
+    "FrameType",
+    "SourceFrame",
+    "EncodedFrame",
+    "DecodedFrame",
+    "SourceVideo",
+    "FULL_HD_PIXELS",
+    "EncoderModel",
+    "RateDistortionModel",
+    "ArtifactModel",
+    "DecoderModel",
+    "Player",
+    "PlaybackRecord",
+]

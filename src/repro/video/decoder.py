@@ -1,0 +1,77 @@
+"""Decoder model: frame reconstruction and artifact propagation.
+
+A real H.264 decoder conceals lost slices, producing visual artifacts
+that persist in predicted frames until the next IDR refreshes the
+reference picture. The paper's SSIM dips below 0.5 come precisely from
+such artifacts ("the video quality is impaired by artifacts that are
+caused by packet losses"). :class:`DecoderModel` tracks a scalar
+reference-damage level that losses raise and IDR frames clear, and
+scores each emitted frame with the rate-distortion model.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.video.frames import DecodedFrame, FrameType
+from repro.video.quality import ArtifactModel, RateDistortionModel
+
+if TYPE_CHECKING:  # avoid a circular import at runtime (rtp -> video)
+    from repro.rtp.packetizer import AssembledFrame
+
+
+class DecoderModel:
+    """Stateful decoder producing SSIM-scored frames.
+
+    Parameters
+    ----------
+    rd_model:
+        Rate-distortion curve mapping encode bitrate to clean SSIM.
+    artifact_model:
+        Loss-artifact and error-propagation model.
+    """
+
+    def __init__(
+        self,
+        rd_model: RateDistortionModel | None = None,
+        artifact_model: ArtifactModel | None = None,
+    ) -> None:
+        self.rd_model = rd_model if rd_model is not None else RateDistortionModel()
+        self.artifacts = (
+            artifact_model if artifact_model is not None else ArtifactModel()
+        )
+        self._reference_damage = 0.0
+        self.frames_decoded = 0
+        self.damaged_frames = 0
+
+    @property
+    def reference_damage(self) -> float:
+        """Current decoder reference damage in [0, 1]."""
+        return self._reference_damage
+
+    def decode(self, assembled: AssembledFrame, now: float) -> DecodedFrame:
+        """Reconstruct ``assembled`` into a displayable frame."""
+        meta = assembled.packets[0].metadata if assembled.packets else {}
+        frame_type = meta.get("frame_type", FrameType.PREDICTED)
+        bitrate = float(meta.get("target_bitrate", 0.0))
+        complexity = float(meta.get("complexity", 1.0))
+
+        own_damage = self.artifacts.frame_damage(assembled.loss_fraction)
+        if frame_type is FrameType.IDR and assembled.complete:
+            # A clean IDR refreshes the reference picture entirely.
+            self._reference_damage = 0.0
+        total_damage = 1.0 - (1.0 - self._reference_damage) * (1.0 - own_damage)
+        clean = self.rd_model.clean_ssim(bitrate, complexity)
+        ssim = self.artifacts.apply(clean, total_damage)
+
+        self._reference_damage = self.artifacts.propagate(total_damage)
+        self.frames_decoded += 1
+        if not assembled.complete:
+            self.damaged_frames += 1
+        return DecodedFrame(
+            frame_id=assembled.frame_id,
+            ssim=ssim,
+            complete=assembled.complete,
+            decode_time=now,
+            encode_time=assembled.encode_time,
+        )

@@ -1,0 +1,131 @@
+"""Rate-controlled H.264-like encoder model.
+
+Models the x264 software encoder the paper settled on (Section 5,
+"SWaP requirements"): given a target bitrate it emits one compressed
+frame per source frame with
+
+* a GoP structure — periodic IDR frames several times larger than the
+  predicted frames between them;
+* per-frame size noise scaled by content complexity;
+* a closed rate-control loop (leaky "bit debt") so the long-run output
+  rate tracks the target even though individual frames overshoot;
+* a small, stable software-encode latency (the property that made the
+  authors pick x264 over the VA-API hardware encoder).
+
+Target-bitrate changes take effect at the next frame boundary, which
+is what produces the paper's send-queue bitrate mismatch after sudden
+CC down-switches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.video.frames import EncodedFrame, FrameType, SourceFrame
+
+
+class EncoderModel:
+    """Synthetic rate-controlled encoder.
+
+    Parameters
+    ----------
+    rng:
+        Random stream for frame-size noise.
+    fps:
+        Frame rate; must match the source.
+    gop_length:
+        Frames per GoP (an IDR every ``gop_length`` frames).
+    idr_ratio:
+        Size of an IDR frame relative to the GoP-average frame size.
+    size_noise_std:
+        Lognormal sigma of per-frame size variation.
+    encode_latency / encode_latency_jitter:
+        Mean and jitter of the software-encode delay per frame.
+    min_bitrate / max_bitrate:
+        Clamp for :meth:`set_target_bitrate` (the paper's 2-25 Mbps
+        operating range).
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        *,
+        fps: float = 30.0,
+        gop_length: int = 30,
+        idr_ratio: float = 2.0,
+        size_noise_std: float = 0.10,
+        encode_latency: float = 0.008,
+        encode_latency_jitter: float = 0.002,
+        min_bitrate: float = 2e6,
+        max_bitrate: float = 25e6,
+        initial_bitrate: float | None = None,
+    ) -> None:
+        if gop_length < 2:
+            raise ValueError(f"gop_length must be >= 2, got {gop_length}")
+        if idr_ratio < 1.0:
+            raise ValueError(f"idr_ratio must be >= 1, got {idr_ratio}")
+        if min_bitrate <= 0 or max_bitrate < min_bitrate:
+            raise ValueError("invalid bitrate clamp")
+        self._rng = rng
+        self.fps = fps
+        self.gop_length = gop_length
+        self.idr_ratio = idr_ratio
+        self.size_noise_std = size_noise_std
+        self.encode_latency = encode_latency
+        self.encode_latency_jitter = encode_latency_jitter
+        self.min_bitrate = min_bitrate
+        self.max_bitrate = max_bitrate
+        self._target_bitrate = float(
+            np.clip(initial_bitrate or min_bitrate, min_bitrate, max_bitrate)
+        )
+        self._frames_encoded = 0
+        self._bit_debt = 0.0  # positive = we overspent recently
+        # Size multiplier for P frames such that one GoP averages 1x:
+        # (idr_ratio + (N-1) * p_scale) / N == 1
+        self._p_scale = (gop_length - idr_ratio) / (gop_length - 1)
+        if self._p_scale <= 0:
+            raise ValueError("idr_ratio too large for this gop_length")
+
+    @property
+    def target_bitrate(self) -> float:
+        """Current encode target in bits/s."""
+        return self._target_bitrate
+
+    def set_target_bitrate(self, bitrate: float) -> None:
+        """Update the target; applied from the next encoded frame."""
+        self._target_bitrate = float(
+            np.clip(bitrate, self.min_bitrate, self.max_bitrate)
+        )
+
+    def encode(self, frame: SourceFrame) -> EncodedFrame:
+        """Compress ``frame`` at the current target bitrate."""
+        frame_type = (
+            FrameType.IDR
+            if self._frames_encoded % self.gop_length == 0
+            else FrameType.PREDICTED
+        )
+        budget_bits = self._target_bitrate / self.fps
+        scale = self.idr_ratio if frame_type is FrameType.IDR else self._p_scale
+        noise = float(
+            np.exp(self._rng.normal(-0.5 * self.size_noise_std**2, self.size_noise_std))
+        )
+        # Rate control: shave the next frame when we recently overspent.
+        correction = float(np.clip(1.0 - self._bit_debt / (4.0 * budget_bits), 0.6, 1.2))
+        size_bits = budget_bits * scale * frame.complexity * noise * correction
+        size_bytes = max(200, int(size_bits / 8.0))
+        self._bit_debt += size_bytes * 8.0 - budget_bits
+        # Debt decays so a single large IDR doesn't starve a whole GoP.
+        self._bit_debt *= 0.95
+        latency = self.encode_latency + abs(
+            float(self._rng.normal(0.0, self.encode_latency_jitter))
+        )
+        self._frames_encoded += 1
+        return EncodedFrame(
+            frame_id=frame.frame_id,
+            capture_time=frame.capture_time,
+            size_bytes=size_bytes,
+            frame_type=frame_type,
+            target_bitrate=self._target_bitrate,
+            complexity=frame.complexity,
+            encode_latency=latency,
+        )

@@ -1,0 +1,93 @@
+"""Frame data types shared by the video pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class FrameType(Enum):
+    """H.264 frame classes used by the encoder model."""
+
+    IDR = "I"
+    PREDICTED = "P"
+
+
+@dataclass
+class SourceFrame:
+    """A raw frame from the (pre-recorded) source video.
+
+    Attributes
+    ----------
+    frame_id:
+        Monotone frame counter — the paper's per-frame QR code.
+    capture_time:
+        Simulated time the frame was captured/read from the source.
+    complexity:
+        Relative spatial/temporal complexity (1.0 = average content);
+        drives how many bits a given quality costs.
+    """
+
+    frame_id: int
+    capture_time: float
+    complexity: float = 1.0
+
+
+@dataclass
+class EncodedFrame:
+    """Output of the encoder model for one frame.
+
+    Attributes
+    ----------
+    size_bytes:
+        Compressed frame size.
+    frame_type:
+        IDR (intra) or predicted.
+    target_bitrate:
+        The encoder's target bitrate when this frame was produced,
+        in bits/s — used by the SSIM rate-distortion model.
+    encode_latency:
+        Software-encoder processing delay for this frame.
+    """
+
+    frame_id: int
+    capture_time: float
+    size_bytes: int
+    frame_type: FrameType
+    target_bitrate: float
+    complexity: float
+    encode_latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"frame size must be positive, got {self.size_bytes}")
+
+    @property
+    def is_keyframe(self) -> bool:
+        """Whether this frame refreshes the decoder state."""
+        return self.frame_type is FrameType.IDR
+
+
+@dataclass
+class DecodedFrame:
+    """A frame after decoding at the receiver.
+
+    Attributes
+    ----------
+    ssim:
+        Estimated structural similarity against the source frame in
+        [0, 1]; 0 is reserved for frames that never played.
+    complete:
+        Whether all RTP fragments arrived.
+    decode_time:
+        Simulated time the decoder emitted the frame.
+    encode_time:
+        Encoder timestamp carried through the pipeline (paper's
+        barcode), used for playback-latency accounting.
+    """
+
+    frame_id: int
+    ssim: float
+    complete: bool
+    decode_time: float
+    encode_time: float

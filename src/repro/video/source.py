@@ -1,0 +1,87 @@
+"""Source-video content model.
+
+The paper streams a pre-recorded clip "that contains considerable
+detail and motion". For the simulator the only property of the clip
+that matters is how expensive each frame is to encode, so the source
+is modelled as a per-frame *complexity* series: a slowly-varying AR(1)
+process around 1.0 with occasional scene cuts that momentarily raise
+the cost (scene changes force larger I-frames and poorly-predicted
+P-frames).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.video.frames import SourceFrame
+
+#: Full-HD pixel count used for bits-per-pixel computations.
+FULL_HD_PIXELS = 1920 * 1080
+
+
+class SourceVideo:
+    """Deterministic, seedable content-complexity generator.
+
+    Parameters
+    ----------
+    rng:
+        Random stream for the complexity process.
+    fps:
+        Source frame rate (paper: 30).
+    ar_coeff / noise_std:
+        AR(1) parameters for the slow complexity drift.
+    scene_cut_rate:
+        Expected scene cuts per second; each cut re-seeds the process
+        and boosts the next frame's complexity.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        *,
+        fps: float = 30.0,
+        ar_coeff: float = 0.995,
+        noise_std: float = 0.01,
+        scene_cut_rate: float = 0.05,
+        min_complexity: float = 0.5,
+        max_complexity: float = 2.0,
+    ) -> None:
+        if fps <= 0:
+            raise ValueError(f"fps must be positive, got {fps}")
+        if not 0.0 <= ar_coeff < 1.0:
+            raise ValueError(f"ar_coeff must be in [0, 1), got {ar_coeff}")
+        self.fps = fps
+        self._rng = rng
+        self._ar = ar_coeff
+        self._noise_std = noise_std
+        self._cut_prob = scene_cut_rate / fps
+        self._min = min_complexity
+        self._max = max_complexity
+        self._state = 0.0  # deviation from mean complexity 1.0
+        self._next_id = 0
+        self._cut_boost = 0.0
+
+    @property
+    def frame_interval(self) -> float:
+        """Seconds between consecutive source frames."""
+        return 1.0 / self.fps
+
+    def next_frame(self, capture_time: float) -> SourceFrame:
+        """Produce the next source frame captured at ``capture_time``."""
+        if self._rng.random() < self._cut_prob:
+            # Scene cut: decorrelate and make the next frames expensive.
+            self._state = float(self._rng.normal(0.0, 0.15))
+            self._cut_boost = 0.5
+        self._state = self._ar * self._state + float(
+            self._rng.normal(0.0, self._noise_std)
+        )
+        complexity = 1.0 + self._state + self._cut_boost
+        self._cut_boost *= 0.5
+        complexity = float(np.clip(complexity, self._min, self._max))
+        frame = SourceFrame(
+            frame_id=self._next_id,
+            capture_time=capture_time,
+            complexity=complexity,
+        )
+        self._next_id += 1
+        return frame

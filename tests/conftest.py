@@ -1,0 +1,12 @@
+"""Shared test configuration.
+
+Registers a hypothesis profile without per-example deadlines: several
+property tests drive whole simulation sessions whose first example is
+legitimately slow (import + JIT-warm caches), which would trip the
+default 200 ms deadline nondeterministically.
+"""
+
+from hypothesis import settings
+
+settings.register_profile("repro", deadline=None, derandomize=True)
+settings.load_profile("repro")

@@ -1,0 +1,110 @@
+"""Tests for the text-rendering helpers."""
+
+import pytest
+
+from repro.analysis import (
+    format_table,
+    render_boxplots,
+    render_cdf,
+    render_sparkline,
+)
+from repro.metrics import BoxplotSummary, Cdf
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bbbb"], [["xx", "1"], ["y", "22"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a ")
+        assert all(len(line) >= 6 for line in lines)
+
+    def test_title_prepended(self):
+        text = format_table(["x"], [["1"]], title="My Title")
+        assert text.splitlines()[0] == "My Title"
+
+    def test_non_string_cells(self):
+        text = format_table(["n"], [[42], [3.5]])
+        assert "42" in text and "3.5" in text
+
+
+class TestRenderCdf:
+    def test_values_match_cdf(self):
+        cdf = Cdf.from_samples([1.0, 2.0, 3.0, 4.0])
+        text = render_cdf({"series": cdf}, [2.5], title="t")
+        assert "0.500" in text
+
+    def test_multiple_series_columns(self):
+        a = Cdf.from_samples([1.0])
+        b = Cdf.from_samples([2.0])
+        text = render_cdf({"a": a, "b": b}, [1.5], title="t")
+        header = text.splitlines()[1]
+        assert "a" in header and "b" in header
+
+
+class TestRenderBoxplots:
+    def test_summary_row(self):
+        summary = BoxplotSummary.from_samples([1.0, 2.0, 3.0])
+        text = render_boxplots({"s": summary}, title="box")
+        assert "2.00" in text  # median
+
+    def test_none_rendered_as_dash(self):
+        text = render_boxplots({"empty": None}, title="box")
+        assert "-" in text
+
+    def test_scaling(self):
+        summary = BoxplotSummary.from_samples([0.5])
+        text = render_boxplots({"s": summary}, title="box", scale=1000.0)
+        assert "500.00" in text
+
+
+class TestSparkline:
+    def test_empty_series(self):
+        assert "no data" in render_sparkline([], label="x")
+
+    def test_reports_extrema(self):
+        text = render_sparkline([1.0, 5.0, 2.0])
+        assert "min=1" in text and "max=5" in text
+
+    def test_width_bounded(self):
+        text = render_sparkline(list(range(10_000)), width=50)
+        body = text[text.index("[") + 1 : text.index("]")]
+        assert len(body) <= 120
+
+
+class TestDatasetParsing:
+    """The released-parsing-scripts equivalent works from files alone."""
+
+    @pytest.fixture(scope="class")
+    def dataset(self, tmp_path_factory):
+        from repro import ScenarioConfig, run_session
+        from repro.traces import export_session
+
+        root = tmp_path_factory.mktemp("dataset")
+        for cc in ("static", "gcc"):
+            config = ScenarioConfig(cc=cc, environment="urban", duration=20.0, seed=4)
+            export_session(run_session(config), root / config.label())
+        return root
+
+    def test_analyze_run(self, dataset):
+        from repro.analysis import analyze_run
+        from repro.traces import list_runs
+
+        analysis = analyze_run(list_runs(dataset)[0])
+        assert analysis.packets > 500
+        assert analysis.goodput_mbps > 1.0
+        assert analysis.owd_median_ms > 10.0
+
+    def test_analyze_dataset_groups_series(self, dataset):
+        from repro.analysis import analyze_dataset
+
+        report = analyze_dataset(dataset)
+        assert len(report.runs) == 2
+        assert len(report.by_series()) == 2
+        text = report.render()
+        assert "goodput" in text
+
+    def test_empty_dataset_rejected(self, tmp_path):
+        from repro.analysis import analyze_dataset
+
+        with pytest.raises(ValueError):
+            analyze_dataset(tmp_path)

@@ -1,0 +1,314 @@
+"""Tests for the cellular substrate: layout, propagation, handover, channel."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cellular import (
+    A3Config,
+    Cell,
+    CellLayout,
+    CellularChannel,
+    ChannelConfig,
+    HandoverEngine,
+    HetSampler,
+    HET_SUCCESS_THRESHOLD,
+    PropagationConfig,
+    ShadowingProcess,
+    antenna_gain_db,
+    get_profile,
+    grid_layout,
+    path_loss_db,
+    rsrp_dbm,
+)
+from repro.flight.trajectory import Position, paper_flight_trajectory
+from repro.net.simulator import EventLoop
+from repro.util.rng import RngStreams
+
+
+def rng(label="cell"):
+    return RngStreams(3).derive(label)
+
+
+class TestLayout:
+    def test_grid_layout_site_count(self):
+        layout = grid_layout(num_sites=9, area_radius=1000, rng=rng(), sectors_per_site=2)
+        assert len(layout) == 18
+
+    def test_cell_ids_unique(self):
+        layout = grid_layout(num_sites=16, area_radius=1000, rng=rng())
+        ids = [c.cell_id for c in layout.cells]
+        assert len(set(ids)) == len(ids)
+
+    def test_exclusion_radius_respected(self):
+        layout = grid_layout(
+            num_sites=16, area_radius=1000, rng=rng(), exclusion_radius=400.0
+        )
+        for cell in layout.cells:
+            assert math.hypot(cell.x, cell.y) >= 399.0
+
+    def test_duplicate_ids_rejected(self):
+        cell = Cell(cell_id=1, x=0, y=0, height=30)
+        with pytest.raises(ValueError):
+            CellLayout(cells=[cell, cell])
+
+    def test_empty_layout_rejected(self):
+        with pytest.raises(ValueError):
+            CellLayout(cells=[])
+
+    def test_cell_by_id(self):
+        layout = grid_layout(num_sites=4, area_radius=500, rng=rng())
+        assert layout.cell_by_id(3).cell_id == 3
+        with pytest.raises(KeyError):
+            layout.cell_by_id(999)
+
+
+class TestPropagation:
+    def test_path_loss_increases_with_distance(self):
+        config = PropagationConfig.urban()
+        losses = [path_loss_db(d, 1.5, config) for d in (50, 200, 800, 3000)]
+        assert losses == sorted(losses)
+
+    def test_air_exponent_below_ground(self):
+        config = PropagationConfig.urban()
+        # Same distance, less loss at altitude (near free space).
+        assert path_loss_db(1000, 120.0, config) < path_loss_db(1000, 1.5, config)
+
+    def test_dual_slope_continuous_at_breakpoint(self):
+        config = PropagationConfig.urban()
+        below = path_loss_db(config.break_distance - 0.01, 1.5, config)
+        above = path_loss_db(config.break_distance + 0.01, 1.5, config)
+        assert abs(above - below) < 0.1
+
+    def test_ground_user_in_main_lobe(self):
+        config = PropagationConfig()
+        cell = Cell(cell_id=0, x=0, y=0, height=30)
+        ue = Position(300.0, 0.0, 1.5)
+        gain = antenna_gain_db(ue, cell, config)
+        assert gain > config.antenna_gain_max_db - 6.0
+
+    def test_aerial_user_in_side_lobes(self):
+        config = PropagationConfig()
+        cell = Cell(cell_id=0, x=0, y=0, height=30)
+        ue = Position(200.0, 0.0, 120.0)  # high elevation angle
+        gain = antenna_gain_db(ue, cell, config)
+        assert gain < config.antenna_gain_max_db - 10.0
+
+    def test_rsrp_composition(self):
+        config = PropagationConfig()
+        cell = Cell(cell_id=0, x=0, y=0, height=30, tx_power_dbm=46.0)
+        ue = Position(300.0, 0.0, 1.5)
+        value = rsrp_dbm(ue, cell, shadow_db=0.0, config=config)
+        expected = (
+            46.0
+            - path_loss_db(ue.distance_to(cell.position()), 1.5, config)
+            + antenna_gain_db(ue, cell, config)
+        )
+        assert value == pytest.approx(expected)
+
+    def test_shadowing_is_temporally_correlated(self):
+        config = PropagationConfig()
+        process = ShadowingProcess(4, config, rng("sh"))
+        first = process.sample(0.0, 1.5).copy()
+        soon = process.sample(0.1, 1.5).copy()
+        later = process.sample(100.0, 1.5).copy()
+        assert np.abs(soon - first).mean() < np.abs(later - first).mean() + 3.0
+        assert np.abs(soon - first).mean() < 1.0
+
+    def test_shadowing_std_scales_with_altitude(self):
+        config = PropagationConfig(shadow_std_ground_db=6.0, shadow_std_air_db=2.0)
+        process = ShadowingProcess(500, config, rng("sh2"))
+        ground = process.sample(0.0, 0.0)
+        air = process.sample(0.0, 120.0)
+        assert np.std(air) < np.std(ground)
+
+
+class TestHetSampler:
+    def test_body_below_success_threshold(self):
+        sampler = HetSampler()
+        generator = rng("het")
+        values = [sampler.sample(generator, airborne=False) for _ in range(2000)]
+        assert np.median(values) < HET_SUCCESS_THRESHOLD
+
+    def test_air_has_heavier_tail(self):
+        sampler = HetSampler()
+        generator = rng("het2")
+        air = [sampler.sample(generator, airborne=True) for _ in range(5000)]
+        ground = [sampler.sample(generator, airborne=False) for _ in range(5000)]
+        assert np.percentile(air, 99) > np.percentile(ground, 99)
+
+    def test_samples_bounded(self):
+        sampler = HetSampler(max_het=4.0)
+        generator = rng("het3")
+        values = [sampler.sample(generator, airborne=True) for _ in range(5000)]
+        assert max(values) <= 4.0
+        assert min(values) >= 0.005
+
+
+class TestHandoverEngine:
+    def make_engine(self, num_cells=3, **a3):
+        config = A3Config(**a3) if a3 else A3Config()
+        return HandoverEngine(num_cells, rng("ho"), config=config)
+
+    def run_measurements(self, engine, series, period=0.1):
+        events = []
+        for i, rsrp in enumerate(series):
+            event = engine.measure(i * period, np.asarray(rsrp, dtype=float))
+            if event is not None:
+                events.append(event)
+        return events
+
+    def test_initial_serving_is_strongest(self):
+        engine = self.make_engine()
+        engine.measure(0.0, np.array([-80.0, -60.0, -90.0]))
+        assert engine.serving_cell == 1
+
+    def test_handover_after_ttt(self):
+        engine = self.make_engine(time_to_trigger=0.256, hysteresis_db=3.0)
+        series = [[-60.0, -90.0, -90.0]] * 3 + [[-75.0, -60.0, -90.0]] * 10
+        events = self.run_measurements(engine, series)
+        assert len(events) == 1
+        assert events[0].source_cell == 0
+        assert events[0].target_cell == 1
+
+    def test_no_handover_below_hysteresis(self):
+        engine = self.make_engine(hysteresis_db=3.0)
+        series = [[-60.0, -90.0, -90.0]] * 3 + [[-60.0, -58.0, -90.0]] * 20
+        events = self.run_measurements(engine, series)
+        assert events == []
+
+    def test_short_excursion_does_not_trigger(self):
+        engine = self.make_engine(time_to_trigger=0.5)
+        series = (
+            [[-60.0, -90.0, -90.0]] * 3
+            + [[-80.0, -60.0, -90.0]] * 2  # 0.2 s < TTT
+            + [[-60.0, -90.0, -90.0]] * 20
+        )
+        events = self.run_measurements(engine, series)
+        assert events == []
+
+    def test_prohibit_time_blocks_immediate_reversal(self):
+        engine = self.make_engine(prohibit_time=2.0, time_to_trigger=0.2)
+        series = [[-60.0, -90.0]] * 3 + [[-90.0, -60.0]] * 5 + [[-60.0, -90.0]] * 10
+        events = self.run_measurements(engine, series)
+        assert len(events) == 1  # the reversal is suppressed
+
+    def test_ping_pong_counted(self):
+        engine = self.make_engine(prohibit_time=0.0, time_to_trigger=0.2)
+        series = (
+            [[-60.0, -90.0]] * 3
+            + [[-90.0, -60.0]] * 5
+            + [[-60.0, -90.0]] * 5
+        )
+        events = self.run_measurements(engine, series)
+        assert len(events) == 2
+        assert engine.ping_pong_count() == 1
+
+    def test_in_handover_blocks_measurements(self):
+        engine = self.make_engine(time_to_trigger=0.2)
+        engine.het_sampler = HetSampler(
+            body_median=1.0, body_sigma=0.01, outlier_prob_air=0.0,
+            outlier_prob_ground=0.0,
+        )
+        series = [[-60.0, -90.0]] * 3 + [[-90.0, -60.0]] * 5
+        events = self.run_measurements(engine, series)
+        assert len(events) == 1
+        assert engine.in_handover
+
+    def test_best_neighbour_margin(self):
+        engine = self.make_engine()
+        engine.measure(0.0, np.array([-60.0, -70.0, -75.0]))
+        assert engine.best_neighbour_margin() == pytest.approx(-10.0)
+
+
+class TestCellularChannel:
+    def build(self, environment="urban", platform_altitude=True, seed=4):
+        streams = RngStreams(seed)
+        profile = get_profile("P1", environment)
+        layout = profile.build_layout(streams.derive("layout"))
+        trajectory = paper_flight_trajectory()
+        loop = EventLoop()
+        channel = CellularChannel(
+            loop, layout, profile, trajectory, streams.child("ch"),
+            config=ChannelConfig(
+                propagation=PropagationConfig.urban()
+                if environment == "urban"
+                else PropagationConfig.rural()
+            ),
+        )
+        return loop, channel
+
+    def test_capacity_positive_and_capped(self):
+        loop, channel = self.build()
+        channel.start()
+        loop.run_until(60.0)
+        rates = [s.uplink_bps for s in channel.samples]
+        assert all(r > 0 for r in rates)
+        assert max(rates) <= channel.profile.uplink_plan_cap
+
+    def test_samples_at_measurement_period(self):
+        loop, channel = self.build()
+        channel.start()
+        loop.run_until(10.0)
+        assert len(channel.samples) == pytest.approx(100, abs=2)
+
+    def test_rssi_reported_at_one_hz(self):
+        loop, channel = self.build()
+        channel.start()
+        loop.run_until(30.0)
+        assert len(channel.rssi_log) == pytest.approx(30, abs=2)
+
+    def test_handover_outage_silences_paths(self):
+        loop, channel = self.build()
+        ups = []
+
+        class FakePath:
+            def set_up(self, up):
+                ups.append(up)
+
+        channel.attach_path(FakePath())
+        channel.start()
+        loop.run_until(300.0)
+        if channel.engine.events:
+            assert False in ups and True in ups
+            assert ups.count(False) == ups.count(True)
+
+    def test_double_start_rejected(self):
+        loop, channel = self.build()
+        channel.start()
+        with pytest.raises(RuntimeError):
+            channel.start()
+
+    def test_urban_capacity_exceeds_rural(self):
+        loop_u, urban = self.build("urban")
+        urban.start()
+        loop_u.run_until(120.0)
+        loop_r, rural = self.build("rural")
+        rural.start()
+        loop_r.run_until(120.0)
+        mean_urban = np.mean([s.uplink_bps for s in urban.samples])
+        mean_rural = np.mean([s.uplink_bps for s in rural.samples])
+        assert mean_urban > 1.5 * mean_rural
+
+
+class TestOperatorProfiles:
+    def test_known_profiles(self):
+        for operator in ("P1", "P2"):
+            for environment in ("urban", "rural"):
+                profile = get_profile(operator, environment)
+                assert profile.name == operator
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(KeyError):
+            get_profile("P3", "urban")
+
+    def test_p2_rural_denser_than_p1(self):
+        assert get_profile("P2", "rural").sites > get_profile("P1", "rural").sites
+
+    @given(st.integers(1, 30))
+    @settings(max_examples=10, deadline=None)
+    def test_layout_size_matches_profile(self, sites):
+        layout = grid_layout(num_sites=sites, area_radius=1000, rng=rng("g"))
+        assert len(layout) == 2 * sites

@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.cc == "static"
+        assert args.environment == "urban"
+
+    def test_run_overrides(self):
+        args = build_parser().parse_args(
+            ["run", "--cc", "scream", "--environment", "rural", "--seed", "9"]
+        )
+        assert args.cc == "scream" and args.seed == 9
+
+    def test_invalid_cc_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--cc", "bogus"])
+
+    def test_figure_requires_name(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list_figures(self, capsys):
+        assert main(["list-figures"]) == 0
+        out = capsys.readouterr().out
+        for name in FIGURES:
+            assert name in out
+
+    def test_unknown_figure_errors(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().out
+
+    def test_run_prints_summary(self, capsys):
+        code = main(["run", "--duration", "15", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "goodput" in out
+        assert "playback latency" in out
+
+    def test_dataset_exports(self, capsys, tmp_path):
+        code = main(
+            [
+                "dataset",
+                "--out", str(tmp_path / "ds"),
+                "--environments", "urban",
+                "--methods", "static",
+                "--duration", "10",
+                "--seeds", "1",
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "ds" / "static-urban-air-P1-s1" / "meta.json").exists()
+
+    def test_every_figure_name_resolves(self):
+        import repro.experiments as experiments
+
+        for runner_name, _ in FIGURES.values():
+            assert hasattr(experiments, runner_name), runner_name

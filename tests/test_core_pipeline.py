@@ -1,0 +1,173 @@
+"""Unit tests for the sender and receiver pipeline components."""
+
+import pytest
+
+from repro.cc.base import CongestionController, FeedbackKind, StaticBitrateController
+from repro.cc.gcc import GccController
+from repro.cc.scream import ScreamController
+from repro.core.receiver import VideoReceiver
+from repro.core.sender import VideoSender
+from repro.net.path import NetworkPath
+from repro.net.simulator import EventLoop
+from repro.util.rng import RngStreams
+from repro.video.encoder import EncoderModel
+from repro.video.source import SourceVideo
+
+
+def build_pipeline(controller, *, rate=40e6, seed=8):
+    loop = EventLoop()
+    streams = RngStreams(seed)
+    holder = []
+    uplink = NetworkPath(
+        loop, lambda t: rate, lambda d: holder[0].on_datagram(d),
+        base_delay=0.02, jitter_std=0.0,
+    )
+    downlink = NetworkPath(
+        loop, lambda t: rate, lambda d: holder[0].on_feedback_delivered(d),
+        base_delay=0.02, jitter_std=0.0,
+    )
+    source = SourceVideo(streams.derive("src"))
+    encoder = EncoderModel(
+        streams.derive("enc"), initial_bitrate=controller.target_bitrate(0.0)
+    )
+    sender = VideoSender(loop, source, encoder, controller, uplink)
+    receiver = VideoReceiver(loop, controller, downlink)
+    holder.append(receiver)
+    return loop, sender, receiver, uplink
+
+
+class TestVideoSender:
+    def test_produces_frames_at_source_rate(self):
+        controller = StaticBitrateController(8e6)
+        loop, sender, receiver, _ = build_pipeline(controller)
+        sender.start()
+        loop.run_until(3.0)
+        assert sender.stats.frames_encoded == pytest.approx(90, abs=2)
+
+    def test_double_start_rejected(self):
+        controller = StaticBitrateController(8e6)
+        loop, sender, receiver, _ = build_pipeline(controller)
+        sender.start()
+        with pytest.raises(RuntimeError):
+            sender.start()
+
+    def test_static_sends_everything_immediately(self):
+        controller = StaticBitrateController(8e6)
+        loop, sender, receiver, _ = build_pipeline(controller)
+        sender.start()
+        loop.run_until(5.0)
+        assert sender.queued_bytes == 0
+        assert sender.stats.packets_sent > 300
+
+    def test_stop_halts_encoding(self):
+        controller = StaticBitrateController(8e6)
+        loop, sender, receiver, _ = build_pipeline(controller)
+        sender.start()
+        loop.run_until(1.0)
+        sender.stop()
+        count = sender.stats.frames_encoded
+        loop.run_until(3.0)
+        assert sender.stats.frames_encoded == count
+
+    def test_scream_queue_discard_on_stall(self):
+        """When the network stalls, SCReAM discards its send queue
+        after 100 ms instead of building unbounded latency."""
+        controller = ScreamController()
+        loop, sender, receiver, uplink = build_pipeline(controller)
+        sender.start()
+        loop.run_until(2.0)
+        uplink.set_up(False)  # dead radio: acks stop, cwnd blocks
+        loop.run_until(5.0)
+        assert sender.stats.queue_discards > 0
+        assert sender.stats.packets_discarded > 0
+
+    def test_static_has_no_queue_discards(self):
+        controller = StaticBitrateController(8e6)
+        loop, sender, receiver, uplink = build_pipeline(controller)
+        sender.start()
+        uplink.set_up(False)
+        loop.run_until(3.0)
+        assert sender.stats.queue_discards == 0
+
+    def test_gcc_packets_carry_transport_seq(self):
+        controller = GccController()
+        loop, sender, receiver, _ = build_pipeline(controller)
+        sender.start()
+        loop.run_until(1.0)
+        assert all(
+            e.sequence is not None for e in receiver.packet_log
+        )
+        # Transport-wide sequence numbers present on the wire.
+        assert receiver._twcc is not None
+
+
+class TestVideoReceiver:
+    def test_feedback_generated_for_gcc(self):
+        controller = GccController()
+        loop, sender, receiver, _ = build_pipeline(controller)
+        sender.start()
+        receiver.start()
+        loop.run_until(3.0)
+        assert receiver.feedback_sent > 10
+
+    def test_feedback_interval_matches_controller(self):
+        controller = ScreamController()
+        loop, sender, receiver, _ = build_pipeline(controller)
+        sender.start()
+        receiver.start()
+        loop.run_until(2.0)
+        # ~ (2.0 / 0.08) reports once media flows.
+        assert receiver.feedback_sent == pytest.approx(25, abs=6)
+
+    def test_no_feedback_for_static(self):
+        controller = StaticBitrateController(8e6)
+        loop, sender, receiver, _ = build_pipeline(controller)
+        sender.start()
+        receiver.start()
+        loop.run_until(2.0)
+        assert receiver.feedback_sent == 0
+
+    def test_packet_log_grows(self):
+        controller = StaticBitrateController(8e6)
+        loop, sender, receiver, _ = build_pipeline(controller)
+        sender.start()
+        loop.run_until(2.0)
+        assert len(receiver.packet_log) > 100
+        entry = receiver.packet_log[0]
+        assert entry.received_at > entry.sent_at
+
+    def test_rejects_non_rtp_payload(self):
+        controller = StaticBitrateController(8e6)
+        loop, sender, receiver, _ = build_pipeline(controller)
+        from repro.net.packet import Datagram
+
+        with pytest.raises(TypeError):
+            receiver.on_datagram(Datagram(size_bytes=100, payload="junk"))
+
+    def test_double_start_rejected(self):
+        controller = GccController()
+        loop, sender, receiver, _ = build_pipeline(controller)
+        receiver.start()
+        with pytest.raises(RuntimeError):
+            receiver.start()
+
+    def test_frames_reach_player(self):
+        controller = StaticBitrateController(8e6)
+        loop, sender, receiver, _ = build_pipeline(controller)
+        sender.start()
+        loop.run_until(3.0)
+        assert len(receiver.player.records) > 60
+        assert receiver.decoder.frames_decoded > 60
+
+
+class TestControllerDefaults:
+    def test_base_controller_interface(self):
+        controller = CongestionController(5e6)
+        assert controller.target_bitrate(0.0) == 5e6
+        assert controller.pacing_rate(0.0) == float("inf")
+        assert controller.can_send(10**9, 1200, 0.0)
+        assert controller.feedback_kind is FeedbackKind.NONE
+
+    def test_invalid_initial_bitrate(self):
+        with pytest.raises(ValueError):
+            CongestionController(0.0)

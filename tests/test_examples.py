@@ -1,0 +1,61 @@
+"""The example scripts must stay runnable (they are documentation)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: float = 300.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "--duration", "20", "--cc", "static")
+        assert "goodput" in out
+        assert "playback latency" in out.lower()
+
+    def test_compare_methods(self):
+        out = run_example(
+            "compare_methods.py", "--duration", "25", "--seeds", "1",
+            "--environment", "rural",
+        )
+        assert "static" in out and "gcc" in out and "scream" in out
+
+    def test_dataset_export(self, tmp_path):
+        out = run_example(
+            "dataset_export.py", "--duration", "15", "--out", str(tmp_path / "ds")
+        )
+        assert "Dataset summary" in out
+        assert (tmp_path / "ds").exists()
+
+    def test_trace_replay(self):
+        out = run_example("trace_replay.py", "--duration", "25")
+        assert "drop-on-latency" in out
+
+    def test_handover_study(self):
+        out = run_example("handover_study.py", "--duration", "60", "--seeds", "1")
+        assert "HO/s" in out
+        assert "A3" in out
+
+    def test_all_examples_covered(self):
+        scripts = {p.name for p in EXAMPLES.glob("*.py")}
+        tested = {
+            "quickstart.py",
+            "compare_methods.py",
+            "dataset_export.py",
+            "trace_replay.py",
+            "handover_study.py",
+        }
+        assert scripts == tested, f"untested examples: {scripts - tested}"

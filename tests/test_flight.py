@@ -1,0 +1,117 @@
+"""Tests for flight and ground trajectories."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.flight import (
+    CRUISE_SPEED,
+    Position,
+    WaypointTrajectory,
+    ground_trajectory,
+    paper_flight_trajectory,
+)
+
+
+class TestPosition:
+    def test_horizontal_distance(self):
+        a = Position(0, 0, 10)
+        b = Position(3, 4, 50)
+        assert a.horizontal_distance_to(b) == pytest.approx(5.0)
+
+    def test_3d_distance(self):
+        a = Position(0, 0, 0)
+        b = Position(3, 4, 12)
+        assert a.distance_to(b) == pytest.approx(13.0)
+
+
+class TestWaypointTrajectory:
+    def test_interpolation_midpoint(self):
+        traj = WaypointTrajectory(
+            [0.0, 10.0], [Position(0, 0, 0), Position(100, 0, 20)]
+        )
+        mid = traj.position(5.0)
+        assert mid.x == pytest.approx(50.0)
+        assert mid.altitude == pytest.approx(10.0)
+
+    def test_clamps_outside_range(self):
+        traj = WaypointTrajectory(
+            [0.0, 10.0], [Position(0, 0, 0), Position(100, 0, 0)]
+        )
+        assert traj.position(-5.0).x == 0.0
+        assert traj.position(50.0).x == 100.0
+
+    def test_speed_reported(self):
+        traj = WaypointTrajectory(
+            [0.0, 10.0], [Position(0, 0, 0), Position(100, 0, 0)]
+        )
+        assert traj.position(5.0).speed == pytest.approx(10.0)
+
+    def test_non_monotone_times_rejected(self):
+        with pytest.raises(ValueError):
+            WaypointTrajectory([0.0, 0.0], [Position(0, 0, 0), Position(1, 0, 0)])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            WaypointTrajectory([0.0, 1.0, 2.0], [Position(0, 0, 0)])
+
+
+class TestPaperFlight:
+    def test_duration_about_six_minutes(self):
+        traj = paper_flight_trajectory()
+        assert 280.0 <= traj.duration <= 450.0
+
+    def test_reaches_all_levels(self):
+        traj = paper_flight_trajectory()
+        altitudes = [traj.position(t).altitude for t in np.arange(0, traj.duration, 1.0)]
+        assert max(altitudes) == pytest.approx(120.0, abs=1.0)
+        for level in (40.0, 80.0):
+            assert any(abs(a - level) < 1.0 for a in altitudes)
+
+    def test_starts_and_ends_on_ground(self):
+        traj = paper_flight_trajectory()
+        assert traj.position(0.0).altitude == 0.0
+        assert traj.position(traj.duration).altitude == pytest.approx(0.0)
+
+    def test_altitude_never_negative_or_above_limit(self):
+        traj = paper_flight_trajectory()
+        for t in np.arange(0, traj.duration, 0.5):
+            assert -0.1 <= traj.position(t).altitude <= 120.1
+
+    def test_horizontal_leaps_cover_200m(self):
+        traj = paper_flight_trajectory(leap_length=200.0)
+        xs = [traj.position(t).x for t in np.arange(0, traj.duration, 0.5)]
+        assert max(xs) - min(xs) >= 199.0
+
+    def test_speed_within_regulatory_envelope(self):
+        traj = paper_flight_trajectory()
+        for t in np.arange(0.5, traj.duration, 0.5):
+            # max recorded speed in the paper was 60 km/h.
+            assert traj.position(t).speed <= 60 / 3.6 + 0.1
+
+
+class TestGroundTrajectory:
+    def test_stays_at_street_level(self):
+        traj = ground_trajectory(duration=120.0, rng=np.random.default_rng(1))
+        for t in np.arange(0, 120.0, 1.0):
+            assert traj.position(t).altitude == pytest.approx(1.5)
+
+    def test_covers_requested_duration(self):
+        traj = ground_trajectory(duration=200.0, rng=np.random.default_rng(2))
+        assert traj.duration >= 200.0
+
+    def test_includes_idle_periods(self):
+        traj = ground_trajectory(
+            duration=600.0, idle_fraction=0.5, rng=np.random.default_rng(3)
+        )
+        speeds = [traj.position(t).speed for t in np.arange(0, 600.0, 1.0)]
+        idle = sum(1 for s in speeds if s < 0.01)
+        assert idle > 30  # significant stationary time
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_deterministic_for_seed(self, seed):
+        a = ground_trajectory(duration=60.0, rng=np.random.default_rng(seed))
+        b = ground_trajectory(duration=60.0, rng=np.random.default_rng(seed))
+        for t in (0.0, 10.0, 30.0, 59.0):
+            assert a.position(t).x == b.position(t).x

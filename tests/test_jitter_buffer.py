@@ -1,0 +1,169 @@
+"""Tests for the GStreamer-like jitter buffer."""
+
+import pytest
+
+from repro.net.simulator import EventLoop
+from repro.rtp.jitter_buffer import JitterBuffer
+from repro.rtp.packets import RtpPacket, timestamp_for
+
+
+def make_packet(seq, media_time):
+    return RtpPacket(
+        ssrc=1,
+        sequence=seq % (1 << 16),
+        timestamp=timestamp_for(media_time),
+        payload_size=1200,
+    )
+
+
+class TestJitterBuffer:
+    def test_packet_released_after_latency(self):
+        loop = EventLoop()
+        released = []
+        buffer = JitterBuffer(loop, lambda p, t: released.append((p.sequence, t)))
+        loop.call_at(0.05, lambda: buffer.push(make_packet(0, 0.0), 0.05))
+        loop.run()
+        # offset = 0.05; deadline = 0.05 + 0 + 0.150
+        assert released == [(0, pytest.approx(0.2))]
+
+    def test_jitter_equalized(self):
+        """Packets with variable network delay play out at a constant
+        media pace."""
+        loop = EventLoop()
+        released = []
+        buffer = JitterBuffer(
+            loop, lambda p, t: released.append(t), latency=0.1
+        )
+        # Variable delays chosen so arrival order stays FIFO.
+        delays = [0.04, 0.07, 0.05, 0.06, 0.041]
+        for i, delay in enumerate(delays):
+            media = i * (1.0 / 30)
+            loop.call_at(
+                media + delay,
+                lambda p=make_packet(i, media), a=media + delay: buffer.push(p, a),
+            )
+        loop.run()
+        gaps = [b - a for a, b in zip(released, released[1:])]
+        # The 90 kHz RTP clock quantizes media times to ~11 us.
+        for gap in gaps:
+            assert gap == pytest.approx(1.0 / 30, abs=1e-4)
+
+    def test_late_packet_released_immediately_by_default(self):
+        loop = EventLoop()
+        released = []
+        buffer = JitterBuffer(loop, lambda p, t: released.append(t), latency=0.05)
+        loop.call_at(0.01, lambda: buffer.push(make_packet(0, 0.0), 0.01))
+        # Second packet arrives way beyond its deadline.
+        loop.call_at(0.5, lambda: buffer.push(make_packet(1, 1.0 / 30), 0.5))
+        loop.run()
+        assert released[1] == pytest.approx(0.5)
+        assert buffer.dropped_late_packets == 0
+
+    def test_drop_on_latency_discards_late_packets(self):
+        loop = EventLoop()
+        released = []
+        buffer = JitterBuffer(
+            loop,
+            lambda p, t: released.append(p.sequence),
+            latency=0.05,
+            drop_on_latency=True,
+        )
+        loop.call_at(0.01, lambda: buffer.push(make_packet(0, 0.0), 0.01))
+        loop.call_at(0.5, lambda: buffer.push(make_packet(1, 1.0 / 30), 0.5))
+        loop.run()
+        assert released == [0]
+        assert buffer.dropped_late_packets == 1
+
+    def test_offset_tracks_minimum_skew(self):
+        """A slow first packet must not inflate all later deadlines."""
+        loop = EventLoop()
+        released = []
+        buffer = JitterBuffer(loop, lambda p, t: released.append(t), latency=0.1)
+        # First packet sees 300 ms delay; a much later packet sees
+        # only 40 ms (the queue drained).
+        loop.call_at(0.3, lambda: buffer.push(make_packet(0, 0.0), 0.3))
+        media = 10 * (1.0 / 30)
+        loop.call_at(
+            media + 0.04, lambda: buffer.push(make_packet(1, media), media + 0.04)
+        )
+        loop.run()
+        # Second packet's deadline derives from its own (smaller)
+        # skew, not the first packet's inflated one.
+        assert released[1] == pytest.approx(media + 0.04 + 0.1, abs=1e-4)
+
+    def test_gap_penalty_applied_beyond_threshold(self):
+        loop = EventLoop()
+        released = []
+        buffer = JitterBuffer(
+            loop,
+            lambda p, t: released.append((p.sequence, t)),
+            latency=0.1,
+            gap_penalty_threshold=10,
+            gap_wait_per_packet=0.002,
+        )
+        loop.call_at(0.04, lambda: buffer.push(make_packet(0, 0.0), 0.04))
+        # 200-packet hole (a SCReAM queue discard).
+        media = 10 * (1.0 / 30)
+        loop.call_at(
+            media + 0.04,
+            lambda: buffer.push(make_packet(201, media), media + 0.04),
+        )
+        loop.run()
+        base_deadline = media + 0.04 + 0.1
+        penalty = (201 - 1 - 10) * 0.002
+        assert released[1][1] == pytest.approx(base_deadline + penalty, abs=1e-3)
+        assert buffer.gap_events == 1
+
+    def test_small_gaps_do_not_accrue_penalty(self):
+        loop = EventLoop()
+        released = []
+        buffer = JitterBuffer(
+            loop,
+            lambda p, t: released.append(t),
+            latency=0.1,
+            gap_penalty_threshold=100,
+        )
+        loop.call_at(0.04, lambda: buffer.push(make_packet(0, 0.0), 0.04))
+        media = 1.0 / 30
+        loop.call_at(
+            media + 0.04, lambda: buffer.push(make_packet(4, media), media + 0.04)
+        )
+        loop.run()
+        assert buffer.gap_events == 1
+        assert released[1] == pytest.approx(media + 0.04 + 0.1)
+
+    def test_release_order_is_fifo_despite_penalty_decay(self):
+        loop = EventLoop()
+        released = []
+        buffer = JitterBuffer(
+            loop,
+            lambda p, t: released.append(p.sequence),
+            latency=0.1,
+            gap_penalty_threshold=0,
+            gap_wait_per_packet=0.01,
+            gap_penalty_tau=0.5,
+        )
+        # A big hole, then a steady stream while the penalty decays.
+        loop.call_at(0.04, lambda: buffer.push(make_packet(0, 0.0), 0.04))
+        for i in range(1, 20):
+            media = i * (1.0 / 30)
+            seq = 100 + i  # 100-packet hole before packet 101
+            loop.call_at(
+                media + 0.04,
+                lambda p=make_packet(seq, media), a=media + 0.04: buffer.push(p, a),
+            )
+        loop.run()
+        assert released == sorted(released)
+
+    def test_flush_suppresses_pending_releases(self):
+        loop = EventLoop()
+        released = []
+        buffer = JitterBuffer(loop, lambda p, t: released.append(p))
+        loop.call_at(0.01, lambda: buffer.push(make_packet(0, 0.0), 0.01))
+        loop.call_at(0.02, buffer.flush)
+        loop.run()
+        assert released == []
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            JitterBuffer(EventLoop(), lambda p, t: None, latency=-0.1)

@@ -1,0 +1,214 @@
+"""Tests for statistics primitives and metric reductions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cellular.handover import HandoverEvent
+from repro.core.receiver import PacketLogEntry
+from repro.metrics import (
+    BoxplotSummary,
+    Cdf,
+    HandoverMetrics,
+    HoRatioSummary,
+    StallMetrics,
+    average_goodput,
+    fps_series,
+    goodput_series,
+    handover_latency_ratios,
+    latency_ratio_in_window,
+    one_way_delays,
+    ssim_samples,
+    windowed_rate,
+)
+from repro.video.player import PlaybackRecord
+
+
+def make_entry(seq, sent, received, size=1200, frame=0):
+    return PacketLogEntry(
+        sequence=seq, sent_at=sent, received_at=received, size_bytes=size, frame_id=frame
+    )
+
+
+def make_record(frame_id, play_time, encode_time=None, ssim=0.9):
+    return PlaybackRecord(
+        frame_id=frame_id,
+        play_time=play_time,
+        encode_time=encode_time if encode_time is not None else play_time - 0.2,
+        ssim=ssim,
+        complete=True,
+    )
+
+
+class TestBoxplotSummary:
+    def test_five_numbers(self):
+        summary = BoxplotSummary.from_samples(list(range(1, 101)))
+        assert summary.minimum == 1
+        assert summary.maximum == 100
+        assert summary.median == pytest.approx(50.5)
+        assert summary.q1 == pytest.approx(25.75)
+        assert summary.q3 == pytest.approx(75.25)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BoxplotSummary.from_samples([])
+
+    def test_outliers_above_whisker(self):
+        samples = [1.0] * 50 + [100.0]
+        summary = BoxplotSummary.from_samples(samples)
+        assert summary.outliers_above(samples) == [100.0]
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=200))
+    def test_ordering_invariant(self, samples):
+        s = BoxplotSummary.from_samples(samples)
+        assert s.minimum <= s.q1 <= s.median <= s.q3 <= s.maximum
+
+
+class TestCdf:
+    def test_fraction_below(self):
+        cdf = Cdf.from_samples([1, 2, 3, 4, 5])
+        assert cdf.fraction_below(3) == pytest.approx(0.6)
+        assert cdf.fraction_below(0) == 0.0
+        assert cdf.fraction_below(10) == 1.0
+
+    def test_fraction_above_complements(self):
+        cdf = Cdf.from_samples([1, 2, 3, 4])
+        assert cdf.fraction_above(2) == pytest.approx(0.5)
+
+    def test_percentile(self):
+        cdf = Cdf.from_samples(list(range(101)))
+        assert cdf.percentile(50) == pytest.approx(50)
+
+    def test_evaluate_returns_curve(self):
+        cdf = Cdf.from_samples([1.0, 2.0])
+        curve = cdf.evaluate([0.5, 1.5, 2.5])
+        assert curve == [(0.5, 0.0), (1.5, 0.5), (2.5, 1.0)]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Cdf.from_samples([])
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=100), st.floats(0, 1e6))
+    def test_monotone(self, samples, x):
+        cdf = Cdf.from_samples(samples)
+        assert cdf.fraction_below(x) <= cdf.fraction_below(x + 1.0)
+
+
+class TestWindowedRate:
+    def test_constant_stream(self):
+        times = [i * 0.01 for i in range(200)]  # 100 pkt/s
+        sizes = [1250] * 200  # 1 Mbps at 100 pkt/s... 1250*8*100 = 1 Mbps
+        series = windowed_rate(times, sizes, window=1.0, t_start=0.0, t_end=2.0)
+        assert len(series) == 2
+        assert series[0][1] == pytest.approx(1e6, rel=0.05)
+
+    def test_empty_input(self):
+        assert windowed_rate([], [], window=1.0) == []
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            windowed_rate([1.0], [100], window=0.0)
+
+
+class TestNetworkMetrics:
+    def test_one_way_delays(self):
+        log = [make_entry(0, 1.0, 1.05), make_entry(1, 2.0, 2.10)]
+        assert one_way_delays(log) == [
+            pytest.approx(0.05),
+            pytest.approx(0.10),
+        ]
+
+    def test_handover_metrics_frequency(self):
+        events = [
+            HandoverEvent(time=t, source_cell=0, target_cell=1, execution_time=0.03)
+            for t in (10.0, 20.0, 30.0)
+        ]
+        metrics = HandoverMetrics.from_events(events, duration=60.0)
+        assert metrics.frequency_per_s == pytest.approx(0.05)
+        assert metrics.successful_fraction == 1.0
+
+    def test_handover_metrics_without_events(self):
+        metrics = HandoverMetrics.from_events([], duration=60.0)
+        assert metrics.frequency_per_s == 0.0
+        assert metrics.het_summary() is None
+
+    def test_average_goodput_with_warmup(self):
+        log = [make_entry(i, i * 0.1, i * 0.1 + 0.05, size=1000) for i in range(100)]
+        # 10 packets/s x 1000 B = 80 kbps.
+        rate = average_goodput(log, duration=10.0, warmup=0.0)
+        assert rate == pytest.approx(80_000, rel=0.05)
+
+    def test_goodput_series_covers_duration(self):
+        log = [make_entry(i, i * 0.5, i * 0.5 + 0.05) for i in range(10)]
+        series = goodput_series(log, duration=10.0)
+        assert len(series) == 10
+
+
+class TestVideoMetrics:
+    def test_fps_series_counts_frames(self):
+        playback = [make_record(i, i / 30.0) for i in range(90)]
+        series = fps_series(playback, duration=3.0)
+        assert [value for _, value in series] == pytest.approx([30, 30, 30])
+
+    def test_ssim_samples_pad_unplayed(self):
+        playback = [make_record(i, i / 30.0, ssim=0.8) for i in range(10)]
+        samples = ssim_samples(playback, frames_encoded=15)
+        assert len(samples) == 15
+        assert samples.count(0.0) == 5
+
+    def test_stall_detection(self):
+        playback = [
+            make_record(0, 0.0),
+            make_record(1, 0.033),
+            make_record(2, 0.5),  # 467 ms gap: stall
+            make_record(3, 0.533),
+        ]
+        metrics = StallMetrics.from_playback(playback, duration=60.0)
+        assert metrics.stall_count == 1
+        assert metrics.stalls_per_minute == pytest.approx(1.0)
+        assert metrics.longest_stall == pytest.approx(0.467)
+
+    def test_no_stalls_on_smooth_playback(self):
+        playback = [make_record(i, i / 30.0) for i in range(300)]
+        metrics = StallMetrics.from_playback(playback, duration=10.0)
+        assert metrics.stall_count == 0
+
+
+class TestHoWindowAnalysis:
+    def test_ratio_in_window(self):
+        times = np.array([0.1 * i for i in range(20)])
+        delays = np.array([0.02] * 10 + [0.1] * 10)
+        ratio = latency_ratio_in_window(times, delays, 0.5, 1.5)
+        assert ratio == pytest.approx(5.0)
+
+    def test_window_with_too_few_samples(self):
+        times = np.array([0.0, 10.0])
+        delays = np.array([0.02, 0.02])
+        assert latency_ratio_in_window(times, delays, 0.0, 1.0) is None
+
+    def test_before_window_catches_pre_ho_spike(self):
+        # Packets sent just before the HO see growing delays.
+        log = []
+        for i in range(100):
+            t = i * 0.01
+            delay = 0.02 if t < 0.5 else 0.02 + (t - 0.5) * 0.3
+            log.append(make_entry(i, t, t + delay))
+        events = [
+            HandoverEvent(time=1.0, source_cell=0, target_cell=1, execution_time=0.03)
+        ]
+        ratios = handover_latency_ratios(log, events)
+        assert len(ratios) == 1
+        assert ratios[0].before_ratio == pytest.approx(
+            (0.02 + 0.5 * 0.3) / 0.02, rel=0.1
+        )
+
+    def test_summary_aggregates(self):
+        log = [make_entry(i, i * 0.01, i * 0.01 + 0.02) for i in range(400)]
+        events = [
+            HandoverEvent(time=2.0, source_cell=0, target_cell=1, execution_time=0.03)
+        ]
+        summary = HoRatioSummary.from_ratios(handover_latency_ratios(log, events))
+        assert summary.before is not None
+        assert summary.before.mean == pytest.approx(1.0, abs=0.01)

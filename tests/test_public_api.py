@@ -1,0 +1,68 @@
+"""Public-API hygiene: imports, __all__ integrity, docstrings."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.net",
+    "repro.rtp",
+    "repro.cc",
+    "repro.cc.gcc",
+    "repro.cc.scream",
+    "repro.video",
+    "repro.cellular",
+    "repro.flight",
+    "repro.core",
+    "repro.traces",
+    "repro.metrics",
+    "repro.analysis",
+    "repro.experiments",
+    "repro.multipath",
+    "repro.control",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_imports(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_entries_resolve(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol}"
+
+
+def test_every_module_has_docstring():
+    missing = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        module = importlib.import_module(info.name)
+        if not module.__doc__:
+            missing.append(info.name)
+    assert missing == []
+
+
+def test_public_classes_have_docstrings():
+    undocumented = []
+    for name in PACKAGES:
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            obj = getattr(module, symbol)
+            if isinstance(obj, type) and not obj.__doc__:
+                undocumented.append(f"{name}.{symbol}")
+    assert undocumented == []
+
+
+def test_version_exposed():
+    assert repro.__version__
+
+
+def test_top_level_exports():
+    from repro import ScenarioConfig, SessionResult, run_session  # noqa: F401

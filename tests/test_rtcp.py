@@ -1,0 +1,176 @@
+"""Tests for RFC 3550 sender/receiver reports."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rtp.rtcp import (
+    ReceiverReport,
+    ReportBlock,
+    RtcpAccountant,
+    SenderReport,
+    from_ntp,
+    middle_ntp,
+    rtt_from_block,
+    to_ntp,
+)
+
+
+class TestNtpConversion:
+    def test_roundtrip(self):
+        for value in (0.0, 1.5, 123456.789, 0.000015):
+            seconds, fraction = to_ntp(value)
+            assert from_ntp(seconds, fraction) == pytest.approx(value, abs=1e-6)
+
+    @given(st.floats(0.0, 1e6))
+    def test_roundtrip_property(self, value):
+        assert from_ntp(*to_ntp(value)) == pytest.approx(value, abs=1e-6)
+
+    def test_middle_ntp_monotone_locally(self):
+        assert middle_ntp(10.0) < middle_ntp(10.5) < middle_ntp(11.0)
+
+
+class TestReportBlock:
+    def make(self, **over):
+        base = dict(
+            ssrc=0x1111,
+            fraction_lost=0.05,
+            cumulative_lost=321,
+            highest_sequence=70_000,
+            jitter=42,
+            last_sr=0xDEADBEEF,
+            delay_since_last_sr=0.25,
+        )
+        base.update(over)
+        return ReportBlock(**base)
+
+    def test_roundtrip(self):
+        block = self.make()
+        parsed = ReportBlock.from_bytes(block.to_bytes())
+        assert parsed.ssrc == block.ssrc
+        assert parsed.fraction_lost == pytest.approx(block.fraction_lost, abs=1 / 256)
+        assert parsed.cumulative_lost == block.cumulative_lost
+        assert parsed.highest_sequence == block.highest_sequence
+        assert parsed.last_sr == block.last_sr
+        assert parsed.delay_since_last_sr == pytest.approx(0.25, abs=1e-4)
+
+    def test_block_is_24_bytes(self):
+        assert len(self.make().to_bytes()) == 24
+
+    def test_fraction_saturates(self):
+        block = self.make(fraction_lost=2.0)
+        parsed = ReportBlock.from_bytes(block.to_bytes())
+        assert parsed.fraction_lost <= 1.0
+
+    def test_short_input_rejected(self):
+        with pytest.raises(ValueError):
+            ReportBlock.from_bytes(b"\x00" * 10)
+
+
+class TestSenderReceiverReports:
+    def test_sender_report_roundtrip(self):
+        report = SenderReport(
+            ssrc=7,
+            ntp_time=1234.5,
+            rtp_timestamp=90_000,
+            packet_count=1000,
+            octet_count=1_200_000,
+        )
+        parsed = SenderReport.from_bytes(report.to_bytes())
+        assert parsed.ssrc == 7
+        assert parsed.ntp_time == pytest.approx(1234.5, abs=1e-6)
+        assert parsed.packet_count == 1000
+        assert parsed.octet_count == 1_200_000
+
+    def test_sender_report_with_blocks(self):
+        block = ReportBlock(
+            ssrc=1, fraction_lost=0.0, cumulative_lost=0,
+            highest_sequence=10, jitter=0, last_sr=0, delay_since_last_sr=0.0,
+        )
+        report = SenderReport(
+            ssrc=7, ntp_time=1.0, rtp_timestamp=0,
+            packet_count=1, octet_count=1, blocks=[block],
+        )
+        parsed = SenderReport.from_bytes(report.to_bytes())
+        assert len(parsed.blocks) == 1
+        assert report.wire_size == len(report.to_bytes())
+
+    def test_receiver_report_roundtrip(self):
+        block = ReportBlock(
+            ssrc=3, fraction_lost=0.1, cumulative_lost=5,
+            highest_sequence=99, jitter=7, last_sr=123, delay_since_last_sr=0.5,
+        )
+        report = ReceiverReport(ssrc=9, blocks=[block])
+        parsed = ReceiverReport.from_bytes(report.to_bytes())
+        assert parsed.ssrc == 9
+        assert parsed.blocks[0].cumulative_lost == 5
+        assert report.wire_size == len(report.to_bytes())
+
+    def test_type_confusion_rejected(self):
+        sr = SenderReport(
+            ssrc=1, ntp_time=0.0, rtp_timestamp=0, packet_count=0, octet_count=0
+        )
+        with pytest.raises(ValueError):
+            ReceiverReport.from_bytes(sr.to_bytes())
+
+
+class TestRtcpAccountant:
+    def test_counts_expected_and_lost(self):
+        acct = RtcpAccountant(ssrc=1)
+        for seq in (0, 1, 2, 4, 5):  # 3 missing
+            acct.on_packet(seq, seq * 3000, seq * 0.0333)
+        block = acct.build_block(now=1.0)
+        assert acct.expected == 6
+        assert block.cumulative_lost == 1
+        assert block.fraction_lost == pytest.approx(1 / 6, abs=0.01)
+
+    def test_sequence_wrap_extends(self):
+        acct = RtcpAccountant(ssrc=1)
+        acct.on_packet(65_534, 0, 0.0)
+        acct.on_packet(65_535, 3000, 0.033)
+        acct.on_packet(0, 6000, 0.066)
+        acct.on_packet(1, 9000, 0.1)
+        assert acct.expected == 4
+
+    def test_jitter_zero_for_perfect_pacing(self):
+        acct = RtcpAccountant(ssrc=1)
+        for i in range(100):
+            acct.on_packet(i, i * 3000, i / 30.0 + 0.05)
+        block = acct.build_block(now=10.0)
+        assert block.jitter < 5
+
+    def test_jitter_grows_with_variation(self):
+        acct = RtcpAccountant(ssrc=1)
+        for i in range(100):
+            wobble = 0.01 if i % 2 else 0.0
+            acct.on_packet(i, i * 3000, i / 30.0 + 0.05 + wobble)
+        block = acct.build_block(now=10.0)
+        assert block.jitter > 100
+
+    def test_interval_fraction_resets(self):
+        acct = RtcpAccountant(ssrc=1)
+        for seq in (0, 2):  # one lost in the first interval
+            acct.on_packet(seq, 0, 0.0)
+        first = acct.build_block(now=1.0)
+        assert first.fraction_lost > 0
+        for seq in (3, 4, 5):
+            acct.on_packet(seq, 0, 1.0)
+        second = acct.build_block(now=2.0)
+        assert second.fraction_lost == 0.0
+
+    def test_rtt_roundtrip_via_sr_rr(self):
+        """Full RFC 3550 RTT computation across both directions."""
+        acct = RtcpAccountant(ssrc=1)
+        sr = SenderReport(
+            ssrc=1, ntp_time=100.0, rtp_timestamp=0, packet_count=0, octet_count=0
+        )
+        acct.on_sender_report(sr, arrival=100.04)  # 40 ms one-way
+        block = acct.build_block(now=100.14)  # held for 100 ms
+        # Sender receives the RR 40 ms later.
+        rtt = rtt_from_block(block, now=100.18)
+        assert rtt == pytest.approx(0.08, abs=0.005)
+
+    def test_rtt_none_before_any_sr(self):
+        acct = RtcpAccountant(ssrc=1)
+        acct.on_packet(0, 0, 0.0)
+        block = acct.build_block(now=1.0)
+        assert rtt_from_block(block, now=2.0) is None

@@ -1,0 +1,131 @@
+"""Tests for RTP packet model and wire serialization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rtp import (
+    RtpPacket,
+    RTP_HEADER_BYTES,
+    TWCC_EXTENSION_BYTES,
+    SEQ_MOD,
+    seq_distance,
+    seq_less_than,
+    timestamp_for,
+)
+
+
+class TestSequenceMath:
+    def test_forward_distance(self):
+        assert seq_distance(10, 15) == 5
+
+    def test_backward_distance(self):
+        assert seq_distance(15, 10) == -5
+
+    def test_wraparound_forward(self):
+        assert seq_distance(65_530, 4) == 10
+
+    def test_wraparound_backward(self):
+        assert seq_distance(4, 65_530) == -10
+
+    def test_less_than(self):
+        assert seq_less_than(10, 11)
+        assert not seq_less_than(11, 10)
+        assert seq_less_than(65_535, 0)
+
+    @given(st.integers(0, SEQ_MOD - 1), st.integers(0, SEQ_MOD - 1))
+    def test_distance_antisymmetric(self, a, b):
+        d1, d2 = seq_distance(a, b), seq_distance(b, a)
+        if d1 != -(SEQ_MOD // 2):  # the ambiguous midpoint
+            assert d1 == -d2
+
+    @given(st.integers(0, SEQ_MOD - 1), st.integers(-1000, 1000))
+    def test_distance_recovers_offset(self, base, offset):
+        other = (base + offset) % SEQ_MOD
+        assert seq_distance(base, other) == offset
+
+
+class TestTimestampFor:
+    def test_90khz_mapping(self):
+        assert timestamp_for(1.0) == 90_000
+
+    def test_wraps_modulo_32_bits(self):
+        big = timestamp_for(2**32 / 90_000 + 1.0)
+        assert 0 <= big < 2**32
+
+
+class TestRtpPacket:
+    def make(self, **kwargs):
+        defaults = dict(ssrc=0x1234, sequence=7, timestamp=9000, payload_size=1200)
+        defaults.update(kwargs)
+        return RtpPacket(**defaults)
+
+    def test_header_size_without_extension(self):
+        assert self.make().header_size == RTP_HEADER_BYTES
+
+    def test_header_size_with_twcc(self):
+        packet = self.make(transport_seq=55)
+        assert packet.header_size == RTP_HEADER_BYTES + TWCC_EXTENSION_BYTES
+
+    def test_wire_size_includes_payload(self):
+        assert self.make(payload_size=100).wire_size == RTP_HEADER_BYTES + 100
+
+    def test_rejects_out_of_range_sequence(self):
+        with pytest.raises(ValueError):
+            self.make(sequence=SEQ_MOD)
+
+    def test_rejects_negative_payload(self):
+        with pytest.raises(ValueError):
+            self.make(payload_size=-1)
+
+    def test_serialized_length_matches_wire_size(self):
+        packet = self.make(transport_seq=99)
+        assert len(packet.to_bytes()) == packet.wire_size
+
+    def test_roundtrip_basic(self):
+        packet = self.make(marker=True, payload_type=97)
+        parsed = RtpPacket.from_bytes(packet.to_bytes())
+        assert parsed.ssrc == packet.ssrc
+        assert parsed.sequence == packet.sequence
+        assert parsed.timestamp == packet.timestamp
+        assert parsed.marker is True
+        assert parsed.payload_type == 97
+        assert parsed.payload_size == packet.payload_size
+        assert parsed.transport_seq is None
+
+    def test_roundtrip_with_transport_seq(self):
+        packet = self.make(transport_seq=0xBEEF & 0x7FFF)
+        parsed = RtpPacket.from_bytes(packet.to_bytes())
+        assert parsed.transport_seq == packet.transport_seq
+
+    def test_from_bytes_rejects_short_input(self):
+        with pytest.raises(ValueError):
+            RtpPacket.from_bytes(b"\x80\x60")
+
+    def test_from_bytes_rejects_wrong_version(self):
+        data = bytearray(self.make().to_bytes())
+        data[0] = 0x00  # version 0
+        with pytest.raises(ValueError):
+            RtpPacket.from_bytes(bytes(data))
+
+    @given(
+        seq=st.integers(0, SEQ_MOD - 1),
+        ts=st.integers(0, 2**32 - 1),
+        size=st.integers(0, 1500),
+        marker=st.booleans(),
+        tseq=st.one_of(st.none(), st.integers(0, SEQ_MOD - 1)),
+    )
+    def test_roundtrip_property(self, seq, ts, size, marker, tseq):
+        packet = RtpPacket(
+            ssrc=42,
+            sequence=seq,
+            timestamp=ts,
+            payload_size=size,
+            marker=marker,
+            transport_seq=tseq,
+        )
+        parsed = RtpPacket.from_bytes(packet.to_bytes())
+        assert parsed.sequence == seq
+        assert parsed.timestamp == ts
+        assert parsed.payload_size == size
+        assert parsed.marker == marker
+        assert parsed.transport_seq == tseq

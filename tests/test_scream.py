@@ -1,0 +1,237 @@
+"""Tests for the SCReAM window, rate controller and loss detection."""
+
+import pytest
+
+from repro.cc.base import SentPacket
+from repro.cc.scream import MSS, ScreamController, ScreamRateController, ScreamWindow
+from repro.rtp.ccfb import CcfbPacketReport, CcfbRecorder, CcfbReport
+
+
+class TestScreamWindow:
+    def test_can_send_respects_cwnd(self):
+        window = ScreamWindow()
+        window.cwnd = 3 * MSS
+        assert window.can_send(MSS)
+        window.bytes_in_flight = 3 * MSS
+        assert not window.can_send(1)
+
+    def test_ack_reduces_bytes_in_flight(self):
+        window = ScreamWindow()
+        window.on_packet_sent(MSS, 0.0)
+        assert window.bytes_in_flight == MSS
+        window.on_packet_acked(MSS, 0.05, 0.1)
+        assert window.bytes_in_flight == 0
+
+    def test_cwnd_grows_below_qdelay_target(self):
+        window = ScreamWindow(qdelay_target=0.06)
+        start = window.cwnd
+        for i in range(200):
+            # Keep the window utilized: the bytes-in-flight headroom
+            # cap only lets cwnd grow when it is actually being used.
+            while window.can_send(MSS):
+                window.on_packet_sent(MSS, i * 0.01)
+            window.on_packet_acked(MSS, 0.04, i * 0.01 + 0.05)
+        assert window.cwnd > start
+
+    def test_cwnd_shrinks_above_qdelay_target(self):
+        window = ScreamWindow(qdelay_target=0.06)
+        # Establish base delay first.
+        window.on_packet_acked(MSS, 0.03, 0.0)
+        window.cwnd = 100 * MSS
+        for i in range(100):
+            window.on_packet_sent(MSS, 1.0 + i * 0.01)
+            # one-way delay far above base: qdelay ~ 170 ms.
+            window.on_packet_acked(MSS, 0.2, 1.0 + i * 0.01)
+        assert window.cwnd < 100 * MSS
+
+    def test_loss_backs_off_multiplicatively(self):
+        window = ScreamWindow()
+        window.cwnd = 100 * MSS
+        window.on_packet_lost(MSS, now=1.0)
+        assert window.cwnd == int(100 * MSS * 0.8)
+
+    def test_loss_backoff_once_per_rtt(self):
+        window = ScreamWindow()
+        window.cwnd = 100 * MSS
+        window.srtt = 0.1
+        window.on_packet_lost(MSS, now=1.0)
+        after_first = window.cwnd
+        window.on_packet_lost(MSS, now=1.05)  # within one RTT
+        assert window.cwnd == after_first
+        window.on_packet_lost(MSS, now=1.2)  # beyond one RTT
+        assert window.cwnd < after_first
+
+    def test_cwnd_never_below_minimum(self):
+        window = ScreamWindow()
+        for i in range(50):
+            window.on_packet_lost(MSS, now=float(i))
+        assert window.cwnd >= window.min_cwnd
+
+    def test_base_delay_is_windowed_minimum(self):
+        window = ScreamWindow()
+        window.on_packet_acked(MSS, 0.08, 0.0)
+        window.on_packet_acked(MSS, 0.03, 1.0)
+        window.on_packet_acked(MSS, 0.10, 2.0)
+        assert window.base_delay == pytest.approx(0.03)
+
+    def test_throughput_estimate(self):
+        window = ScreamWindow()
+        window.cwnd = 62_500  # bytes
+        window.srtt = 0.05
+        assert window.throughput_estimate() == pytest.approx(10e6)
+
+
+class TestScreamRateController:
+    def kwargs(self, **over):
+        base = dict(
+            rtp_queue_delay=0.0,
+            qdelay=0.0,
+            qdelay_target=0.06,
+            window_throughput=100e6,
+            ack_rate=None,
+        )
+        base.update(over)
+        return base
+
+    def test_ramp_up_speed_bounds_growth(self):
+        ctrl = ScreamRateController(initial_bitrate=2e6, ramp_up_speed=1e6)
+        ctrl.adjust(0.0, **self.kwargs())
+        rate = ctrl.adjust(1.0, **self.kwargs())
+        # 1 s at <= 2.5x ramp speed (fast-increase may be active).
+        assert rate <= 2e6 + 2.5e6 * 1.05
+
+    def test_queue_pressure_cuts_target(self):
+        ctrl = ScreamRateController(initial_bitrate=10e6)
+        ctrl.adjust(0.0, **self.kwargs())
+        rate = ctrl.adjust(0.2, **self.kwargs(rtp_queue_delay=0.12))
+        assert rate < 10e6
+
+    def test_qdelay_pressure_cuts_target(self):
+        ctrl = ScreamRateController(initial_bitrate=10e6)
+        ctrl.adjust(0.0, **self.kwargs())
+        rate = ctrl.adjust(0.2, **self.kwargs(qdelay=0.2))
+        assert rate < 10e6
+
+    def test_hold_band_neither_grows_nor_cuts(self):
+        ctrl = ScreamRateController(initial_bitrate=10e6, queue_delay_guard=0.04)
+        ctrl.adjust(0.0, **self.kwargs())
+        rate = ctrl.adjust(0.2, **self.kwargs(rtp_queue_delay=0.03))
+        assert rate == pytest.approx(10e6)
+
+    def test_ack_rate_ceiling_binds(self):
+        ctrl = ScreamRateController(
+            initial_bitrate=10e6, ack_rate_headroom=1.25
+        )
+        ctrl.adjust(0.0, **self.kwargs())
+        rate = ctrl.adjust(0.2, **self.kwargs(ack_rate=4e6))
+        assert rate == pytest.approx(5e6)
+
+    def test_loss_scales_down(self):
+        ctrl = ScreamRateController(initial_bitrate=10e6, loss_scale=0.95)
+        ctrl.on_loss()
+        assert ctrl.target == pytest.approx(9.5e6)
+
+    def test_fast_increase_after_quiet_period(self):
+        ctrl = ScreamRateController(initial_bitrate=5e6, ramp_up_speed=1e6)
+        ctrl.adjust(0.0, **self.kwargs())
+        ctrl.adjust(2.5, **self.kwargs())
+        before = ctrl.target
+        after = ctrl.adjust(3.0, **self.kwargs())
+        # 0.5 s at 2.5x speed.
+        assert after - before == pytest.approx(0.5 * 2.5e6, rel=0.05)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            ScreamRateController(min_bitrate=10e6, max_bitrate=5e6)
+
+
+def build_report(begin_seq, statuses, now, window=64):
+    """statuses: dict seq -> arrival_offset (None = not received)."""
+    reports = []
+    count = max(window, len(statuses))
+    for i in range(count):
+        seq = (begin_seq + i) % (1 << 16)
+        if seq in statuses and statuses[seq] is not None:
+            reports.append(
+                CcfbPacketReport(received=True, arrival_offset=statuses[seq])
+            )
+        else:
+            reports.append(CcfbPacketReport(received=False))
+    return CcfbReport(
+        ssrc=1, begin_seq=begin_seq, report_timestamp=now, reports=reports
+    )
+
+
+class TestScreamController:
+    def send(self, controller, seq, now, size=1200):
+        controller.on_packet_sent(
+            SentPacket(sequence=seq, transport_seq=None, size_bytes=size, send_time=now),
+            now,
+        )
+
+    def test_ack_frees_window(self):
+        controller = ScreamController()
+        self.send(controller, 0, 0.0)
+        assert controller.bytes_in_flight == 1200
+        report = build_report(0, {0: 0.01}, now=0.06, window=1)
+        controller.on_feedback(report, 0.06)
+        assert controller.bytes_in_flight == 0
+
+    def test_rejects_wrong_feedback_type(self):
+        with pytest.raises(TypeError):
+            ScreamController().on_feedback(object(), 0.0)
+
+    def test_below_window_slide_counts_false_loss(self):
+        """The Section 4.2.1 mechanism end to end: a sent packet whose
+        sequence number falls below the report window is declared lost
+        even though it may have been delivered."""
+        controller = ScreamController()
+        self.send(controller, 0, 0.0)
+        # Later report whose window starts above sequence 0.
+        report = build_report(10, {40: 0.01}, now=0.2, window=31)
+        controller.on_feedback(report, 0.2)
+        assert controller.false_loss_candidates == 1
+        assert controller.bytes_in_flight == 0
+
+    def test_in_window_gap_is_a_loss_after_reorder_margin(self):
+        controller = ScreamController(reorder_margin=2)
+        self.send(controller, 0, 0.0)
+        self.send(controller, 1, 0.001)
+        # Window covers 0..9; 0 missing, later packets received.
+        statuses = {seq: 0.01 for seq in range(1, 10)}
+        report = build_report(0, statuses, now=0.1, window=10)
+        controller.on_feedback(report, 0.1)
+        assert controller.window.loss_events >= 1
+        assert controller.false_loss_candidates == 0
+
+    def test_not_received_within_reorder_margin_not_lost(self):
+        controller = ScreamController(reorder_margin=5)
+        self.send(controller, 9, 0.0)
+        statuses = {seq: 0.01 for seq in range(0, 9)}
+        report = build_report(0, statuses, now=0.05, window=10)
+        controller.on_feedback(report, 0.05)
+        # Sequence 9 is within the margin of end_seq: still in flight.
+        assert controller.bytes_in_flight == 1200
+
+    def test_target_respects_configured_range(self):
+        controller = ScreamController(min_bitrate=2e6, max_bitrate=25e6)
+        assert 2e6 <= controller.target_bitrate(0.0) <= 25e6
+
+    def test_queue_state_smoothing(self):
+        controller = ScreamController()
+        for _ in range(100):
+            controller.on_queue_state(0.2, 10_000, 0.0)
+        assert controller._rtp_queue_delay == pytest.approx(0.2, abs=0.01)
+
+    def test_end_to_end_with_recorder(self):
+        """CcfbRecorder output is consumable by the controller."""
+        controller = ScreamController()
+        recorder = CcfbRecorder(ssrc=1, ack_window=64)
+        for seq in range(32):
+            t = seq * 0.001
+            self.send(controller, seq, t)
+            recorder.on_packet(seq, t + 0.04)
+        report = recorder.build_report(now=0.1)
+        controller.on_feedback(report, 0.1)
+        assert controller.bytes_in_flight == 0
+        assert controller.false_loss_candidates == 0

@@ -1,0 +1,155 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.net.simulator import EventLoop, PeriodicTimer
+
+
+class TestEventLoop:
+    def test_starts_at_time_zero(self):
+        assert EventLoop().now == 0.0
+
+    def test_call_at_fires_at_scheduled_time(self):
+        loop = EventLoop()
+        fired = []
+        loop.call_at(1.5, lambda: fired.append(loop.now))
+        loop.run_until(2.0)
+        assert fired == [1.5]
+
+    def test_call_later_is_relative(self):
+        loop = EventLoop()
+        fired = []
+        loop.call_at(1.0, lambda: loop.call_later(0.5, lambda: fired.append(loop.now)))
+        loop.run_until(2.0)
+        assert fired == [1.5]
+
+    def test_events_fire_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.call_at(3.0, lambda: order.append("c"))
+        loop.call_at(1.0, lambda: order.append("a"))
+        loop.call_at(2.0, lambda: order.append("b"))
+        loop.run()
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_fire_in_scheduling_order(self):
+        loop = EventLoop()
+        order = []
+        for tag in ("first", "second", "third"):
+            loop.call_at(1.0, lambda t=tag: order.append(t))
+        loop.run()
+        assert order == ["first", "second", "third"]
+
+    def test_run_until_does_not_fire_later_events(self):
+        loop = EventLoop()
+        fired = []
+        loop.call_at(5.0, lambda: fired.append("late"))
+        loop.run_until(4.0)
+        assert fired == []
+        assert loop.now == 4.0
+
+    def test_run_until_advances_clock_even_when_queue_empty(self):
+        loop = EventLoop()
+        loop.run_until(10.0)
+        assert loop.now == 10.0
+
+    def test_scheduling_in_the_past_raises(self):
+        loop = EventLoop()
+        loop.call_at(1.0, lambda: None)
+        loop.run_until(1.0)
+        with pytest.raises(ValueError):
+            loop.call_at(0.5, lambda: None)
+
+    def test_scheduling_nan_raises(self):
+        with pytest.raises(ValueError):
+            EventLoop().call_at(float("nan"), lambda: None)
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(ValueError):
+            EventLoop().call_later(-0.1, lambda: None)
+
+    def test_cancel_prevents_callback(self):
+        loop = EventLoop()
+        fired = []
+        handle = loop.call_at(1.0, lambda: fired.append(1))
+        handle.cancel()
+        loop.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_pending_counts_only_live_events(self):
+        loop = EventLoop()
+        handle = loop.call_at(1.0, lambda: None)
+        loop.call_at(2.0, lambda: None)
+        assert loop.pending() == 2
+        handle.cancel()
+        assert loop.pending() == 1
+
+    def test_events_scheduled_during_run_execute(self):
+        loop = EventLoop()
+        fired = []
+
+        def chain(depth: int) -> None:
+            fired.append(loop.now)
+            if depth > 0:
+                loop.call_later(1.0, lambda: chain(depth - 1))
+
+        loop.call_at(0.0, lambda: chain(3))
+        loop.run()
+        assert fired == [0.0, 1.0, 2.0, 3.0]
+
+    def test_reentrant_run_raises(self):
+        loop = EventLoop()
+        errors = []
+
+        def try_reenter():
+            try:
+                loop.run()
+            except RuntimeError as exc:
+                errors.append(str(exc))
+
+        loop.call_at(0.5, try_reenter)
+        loop.run()
+        assert errors and "already running" in errors[0]
+
+
+class TestPeriodicTimer:
+    def test_fires_at_fixed_period(self):
+        loop = EventLoop()
+        ticks = []
+        PeriodicTimer(loop, 0.5, lambda: ticks.append(loop.now))
+        loop.run_until(2.0)
+        assert ticks == [0.5, 1.0, 1.5, 2.0]
+
+    def test_start_at_overrides_first_tick(self):
+        loop = EventLoop()
+        ticks = []
+        PeriodicTimer(loop, 1.0, lambda: ticks.append(loop.now), start_at=0.0)
+        loop.run_until(2.5)
+        assert ticks == [0.0, 1.0, 2.0]
+
+    def test_stop_halts_ticking(self):
+        loop = EventLoop()
+        ticks = []
+        timer = PeriodicTimer(loop, 0.5, lambda: ticks.append(loop.now))
+        loop.call_at(1.2, timer.stop)
+        loop.run_until(5.0)
+        assert ticks == [0.5, 1.0]
+        assert timer.stopped
+
+    def test_stop_from_within_callback(self):
+        loop = EventLoop()
+        ticks = []
+
+        def tick():
+            ticks.append(loop.now)
+            if len(ticks) == 2:
+                timer.stop()
+
+        timer = PeriodicTimer(loop, 1.0, tick)
+        loop.run_until(10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_zero_period_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicTimer(EventLoop(), 0.0, lambda: None)

@@ -1,0 +1,170 @@
+"""Tests for the dataset schema, export/import and trace replay."""
+
+import pytest
+
+from repro.core.config import ScenarioConfig
+from repro.core.session import run_session
+from repro.net.packet import Datagram
+from repro.net.path import NetworkPath
+from repro.net.simulator import EventLoop
+from repro.traces import (
+    ChannelRecord,
+    HandoverRecord,
+    PacketRecord,
+    TraceReplayChannel,
+    export_session,
+    list_runs,
+    load_run,
+    parse_csv,
+    read_csv,
+    write_csv,
+)
+
+
+class TestSchema:
+    def test_packet_record_owd(self):
+        record = PacketRecord(
+            sequence=1, sent_at=1.0, received_at=1.05, size_bytes=1200, frame_id=0
+        )
+        assert record.one_way_delay == pytest.approx(0.05)
+
+    def test_csv_roundtrip(self, tmp_path):
+        records = [
+            PacketRecord(
+                sequence=i, sent_at=i * 0.1, received_at=i * 0.1 + 0.05,
+                size_bytes=1200, frame_id=i // 3,
+            )
+            for i in range(10)
+        ]
+        path = tmp_path / "packets.csv"
+        assert write_csv(path, records) == 10
+        loaded = read_csv(path, PacketRecord)
+        assert loaded == records
+
+    def test_empty_write_and_read(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        assert write_csv(path, []) == 0
+        assert read_csv(path, PacketRecord) == []
+
+    def test_parse_rejects_unknown_column(self):
+        with pytest.raises(ValueError):
+            parse_csv("bogus\n1\n", PacketRecord)
+
+    def test_handover_record_roundtrip(self, tmp_path):
+        records = [
+            HandoverRecord(
+                time=12.5, source_cell=3, target_cell=7,
+                execution_time=0.031, altitude=80.0,
+            )
+        ]
+        path = tmp_path / "handovers.csv"
+        write_csv(path, records)
+        assert read_csv(path, HandoverRecord) == records
+
+
+@pytest.fixture(scope="module")
+def short_session():
+    return run_session(
+        ScenarioConfig(cc="static", environment="urban", duration=20.0, seed=2)
+    )
+
+
+class TestDataset:
+    def test_export_creates_all_files(self, short_session, tmp_path):
+        run_dir = export_session(short_session, tmp_path / "run1")
+        for name in ("packets.csv", "handovers.csv", "channel.csv", "meta.json"):
+            assert (run_dir / name).exists()
+
+    def test_roundtrip_preserves_counts(self, short_session, tmp_path):
+        run_dir = export_session(short_session, tmp_path / "run1")
+        run = load_run(run_dir)
+        assert len(run.packets) == len(short_session.packet_log)
+        assert len(run.handovers) == len(short_session.handovers)
+        assert len(run.channel) == len(short_session.capacity_samples)
+        assert run.meta["cc"] == "static"
+        assert run.duration == short_session.duration
+
+    def test_list_runs_finds_exported(self, short_session, tmp_path):
+        export_session(short_session, tmp_path / "a")
+        export_session(short_session, tmp_path / "b")
+        assert len(list_runs(tmp_path)) == 2
+
+    def test_list_runs_empty_for_missing_root(self, tmp_path):
+        assert list_runs(tmp_path / "nothing") == []
+
+
+class TestTraceReplay:
+    def make_trace(self, rate=10e6, duration=5.0):
+        return [
+            ChannelRecord(
+                time=i * 0.1, uplink_bps=rate, downlink_bps=rate * 5,
+                serving_cell=0, rsrp_dbm=-70.0, sinr_db=10.0, altitude=40.0,
+            )
+            for i in range(int(duration / 0.1))
+        ]
+
+    def test_rate_follows_trace(self):
+        loop = EventLoop()
+        trace = self.make_trace()
+        trace[20] = ChannelRecord(
+            time=2.0, uplink_bps=1e6, downlink_bps=5e6,
+            serving_cell=0, rsrp_dbm=-90.0, sinr_db=0.0, altitude=40.0,
+        )
+        replay = TraceReplayChannel(loop, trace)
+        assert replay.uplink_rate(0.05) == 10e6
+        assert replay.uplink_rate(2.05) == 1e6
+        assert replay.uplink_rate(2.15) == 10e6
+
+    def test_handover_outage_replayed(self):
+        loop = EventLoop()
+        replay = TraceReplayChannel(
+            loop,
+            self.make_trace(),
+            [HandoverRecord(time=1.0, source_cell=0, target_cell=1,
+                            execution_time=0.5, altitude=40.0)],
+        )
+        received = []
+        path = NetworkPath(
+            loop, replay.uplink_rate, received.append,
+            base_delay=0.0, jitter_std=0.0,
+        )
+        replay.attach_path(path)
+        replay.start()
+        loop.call_at(1.1, lambda: path.send(Datagram(size_bytes=1000, payload=None)))
+        loop.run()
+        # Sent during the outage: delivered only after it ends at 1.5 s.
+        assert received[0].received_at >= 1.5
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            TraceReplayChannel(EventLoop(), [])
+
+    def test_non_monotone_trace_rejected(self):
+        trace = self.make_trace()
+        trace[1] = trace[0]
+        with pytest.raises(ValueError):
+            TraceReplayChannel(EventLoop(), trace)
+
+    def test_replay_of_recorded_session(self, short_session):
+        """End to end: a recorded channel drives a replay path."""
+        loop = EventLoop()
+        trace = [
+            ChannelRecord(
+                time=s.time, uplink_bps=s.uplink_bps, downlink_bps=s.downlink_bps,
+                serving_cell=s.serving_cell, rsrp_dbm=s.rsrp_dbm,
+                sinr_db=s.sinr_db, altitude=s.altitude,
+            )
+            for s in short_session.capacity_samples
+        ]
+        replay = TraceReplayChannel(loop, trace)
+        received = []
+        path = NetworkPath(
+            loop, replay.uplink_rate, received.append,
+            base_delay=0.02, jitter_std=0.0,
+        )
+        replay.attach_path(path)
+        replay.start()
+        for i in range(100):
+            loop.call_at(i * 0.1, lambda: path.send(Datagram(1200, None)))
+        loop.run_until(15.0)
+        assert len(received) == 100

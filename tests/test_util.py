@@ -1,0 +1,166 @@
+"""Tests for units, RNG streams and running statistics."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import (
+    EwmaFilter,
+    RngStreams,
+    RunningMinMax,
+    WindowedMinMax,
+    bits_to_bytes,
+    bytes_to_bits,
+    mbps,
+    ms,
+    to_mbps,
+    to_ms,
+)
+
+
+class TestUnits:
+    def test_bytes_bits_roundtrip(self):
+        assert bytes_to_bits(100) == 800
+        assert bits_to_bytes(800) == 100
+
+    def test_mbps_roundtrip(self):
+        assert mbps(25) == 25e6
+        assert to_mbps(25e6) == 25
+
+    def test_ms_roundtrip(self):
+        assert ms(150) == pytest.approx(0.150)
+        assert to_ms(0.150) == pytest.approx(150)
+
+    @given(st.floats(min_value=0, max_value=1e12, allow_nan=False))
+    def test_conversions_are_inverses(self, value):
+        assert bits_to_bytes(bytes_to_bits(value)) == pytest.approx(value)
+        assert to_mbps(mbps(value)) == pytest.approx(value)
+
+
+class TestRngStreams:
+    def test_same_seed_same_label_reproduces(self):
+        a = RngStreams(7).derive("x")
+        b = RngStreams(7).derive("x")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_labels_differ(self):
+        streams = RngStreams(7)
+        a = streams.derive("a").random()
+        b = streams.derive("b").random()
+        assert a != b
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(1).derive("x").random()
+        b = RngStreams(2).derive("x").random()
+        assert a != b
+
+    def test_child_namespacing(self):
+        parent = RngStreams(7)
+        child1 = parent.child("one")
+        child2 = parent.child("two")
+        assert child1.derive("x").random() != child2.derive("x").random()
+
+    def test_child_is_deterministic(self):
+        a = RngStreams(7).child("sub").derive("x").random()
+        b = RngStreams(7).child("sub").derive("x").random()
+        assert a == b
+
+
+class TestEwmaFilter:
+    def test_first_sample_seeds_value(self):
+        f = EwmaFilter(alpha=0.5)
+        assert f.value is None
+        assert f.update(10.0) == 10.0
+
+    def test_converges_toward_constant_input(self):
+        f = EwmaFilter(alpha=0.3, initial=0.0)
+        for _ in range(100):
+            f.update(5.0)
+        assert f.value == pytest.approx(5.0, abs=1e-6)
+
+    def test_alpha_one_tracks_exactly(self):
+        f = EwmaFilter(alpha=1.0, initial=0.0)
+        f.update(42.0)
+        assert f.value == 42.0
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            EwmaFilter(alpha=0.0)
+        with pytest.raises(ValueError):
+            EwmaFilter(alpha=1.5)
+
+    def test_reset_clears_history(self):
+        f = EwmaFilter(alpha=0.5, initial=10.0)
+        f.reset()
+        assert f.value is None
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+    def test_value_stays_within_sample_hull(self, samples):
+        f = EwmaFilter(alpha=0.5)
+        for s in samples:
+            f.update(s)
+        assert min(samples) - 1e-6 <= f.value <= max(samples) + 1e-6
+
+
+class TestRunningMinMax:
+    def test_empty_state(self):
+        r = RunningMinMax()
+        assert r.count == 0
+        assert math.isnan(r.spread)
+
+    def test_tracks_extrema(self):
+        r = RunningMinMax()
+        for v in (3.0, -1.0, 7.0, 2.0):
+            r.update(v)
+        assert r.minimum == -1.0
+        assert r.maximum == 7.0
+        assert r.spread == 8.0
+
+    @given(st.lists(st.floats(-1e9, 1e9), min_size=1, max_size=100))
+    def test_matches_builtin_min_max(self, samples):
+        r = RunningMinMax()
+        for s in samples:
+            r.update(s)
+        assert r.minimum == min(samples)
+        assert r.maximum == max(samples)
+
+
+class TestWindowedMinMax:
+    def test_expires_old_samples(self):
+        w = WindowedMinMax(window=1.0)
+        w.update(0.0, 10.0)
+        w.update(0.5, 5.0)
+        w.update(1.4, 7.0)  # first sample now out of window
+        assert w.minimum == 5.0
+        assert w.maximum == 7.0
+
+    def test_empty_window_is_nan(self):
+        w = WindowedMinMax(window=1.0)
+        assert math.isnan(w.minimum)
+        assert math.isnan(w.maximum)
+
+    def test_len_counts_live_samples(self):
+        w = WindowedMinMax(window=1.0)
+        w.update(0.0, 1.0)
+        w.update(0.9, 2.0)
+        assert len(w) == 2
+        w.update(1.5, 3.0)
+        assert len(w) == 2  # sample at t=0 expired
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            WindowedMinMax(window=0.0)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 100), st.floats(-1e6, 1e6)),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_min_leq_max(self, pairs):
+        w = WindowedMinMax(window=10.0)
+        for t, v in sorted(pairs):
+            w.update(t, v)
+        assert w.minimum <= w.maximum

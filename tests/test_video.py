@@ -1,0 +1,297 @@
+"""Tests for the video pipeline: source, encoder, quality, decoder, player."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.simulator import EventLoop
+from repro.rtp.packetizer import AssembledFrame
+from repro.rtp.packets import RtpPacket
+from repro.video import (
+    ArtifactModel,
+    DecodedFrame,
+    DecoderModel,
+    EncoderModel,
+    FrameType,
+    Player,
+    RateDistortionModel,
+    SourceVideo,
+)
+from repro.util.rng import RngStreams
+
+
+def rng(label="test"):
+    return RngStreams(5).derive(label)
+
+
+class TestSourceVideo:
+    def test_frame_ids_monotone(self):
+        source = SourceVideo(rng())
+        frames = [source.next_frame(i / 30) for i in range(100)]
+        assert [f.frame_id for f in frames] == list(range(100))
+
+    def test_complexity_within_bounds(self):
+        source = SourceVideo(rng(), min_complexity=0.5, max_complexity=2.0)
+        for i in range(2000):
+            frame = source.next_frame(i / 30)
+            assert 0.5 <= frame.complexity <= 2.0
+
+    def test_complexity_averages_near_one(self):
+        source = SourceVideo(rng())
+        values = [source.next_frame(i / 30).complexity for i in range(5000)]
+        assert np.mean(values) == pytest.approx(1.0, abs=0.25)
+
+    def test_deterministic_for_seed(self):
+        a = SourceVideo(RngStreams(9).derive("src"))
+        b = SourceVideo(RngStreams(9).derive("src"))
+        for i in range(50):
+            assert (
+                a.next_frame(i / 30).complexity == b.next_frame(i / 30).complexity
+            )
+
+    def test_invalid_fps_rejected(self):
+        with pytest.raises(ValueError):
+            SourceVideo(rng(), fps=0)
+
+
+class TestEncoderModel:
+    def encode_n(self, encoder, source, n):
+        return [encoder.encode(source.next_frame(i / 30)) for i in range(n)]
+
+    def test_long_run_rate_tracks_target(self):
+        encoder = EncoderModel(rng("enc"), initial_bitrate=8e6)
+        source = SourceVideo(rng("src"))
+        frames = self.encode_n(encoder, source, 600)  # 20 s
+        total_bits = sum(f.size_bytes * 8 for f in frames)
+        rate = total_bits / (len(frames) / 30.0)
+        assert rate == pytest.approx(8e6, rel=0.15)
+
+    def test_gop_structure(self):
+        encoder = EncoderModel(rng("enc"), gop_length=30, initial_bitrate=8e6)
+        source = SourceVideo(rng("src"))
+        frames = self.encode_n(encoder, source, 90)
+        idr_positions = [i for i, f in enumerate(frames) if f.is_keyframe]
+        assert idr_positions == [0, 30, 60]
+
+    def test_idr_larger_than_p_frames(self):
+        encoder = EncoderModel(rng("enc"), initial_bitrate=8e6, idr_ratio=2.0)
+        source = SourceVideo(rng("src"))
+        frames = self.encode_n(encoder, source, 120)
+        idr_sizes = [f.size_bytes for f in frames if f.is_keyframe]
+        p_sizes = [f.size_bytes for f in frames if not f.is_keyframe]
+        assert np.mean(idr_sizes) > 1.4 * np.mean(p_sizes)
+
+    def test_target_change_applies_to_next_frame(self):
+        encoder = EncoderModel(rng("enc"), initial_bitrate=4e6)
+        source = SourceVideo(rng("src"))
+        self.encode_n(encoder, source, 30)
+        encoder.set_target_bitrate(16e6)
+        frame = encoder.encode(source.next_frame(2.0))
+        assert frame.target_bitrate == 16e6
+
+    def test_target_clamped_to_range(self):
+        encoder = EncoderModel(
+            rng("enc"), min_bitrate=2e6, max_bitrate=25e6, initial_bitrate=8e6
+        )
+        encoder.set_target_bitrate(100e6)
+        assert encoder.target_bitrate == 25e6
+        encoder.set_target_bitrate(0.1e6)
+        assert encoder.target_bitrate == 2e6
+
+    def test_encode_latency_positive_and_small(self):
+        encoder = EncoderModel(rng("enc"), initial_bitrate=8e6)
+        source = SourceVideo(rng("src"))
+        for frame in self.encode_n(encoder, source, 60):
+            assert 0.0 < frame.encode_latency < 0.05
+
+    def test_invalid_gop_rejected(self):
+        with pytest.raises(ValueError):
+            EncoderModel(rng(), gop_length=1)
+
+    def test_idr_ratio_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            EncoderModel(rng(), gop_length=4, idr_ratio=5.0)
+
+
+class TestRateDistortion:
+    def test_monotone_in_bitrate(self):
+        model = RateDistortionModel()
+        ssims = [model.clean_ssim(r * 1e6) for r in (2, 5, 8, 15, 25)]
+        assert ssims == sorted(ssims)
+
+    def test_calibration_anchors(self):
+        model = RateDistortionModel()
+        # 25 Mbps full-HD should look very good, 8 Mbps good, 2 Mbps fair.
+        assert model.clean_ssim(25e6) > 0.93
+        assert 0.85 < model.clean_ssim(8e6) < 0.97
+        assert 0.6 < model.clean_ssim(2e6) < 0.9
+
+    def test_zero_bitrate_scores_zero(self):
+        assert RateDistortionModel().clean_ssim(0.0) == 0.0
+
+    def test_complexity_lowers_quality(self):
+        model = RateDistortionModel()
+        assert model.clean_ssim(8e6, complexity=2.0) < model.clean_ssim(
+            8e6, complexity=1.0
+        )
+
+    @given(st.floats(1e5, 50e6), st.floats(0.5, 2.0))
+    def test_ssim_in_unit_interval(self, bitrate, complexity):
+        value = RateDistortionModel().clean_ssim(bitrate, complexity)
+        assert 0.0 <= value <= 1.0
+
+
+class TestArtifactModel:
+    def test_no_loss_no_damage(self):
+        assert ArtifactModel().frame_damage(0.0) == 0.0
+
+    def test_damage_monotone_in_loss(self):
+        model = ArtifactModel()
+        damages = [model.frame_damage(f) for f in (0.05, 0.2, 0.5, 1.0)]
+        assert damages == sorted(damages)
+        assert damages[-1] <= model.max_damage
+
+    def test_propagation_decays(self):
+        model = ArtifactModel(propagation_decay=0.9)
+        assert model.propagate(0.5) == pytest.approx(0.45)
+
+    def test_apply_scales_ssim(self):
+        model = ArtifactModel()
+        assert model.apply(0.9, 0.5) == pytest.approx(0.45)
+
+
+def make_assembled(frame_id, *, complete=True, frame_type=FrameType.PREDICTED,
+                   bitrate=8e6, expected=3):
+    received = expected if complete else expected - 1
+    packet = RtpPacket(
+        ssrc=1,
+        sequence=frame_id * 10 % (1 << 16),
+        timestamp=0,
+        payload_size=1200,
+        frame_id=frame_id,
+        metadata={
+            "frame_type": frame_type,
+            "target_bitrate": bitrate,
+            "complexity": 1.0,
+        },
+    )
+    return AssembledFrame(
+        frame_id=frame_id,
+        encode_time=frame_id / 30.0,
+        first_arrival=frame_id / 30.0 + 0.05,
+        last_arrival=frame_id / 30.0 + 0.06,
+        received_packets=received,
+        expected_packets=expected,
+        received_bytes=received * 1200,
+        packets=[packet],
+    )
+
+
+class TestDecoderModel:
+    def test_clean_frames_score_high(self):
+        decoder = DecoderModel()
+        frame = decoder.decode(make_assembled(0, frame_type=FrameType.IDR), 0.1)
+        assert frame.ssim > 0.85
+        assert frame.complete
+
+    def test_damage_propagates_until_idr(self):
+        decoder = DecoderModel()
+        decoder.decode(make_assembled(0, frame_type=FrameType.IDR), 0.0)
+        damaged = decoder.decode(make_assembled(1, complete=False), 0.03)
+        after = decoder.decode(make_assembled(2), 0.06)
+        # The (complete) P frame after the damaged one still shows
+        # artifacts because its reference picture is damaged.
+        assert damaged.ssim < 0.5
+        assert after.ssim < 0.5
+        # A clean IDR resets the reference.
+        recovered = decoder.decode(
+            make_assembled(3, frame_type=FrameType.IDR), 0.09
+        )
+        assert recovered.ssim > 0.85
+
+    def test_damaged_frame_counted(self):
+        decoder = DecoderModel()
+        decoder.decode(make_assembled(0, complete=False), 0.0)
+        assert decoder.damaged_frames == 1
+
+
+class TestPlayer:
+    def make_frame(self, frame_id, encode_time=None):
+        return DecodedFrame(
+            frame_id=frame_id,
+            ssim=0.9,
+            complete=True,
+            decode_time=0.0,
+            encode_time=encode_time if encode_time is not None else frame_id / 30.0,
+        )
+
+    def test_plays_frames_in_order(self):
+        loop = EventLoop()
+        player = Player(loop)
+        for i in range(10):
+            loop.call_at(i / 30.0 + 0.2, lambda i=i: player.push(self.make_frame(i)))
+        loop.run()
+        assert [r.frame_id for r in player.records] == list(range(10))
+
+    def test_playback_latency_recorded(self):
+        loop = EventLoop()
+        player = Player(loop)
+        loop.call_at(0.25, lambda: player.push(self.make_frame(0, encode_time=0.0)))
+        loop.run()
+        assert player.records[0].playback_latency == pytest.approx(0.25)
+
+    def test_underrun_then_resume(self):
+        loop = EventLoop()
+        player = Player(loop)
+        loop.call_at(0.1, lambda: player.push(self.make_frame(0)))
+        # Long gap: player goes idle, then resumes immediately on push.
+        loop.call_at(1.0, lambda: player.push(self.make_frame(1)))
+        loop.run()
+        assert player.records[1].play_time == pytest.approx(1.0)
+
+    def test_late_frame_dropped(self):
+        loop = EventLoop()
+        player = Player(loop)
+        loop.call_at(0.1, lambda: player.push(self.make_frame(5)))
+        loop.call_at(0.5, lambda: player.push(self.make_frame(3)))
+        loop.run()
+        assert player.late_frames == 1
+        assert [r.frame_id for r in player.records] == [5]
+
+    def test_backlog_played_faster(self):
+        loop = EventLoop()
+        player = Player(loop, fps=30.0, high_watermark=2, speedup=0.5)
+        # 20 frames arrive at once.
+        loop.call_at(0.1, lambda: [player.push(self.make_frame(i)) for i in range(20)])
+        loop.run_until(1.0)
+        gaps = [
+            b.play_time - a.play_time
+            for a, b in zip(player.records, player.records[1:])
+        ]
+        assert min(gaps) < 1.0 / 30
+
+    def test_max_queue_skips_oldest(self):
+        loop = EventLoop()
+        player = Player(loop, max_queue=5)
+        loop.call_at(
+            0.1, lambda: [player.push(self.make_frame(i)) for i in range(10)]
+        )
+        loop.run_until(0.2)
+        assert player.skipped_frames > 0
+
+    def test_invalid_watermarks_rejected(self):
+        with pytest.raises(ValueError):
+            Player(EventLoop(), low_watermark=3, high_watermark=2)
+
+    @given(st.lists(st.integers(1, 50), min_size=1, max_size=30))
+    @settings(max_examples=20, deadline=None)
+    def test_property_played_ids_strictly_increasing(self, arrival_gaps):
+        loop = EventLoop()
+        player = Player(loop)
+        t = 0.0
+        for i, gap in enumerate(arrival_gaps):
+            t += gap / 1000.0
+            loop.call_at(t, lambda i=i: player.push(self.make_frame(i)))
+        loop.run()
+        ids = [r.frame_id for r in player.records]
+        assert ids == sorted(set(ids))

@@ -1,0 +1,19 @@
+"""Full-pipeline calibration: CC x environment video metrics."""
+import sys, time
+from repro import ScenarioConfig, run_session
+from repro.metrics import network_summary, VideoSummary
+
+duration = float(sys.argv[1]) if len(sys.argv) > 1 else 90.0
+seed = int(sys.argv[2]) if len(sys.argv) > 2 else 21
+for env in ("urban", "rural"):
+    for cc in ("static", "gcc", "scream"):
+        t0 = time.time()
+        cfg = ScenarioConfig(cc=cc, environment=env, platform="air", duration=duration, seed=seed)
+        res = run_session(cfg)
+        ns = network_summary(res)
+        vs = VideoSummary.from_result(res, warmup=30.0)
+        el = time.time() - t0
+        print(f"{env:5s} {cc:6s} [{el:5.1f}s] gp={ns['goodput_mbps']:5.1f} loss={ns['loss_rate']*100:.3f}% "
+              f"lat_med={vs.median_latency_ms:4.0f} lat<300={vs.latency_below_threshold:.2f} "
+              f"fps={vs.mean_fps:4.1f} fps30={vs.fraction_full_fps:.2f} ssim>.5={vs.ssim_above_threshold:.3f} "
+              f"stalls/m={vs.stalls_per_minute:.2f} extra={res.extra}")

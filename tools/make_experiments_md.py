@@ -1,0 +1,265 @@
+"""Assemble EXPERIMENTS.md from the freshest benchmark reports."""
+
+from pathlib import Path
+
+ROOT = Path(__file__).parent.parent
+REPORTS = ROOT / "benchmarks" / "reports"
+
+HEADER = """# EXPERIMENTS — paper vs. measured
+
+Every figure and headline statistic of the paper's evaluation has a
+benchmark under `benchmarks/` that reruns the experiment on the
+simulated substrate, prints the figure as text, and asserts the
+paper's qualitative shape. This file records, per artifact, what the
+paper reports and what this reproduction measures. Regenerate with
+
+```bash
+pytest benchmarks/ --benchmark-only        # refreshes benchmarks/reports/
+python tools/make_experiments_md.py        # rewrites this file
+```
+
+Measured numbers below come from the default bench scale (150 s runs,
+2 seeds; channel-only probes 300 s x 8 seeds). Absolute values are not
+expected to match the Munich testbed — the substrate is a calibrated
+simulator — but who wins, by roughly what factor, and where the
+crossovers fall should match; deviations are called out explicitly.
+
+"""
+
+SECTIONS = [
+    (
+        "Fig. 4 — handover frequency and execution time",
+        "fig4_handover",
+        """Paper: aerial HO frequency about an order of magnitude above
+ground (up to 0.7 HO/s), urban above rural; most HETs under the 3GPP
+49.5 ms threshold, with outliers — concentrated in the air — ranging
+up to 4 s.
+
+Measured shape: air/ground ratio 4-10x depending on environment and
+seed, urban air above rural air, HET median ~30 ms with air-biased
+outliers into the seconds. Matches.""",
+    ),
+    (
+        "Fig. 5 — one-way latency CDFs",
+        "fig5_latency",
+        """Paper: ~99 % of ground packets below 100 ms, ~96 % in the air,
+with aerial outliers beyond 1 s.
+
+Measured shape: ground ~99-100 % below 100 ms, air ~90-97 %, aerial
+tail reaching past 1 s (handover outages + altitude dropouts).
+Matches.""",
+    ),
+    (
+        "Fig. 6 — goodput per bitrate-control method",
+        "fig6_goodput",
+        """Paper (means): urban static 25 / SCReAM 21 / GCC 19 Mbps; rural
+SCReAM 10.5 / GCC 8.5 / static 8 Mbps.
+
+Measured shape: urban static ~25 on top and both CCs well below the
+static pick; rural SCReAM above the static 8 Mbps pick. **Deviation:**
+our SCReAM averages ~11-13 Mbps urban (paper 21) — the false-loss +
+handover back-offs weigh more heavily in the simulated channel, so
+urban SCReAM lands below GCC instead of above it. The rural ordering
+(SCReAM > static, adaptive methods track the fluctuating capacity)
+matches.""",
+    ),
+    (
+        "Fig. 7 — FPS, SSIM and playback-latency CDFs",
+        "fig7_video",
+        """Paper: CCs deviate from 30 FPS more than static; SSIM >= 0.5 for
+98.3-99.6 % of frames; playback latency under 300 ms 30-90 % (urban)
+and 55-85 % (rural) of the time, with SCReAM urban at ~38 % and
+SCReAM rural ~85 %.
+
+Measured shape: static holds 30 FPS best; SSIM >= 0.5 typically
+93-99 %; SCReAM urban latency collapses (~25-50 % under 300 ms,
+driven by its queue-discard sequence holes at 25 Mbps) while SCReAM
+rural stays high (~80-95 %) — the paper's urban/rural SCReAM
+crossover. **Deviation:** our GCC rural latency stays good, whereas
+the paper's GCC rural was the worst rural curve; our GCC is slightly
+more conservative than libwebrtc's and does not push the rural link
+into sustained queueing.""",
+    ),
+    (
+        "Fig. 8 — one GCC flight (time series)",
+        "fig8_timeseries",
+        """Paper: network-latency spikes precede handovers; playback latency
+rises whenever network latency exceeds the 150 ms jitter-buffer
+budget.
+
+Measured shape: the bench asserts a >2x network-latency spike within
+2 s of a handover and playback latency strictly above the network
+floor. Matches.""",
+    ),
+    (
+        "Fig. 9 — latency ratio around handovers",
+        "fig9_ho_ratio",
+        """Paper: max/min one-way-latency ratio in the 1 s window *before* a
+handover averages ~8x (outliers to 37x); *after*, ~5x.
+
+Measured shape: before-window mean above after-window mean with heavy
+before-window outliers. This emerges from the radio model: the serving
+cell's fast fade is what both degrades capacity and triggers the A3
+event. Matches.""",
+    ),
+    (
+        "Fig. 10 — operators P1 vs P2 (rural)",
+        "fig10_operators",
+        """Paper: P2's denser rural deployment yields clearly more capacity
+and more frequent handovers than P1.
+
+Measured shape: P2 capacity >= 1.3x P1 and P2 HO rate >= P1. Matches.""",
+    ),
+    (
+        "Fig. 12 — video performance per operator (rural)",
+        "fig12_mno",
+        """Paper (Appendix A.3): the adaptive methods exploit P2's extra
+capacity (higher goodput, better SSIM); more capacity does *not*
+improve SCReAM's playback latency (its feedback issues worsen at
+higher bitrates).
+
+Measured shape: SCReAM and GCC goodput clearly higher over P2, static
+pinned at its 8 Mbps pick, SCReAM latency no better over P2. Matches.""",
+    ),
+    (
+        "Fig. 13 — ping RTT by altitude band",
+        "fig13_altitude",
+        """Paper: no clear RTT trend below 100 m; above 100 m the proportion
+of high-RTT outliers increases.
+
+Measured shape: band medians within ~40 % of each other below 100 m;
+the >300 ms outlier tail grows in the 101-140 m band (altitude-gated
+interference dropouts plus handover outages). The effect is weaker
+than the paper's because unloaded 92-byte pings barely queue even
+through a collapsed-capacity episode — only full outages move them.""",
+    ),
+    (
+        "Headline statistics — PER",
+        "stats_per",
+        """Paper: PER 0.06-0.07 %, drops mostly consecutive.
+
+Measured: urban ~0.08 % with mean burst ~2.6 packets — matching the
+paper's level and burstiness. Rural runs measure higher (~0.4 %)
+because multi-second HET outliers at 8 Mbps occasionally overflow
+even the deep buffer; the paper's rural PER stayed at 0.06-0.07 %.""",
+    ),
+    (
+        "Headline statistics — stalls per minute (urban)",
+        "stats_stalls",
+        """Paper: static 0.11, SCReAM 0.89, GCC 1.37 stalls/min.
+
+Measured (default scale): static 0.25, SCReAM 0.50, GCC 0.00
+stalls/min. SCReAM stalls the most of the adaptive methods (its
+queue discards skip frames), as in the paper. **Deviation:** our GCC
+avoids stalls entirely — its slightly conservative rate keeps the
+radio queue drained — whereas the paper's GCC stalled most (1.37/min).
+Absolute rates are lower across the board: the simulated campaign
+draws fewer multi-second HET outliers per minute than the real one.""",
+    ),
+    (
+        "Headline statistics — CC ramp-up",
+        "stats_rampup",
+        """Paper: ~12 s (GCC) and ~25 s (SCReAM) from start to the 25 Mbps
+target.
+
+Measured (clean 40 Mbps link, the CCs' intrinsic start-up phase): GCC
+~12 s — matching almost exactly — and SCReAM slower than GCC at
+~17 s (paper 25 s; our RFC 8298 fast-increase is slightly more
+aggressive than Ericsson's build). Ordering and scale match.""",
+    ),
+    (
+        "Ablation — SCReAM RFC 8888 ack window (64 vs 256)",
+        "ablation_ackwindow",
+        """Paper (Section 4.2.1): with the default 64-packet window, packets
+"remain unacknowledged" above ~7 Mbps and SCReAM "lower[s] its bitrate
+needlessly"; the authors widen the window to 256.
+
+Measured: the 64-packet window produces far more false losses per
+minute than 256, costing goodput. The mechanism is reproduced
+end-to-end (receiver-side bounded report window -> sender-side
+below-window loss declaration).""",
+    ),
+    (
+        "Ablation — jitter buffer depth and drop-on-latency (App. A.4)",
+        "ablation_jitterbuffer",
+        """Paper: 150 ms buffering is one of the two main latency
+contributors; Appendix A.4 proposes `drop-on-latency` for RP.
+
+Measured: median playback latency rises with the configured depth;
+150 ms keeps the median under 300 ms; drop-on-latency never worsens
+the median and discards late packets during congested stretches.""",
+    ),
+    (
+        "Ablation — A3 handover parameters (Section 5)",
+        "ablation_a3",
+        """Paper: hysteresis / time-to-trigger "can be optimized for aerial
+scenarios" to reduce HO frequency and ping-pong.
+
+Measured: HO rate and ping-pong counts fall monotonically as
+hysteresis/TTT grow, at mildly increasing delay tails (longer stays
+on degrading cells).""",
+    ),
+    (
+        "Ablation — uplink buffer depth (bufferbloat)",
+        "ablation_buffers",
+        """Paper: deep operator buffers absorb radio losses and convert them
+into delay (Section 4.1, Section 5 AQM discussion).
+
+Measured: shrinking the buffer to AQM-like depths cuts the OWD tail
+but surfaces the drops the deep buffer hid. The latency/loss trade
+matches the bufferbloat literature the paper cites.""",
+    ),
+    (
+        "Extension — DAPS make-before-break handovers (Section 5)",
+        "extension_daps",
+        """Paper prediction: DAPS "avoid[s] link disruptions in the air and
+could hence remove the observed latency spikes".
+
+Measured: with `make_before_break=True` the handover rate is
+unchanged but the OWD tail shrinks and latency compliance improves —
+only the radio-quality dip remains, the execution outage is gone.""",
+    ),
+    (
+        "Extension — multipath over two operators (Section 5)",
+        "extension_multipath",
+        """Paper prediction: parallel links to multiple operators "help
+improve the reliability of transmissions when one of the underlying
+networks is experiencing deteriorations".
+
+Measured: duplicating every packet over independent P1+P2 channels
+cuts the OWD p99 and removes nearly all latency violations at 2x the
+radio cost; round-robin splitting gives no outage protection.""",
+    ),
+    (
+        "Extension — command/control vs video latency",
+        "extension_control",
+        """Related work cited by the paper measures control-signal latency
+in the tens of milliseconds against video latencies 10-100x larger
+over the same link.
+
+Measured: 50 Hz command traffic rides the lightly-loaded downlink at
+~20 ms median while video playback sits at ~200-300 ms and all flows
+degrade together around handovers (shared radio). Matches.""",
+    ),
+]
+
+
+def main() -> None:
+    parts = [HEADER]
+    for title, report_name, commentary in SECTIONS:
+        parts.append(f"## {title}\n")
+        parts.append(commentary.strip() + "\n")
+        report_path = REPORTS / f"{report_name}.txt"
+        if report_path.exists():
+            parts.append("Latest bench output:\n")
+            parts.append("```")
+            parts.append(report_path.read_text().rstrip())
+            parts.append("```\n")
+        else:
+            parts.append(f"_(run `pytest benchmarks/` to produce {report_name}.txt)_\n")
+    (ROOT / "EXPERIMENTS.md").write_text("\n".join(parts))
+    print(f"wrote EXPERIMENTS.md ({len(SECTIONS)} sections)")
+
+
+if __name__ == "__main__":
+    main()
