@@ -9,6 +9,11 @@ match the Munich testbed.
 
 Scale control: set ``REPRO_BENCH_SCALE`` to ``quick`` (CI smoke),
 ``default`` or ``paper`` (full-length flights, slow).
+
+Campaign execution: set ``REPRO_BENCH_WORKERS`` to fan the figure
+campaigns out over a process pool (``0`` = one per CPU core), and
+``REPRO_BENCH_CACHE`` to a directory to reuse simulated runs across
+bench invocations. Unset, benches run serial and uncached as before.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from pathlib import Path
 import pytest
 
 from repro.experiments import ExperimentSettings
+from repro.runner import CampaignRunner, ResultCache
 
 REPORT_DIR = Path(__file__).parent / "reports"
 
@@ -46,6 +52,16 @@ def channel_settings() -> ExperimentSettings:
     return ExperimentSettings(
         duration=max(base.duration, 300.0), seeds=seeds, warmup=base.warmup
     )
+
+
+@pytest.fixture()
+def runner() -> CampaignRunner:
+    """Campaign runner honouring the bench env knobs (fresh per bench)."""
+    workers_env = os.environ.get("REPRO_BENCH_WORKERS", "1")
+    workers = None if workers_env == "0" else max(1, int(workers_env))
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE", "")
+    cache = ResultCache(cache_dir) if cache_dir else None
+    return CampaignRunner(workers, cache=cache)
 
 
 @pytest.fixture(scope="session")

@@ -8,9 +8,9 @@ default operator P1.
 from repro.experiments import fig10_operators
 
 
-def test_fig10_operators(benchmark, channel_settings, report):
+def test_fig10_operators(benchmark, channel_settings, report, runner):
     result = benchmark.pedantic(
-        fig10_operators, args=(channel_settings,), rounds=1, iterations=1
+        fig10_operators, args=(channel_settings,), kwargs={'runner': runner}, rounds=1, iterations=1
     )
     report("fig10_operators", result.render())
 

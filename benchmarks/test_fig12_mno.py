@@ -9,9 +9,9 @@ worsen at higher bitrates).
 from repro.experiments import fig12_mno
 
 
-def test_fig12_mno(benchmark, settings, report):
+def test_fig12_mno(benchmark, settings, report, runner):
     result = benchmark.pedantic(
-        fig12_mno, args=(settings,), rounds=1, iterations=1
+        fig12_mno, args=(settings,), kwargs={'runner': runner}, rounds=1, iterations=1
     )
     report("fig12_mno", result.render())
 

@@ -7,9 +7,9 @@ of high-RTT outliers increases.
 from repro.experiments import fig13_altitude
 
 
-def test_fig13_altitude(benchmark, channel_settings, report):
+def test_fig13_altitude(benchmark, channel_settings, report, runner):
     result = benchmark.pedantic(
-        fig13_altitude, args=(channel_settings,), rounds=1, iterations=1
+        fig13_altitude, args=(channel_settings,), kwargs={'runner': runner}, rounds=1, iterations=1
     )
     report("fig13_altitude", result.render())
 

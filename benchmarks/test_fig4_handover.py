@@ -9,9 +9,9 @@ from repro.cellular.handover import HET_SUCCESS_THRESHOLD
 from repro.experiments import fig4_handover, fig4_to_series
 
 
-def test_fig4_handover(benchmark, channel_settings, report):
+def test_fig4_handover(benchmark, channel_settings, report, runner):
     result = benchmark.pedantic(
-        fig4_handover, args=(channel_settings,), rounds=1, iterations=1
+        fig4_handover, args=(channel_settings,), kwargs={'runner': runner}, rounds=1, iterations=1
     )
     report("fig4_handover", result.render())
     series = fig4_to_series(result)

@@ -7,9 +7,9 @@ air, with the aerial tail stretching beyond 1 s.
 from repro.experiments import fig5_latency
 
 
-def test_fig5_latency(benchmark, settings, report):
+def test_fig5_latency(benchmark, settings, report, runner):
     result = benchmark.pedantic(
-        fig5_latency, args=(settings,), rounds=1, iterations=1
+        fig5_latency, args=(settings,), kwargs={'runner': runner}, rounds=1, iterations=1
     )
     report("fig5_latency", result.render())
 

@@ -8,9 +8,9 @@ methods (SCReAM in particular) beat the static 8 Mbps pick.
 from repro.experiments import fig6_goodput
 
 
-def test_fig6_goodput(benchmark, settings, report):
+def test_fig6_goodput(benchmark, settings, report, runner):
     result = benchmark.pedantic(
-        fig6_goodput, args=(settings,), rounds=1, iterations=1
+        fig6_goodput, args=(settings,), kwargs={'runner': runner}, rounds=1, iterations=1
     )
     report("fig6_goodput", result.render())
 

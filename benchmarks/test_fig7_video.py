@@ -10,9 +10,9 @@ rural area; GCC behaves the other way around.
 from repro.experiments import fig7_video
 
 
-def test_fig7_video(benchmark, settings, report):
+def test_fig7_video(benchmark, settings, report, runner):
     result = benchmark.pedantic(
-        fig7_video, args=(settings,), rounds=1, iterations=1
+        fig7_video, args=(settings,), kwargs={'runner': runner}, rounds=1, iterations=1
     )
     report("fig7_video", result.render())
 

@@ -10,9 +10,9 @@ import numpy as np
 from repro.experiments import fig8_timeseries
 
 
-def test_fig8_timeseries(benchmark, settings, report):
+def test_fig8_timeseries(benchmark, settings, report, runner):
     result = benchmark.pedantic(
-        fig8_timeseries, args=(settings,), rounds=1, iterations=1
+        fig8_timeseries, args=(settings,), kwargs={'runner': runner}, rounds=1, iterations=1
     )
     report("fig8_timeseries", result.render())
 

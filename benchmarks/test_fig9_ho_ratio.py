@@ -8,9 +8,9 @@ the ratio relaxes to ~5x.
 from repro.experiments import fig9_ho_ratio
 
 
-def test_fig9_ho_ratio(benchmark, settings, report):
+def test_fig9_ho_ratio(benchmark, settings, report, runner):
     result = benchmark.pedantic(
-        fig9_ho_ratio, args=(settings,), rounds=1, iterations=1
+        fig9_ho_ratio, args=(settings,), kwargs={'runner': runner}, rounds=1, iterations=1
     )
     report("fig9_ho_ratio", result.render())
 

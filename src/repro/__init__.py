@@ -25,6 +25,7 @@ from repro.core import (
     SessionResult,
     run_session,
 )
+from repro.runner import CampaignRunner, ResultCache
 
 __version__ = "1.0.0"
 
@@ -35,5 +36,7 @@ __all__ = [
     "CcAlgorithm",
     "SessionResult",
     "run_session",
+    "CampaignRunner",
+    "ResultCache",
     "__version__",
 ]

@@ -15,6 +15,7 @@ Installed as the ``repro`` console script; also runnable as
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from pathlib import Path
 
@@ -23,6 +24,14 @@ from repro.core.config import ScenarioConfig
 from repro.core.session import run_session
 from repro.experiments import ExperimentSettings
 from repro.metrics import VideoSummary, network_summary
+from repro.runner import (
+    WORK_SESSION,
+    CampaignRunner,
+    ResultCache,
+    RunTelemetry,
+)
+from repro.runner.cache import DEFAULT_CACHE_DIR
+from repro.runner.work import make_unit
 from repro.traces import export_session
 
 #: figure name -> (runner import path, uses channel-scale settings)
@@ -68,6 +77,49 @@ def _scenario_from(args: argparse.Namespace) -> ScenarioConfig:
     )
 
 
+def _worker_count(value: str) -> int:
+    count = int(value)
+    if count < 0:
+        raise argparse.ArgumentTypeError(
+            f"workers must be >= 0 (0 = one per CPU core), got {count}"
+        )
+    return count
+
+
+def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=_worker_count,
+        default=1,
+        help="worker processes for the campaign (default 1 = serial; "
+        "0 = one per CPU core)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache (re-simulate every run)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"result-cache directory (default {DEFAULT_CACHE_DIR!r})",
+    )
+
+
+def _print_progress(done: int, total: int, record: RunTelemetry) -> None:
+    origin = "cache" if record.cache_hit else record.worker
+    print(
+        f"  [{done}/{total}] {record.unit} "
+        f"({record.wall_time:.1f} s wall, {origin})"
+    )
+
+
+def _runner_from(args: argparse.Namespace) -> CampaignRunner:
+    workers = args.workers if args.workers != 0 else None
+    cache = None if args.no_cache else ResultCache(Path(args.cache_dir))
+    return CampaignRunner(workers, cache=cache, progress=_print_progress)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """Run one scenario and print its summary."""
     config = _scenario_from(args)
@@ -92,22 +144,25 @@ def cmd_run(args: argparse.Namespace) -> int:
 def cmd_dataset(args: argparse.Namespace) -> int:
     """Fly a campaign and export the dataset layout."""
     root = Path(args.out)
-    count = 0
-    for environment in args.environments.split(","):
-        for cc in args.methods.split(","):
-            for seed in range(1, args.seeds + 1):
-                config = ScenarioConfig(
-                    cc=cc.strip(),
-                    environment=environment.strip(),
-                    platform=args.platform,
-                    duration=args.duration,
-                    seed=seed,
-                )
-                result = run_session(config)
-                run_dir = export_session(result, root / config.label())
-                print(f"wrote {run_dir}")
-                count += 1
-    print(f"{count} runs exported under {root}/")
+    configs = [
+        ScenarioConfig(
+            cc=cc.strip(),
+            environment=environment.strip(),
+            platform=args.platform,
+            duration=args.duration,
+            seed=seed,
+        )
+        for environment in args.environments.split(",")
+        for cc in args.methods.split(",")
+        for seed in range(1, args.seeds + 1)
+    ]
+    runner = _runner_from(args)
+    results = runner.run([make_unit(WORK_SESSION, config) for config in configs])
+    for config, result in zip(configs, results):
+        run_dir = export_session(result, root / config.label())
+        print(f"wrote {run_dir}")
+    print(f"{len(configs)} runs exported under {root}/")
+    print(runner.telemetry.summary())
     return 0
 
 
@@ -131,9 +186,17 @@ def cmd_figure(args: argparse.Namespace) -> int:
             warmup=settings.warmup,
         )
     print(f"Regenerating {args.name} ({settings.duration:.0f} s x {len(settings.seeds)} seeds)...")
-    result = runner(settings)
+    kwargs = {}
+    campaign_runner = None
+    if "runner" in inspect.signature(runner).parameters:
+        campaign_runner = _runner_from(args)
+        kwargs["runner"] = campaign_runner
+    result = runner(settings, **kwargs)
     print()
     print(result.render())
+    if campaign_runner is not None and campaign_runner.telemetry.runs:
+        print()
+        print(campaign_runner.telemetry.summary())
     return 0
 
 
@@ -164,12 +227,20 @@ def build_parser() -> argparse.ArgumentParser:
     dataset_parser.add_argument("--platform", default="air", choices=["air", "ground"])
     dataset_parser.add_argument("--duration", type=float, default=180.0)
     dataset_parser.add_argument("--seeds", type=int, default=2)
+    _add_runner_arguments(dataset_parser)
     dataset_parser.set_defaults(func=cmd_dataset)
 
-    figure_parser = sub.add_parser("figure", help="regenerate a paper figure")
+    figure_parser = sub.add_parser(
+        "figure",
+        help="regenerate a paper figure",
+        description="Regenerate one of the paper's figures/tables. Campaigns "
+        "fan out over --workers processes and reuse cached runs from "
+        "--cache-dir; pass --no-cache to force fresh simulations.",
+    )
     figure_parser.add_argument("name", help="figure id (see list-figures)")
     figure_parser.add_argument("--duration", type=float, default=150.0)
     figure_parser.add_argument("--seeds", type=int, default=2)
+    _add_runner_arguments(figure_parser)
     figure_parser.set_defaults(func=cmd_figure)
 
     list_parser = sub.add_parser("list-figures", help="list regenerable figures")

@@ -72,6 +72,9 @@ class ScenarioConfig:
     base_owd: float = 0.018  # one-way WAN/core delay to AWS (s)
     owd_jitter_std: float = 0.0005
     uplink_buffer_bytes: int = 8_000_000  # deep LTE buffers (bufferbloat)
+    # LTE downlink schedulers drain to the UE without the uplink's deep
+    # bufferbloated queues; the feedback path only needs a shallow buffer.
+    downlink_buffer_bytes: int = 3_000_000
     loss_rate: float = 0.00065  # paper: PER 0.06-0.07 %
     loss_mean_burst: float = 3.0  # drops arrive consecutively
     extra: dict[str, Any] = field(default_factory=dict)

@@ -96,11 +96,16 @@ class VideoReceiver:
         )
 
     def stop(self) -> None:
-        """Stop generating feedback and reports."""
+        """Stop generating feedback and reports; drain the pipeline.
+
+        Flushing the jitter buffer cancels its scheduled release
+        events, so a stopped receiver leaves the event loop clean.
+        """
         if self._feedback_timer is not None:
             self._feedback_timer.stop()
         if self._rr_timer is not None:
             self._rr_timer.stop()
+        self.jitter_buffer.flush()
 
     def _send_receiver_report(self) -> None:
         if self.accountant.expected == 0:

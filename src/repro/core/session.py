@@ -174,7 +174,7 @@ def run_session(config: ScenarioConfig) -> SessionResult:
         loss_model=GilbertElliottLoss.from_rate_and_burst(
             config.loss_rate, config.loss_mean_burst, streams.derive("loss-down")
         ),
-        buffer_bytes=config.uplink_buffer_bytes,
+        buffer_bytes=config.downlink_buffer_bytes,
         rng=streams.derive("jitter-down"),
     )
     channel.attach_path(uplink)

@@ -10,44 +10,79 @@ Three run modes with very different costs:
 * :func:`run_ping_probe` — small ICMP-like probes over the channel
   (cheap; used by Fig. 13's altitude-vs-RTT analysis, which the paper
   measured with pings "without cross traffic").
+
+All three decompose their (config x seed) matrix into independent
+work units and execute them through a :class:`CampaignRunner`, so any
+campaign parallelizes over a process pool (``workers=N``) and repeats
+for free from the on-disk result cache. ``workers=1`` without a cache
+preserves the classic serial in-process path. Results are grouped in
+submission order, so the grouped output is identical for every worker
+count.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.cellular.channel import CellularChannel
 from repro.cellular.handover import HandoverEvent
-from repro.cellular.operators import get_profile
 from repro.core.config import ScenarioConfig
-from repro.core.session import (
-    SessionResult,
-    build_channel_config,
-    build_trajectory,
-    run_session,
-)
+from repro.core.session import SessionResult
+from repro.experiments.probes import ChannelProbeSeed, PingSample
 from repro.experiments.settings import ExperimentSettings
-from repro.net.packet import Datagram
-from repro.net.path import NetworkPath
-from repro.net.simulator import EventLoop, PeriodicTimer
-from repro.util.rng import RngStreams
+from repro.runner import (
+    WORK_CHANNEL_PROBE,
+    WORK_PING_PROBE,
+    WORK_SESSION,
+    CampaignRunner,
+    ResultCache,
+)
+from repro.runner.engine import ProgressFn
+from repro.runner.work import make_unit
+
+
+def _resolve_runner(
+    runner: CampaignRunner | None,
+    workers: int | None,
+    cache: ResultCache | None,
+    progress: ProgressFn | None,
+) -> CampaignRunner:
+    if runner is not None:
+        return runner
+    return CampaignRunner(
+        workers if workers is not None else 1, cache=cache, progress=progress
+    )
 
 
 def run_matrix(
-    base_configs: list[ScenarioConfig], settings: ExperimentSettings
+    base_configs: list[ScenarioConfig],
+    settings: ExperimentSettings,
+    *,
+    workers: int | None = None,
+    cache: ResultCache | None = None,
+    runner: CampaignRunner | None = None,
+    progress: ProgressFn | None = None,
 ) -> dict[str, list[SessionResult]]:
     """Run every config across the settings' seeds.
 
     Returns results grouped by the config's label (seed excluded), one
-    entry per seed.
+    entry per seed. Pass ``workers``/``cache`` (or a preconfigured
+    ``runner``) to parallelize and cache the underlying sessions; the
+    grouped result is identical for any worker count.
     """
+    engine = _resolve_runner(runner, workers, cache, progress)
+    units = [
+        make_unit(
+            WORK_SESSION,
+            base.with_overrides(seed=seed, duration=settings.duration),
+        )
+        for base in base_configs
+        for seed in settings.seeds
+    ]
+    results = engine.run(units)
     grouped: dict[str, list[SessionResult]] = {}
-    for base in base_configs:
-        for seed in settings.seeds:
-            config = base.with_overrides(seed=seed, duration=settings.duration)
-            result = run_session(config)
-            key = _series_label(config)
-            grouped.setdefault(key, []).append(result)
+    for unit, result in zip(units, results):
+        key = _series_label(unit.config)
+        grouped.setdefault(key, []).append(result)
     return grouped
 
 
@@ -79,54 +114,44 @@ class ChannelProbeResult:
 
 
 def run_channel_probe(
-    config: ScenarioConfig, settings: ExperimentSettings
+    config: ScenarioConfig,
+    settings: ExperimentSettings,
+    *,
+    workers: int | None = None,
+    cache: ResultCache | None = None,
+    runner: CampaignRunner | None = None,
+    progress: ProgressFn | None = None,
 ) -> ChannelProbeResult:
     """Run the cellular channel alone (no video) across seeds."""
+    engine = _resolve_runner(runner, workers, cache, progress)
+    units = [
+        make_unit(
+            WORK_CHANNEL_PROBE,
+            config.with_overrides(seed=seed, duration=settings.duration),
+        )
+        for seed in settings.seeds
+    ]
+    seed_results: list[ChannelProbeSeed] = engine.run(units)
     handovers: list[HandoverEvent] = []
     uplink: list[float] = []
     altitudes: list[float] = []
-    cells: set[tuple[int, int]] = set()
+    cells_seen = 0
     ping_pong = 0
-    for seed in settings.seeds:
-        run_config = config.with_overrides(seed=seed, duration=settings.duration)
-        loop = EventLoop()
-        streams = RngStreams(seed)
-        profile = get_profile(run_config.operator, run_config.environment.value)
-        layout = profile.build_layout(streams.derive("layout"))
-        trajectory = build_trajectory(run_config, streams)
-        channel = CellularChannel(
-            loop,
-            layout,
-            profile,
-            trajectory,
-            streams.child("channel"),
-            config=build_channel_config(run_config),
-        )
-        channel.start()
-        loop.run_until(settings.duration)
-        handovers.extend(channel.engine.events)
-        uplink.extend(sample.uplink_bps for sample in channel.samples)
-        altitudes.extend(sample.altitude for sample in channel.samples)
-        cells.update((seed, cell) for cell in channel.cells_seen)
-        ping_pong += channel.engine.ping_pong_count()
+    for seed_result in seed_results:
+        handovers.extend(seed_result.handovers)
+        uplink.extend(seed_result.uplink_samples)
+        altitudes.extend(seed_result.altitudes)
+        cells_seen += seed_result.cells_seen
+        ping_pong += seed_result.ping_pong
     return ChannelProbeResult(
         label=_series_label(config),
         handovers=handovers,
         duration_total=settings.duration * len(settings.seeds),
         uplink_samples=uplink,
         altitudes=altitudes,
-        cells_seen=len(cells),
+        cells_seen=cells_seen,
         ping_pong=ping_pong,
     )
-
-
-@dataclass
-class PingSample:
-    """One echo measurement: send time, RTT and altitude at send."""
-
-    time: float
-    rtt: float
-    altitude: float
 
 
 def run_ping_probe(
@@ -135,71 +160,23 @@ def run_ping_probe(
     *,
     rate_hz: float = 20.0,
     ping_bytes: int = 92,  # 64-byte ICMP payload + headers
+    workers: int | None = None,
+    cache: ResultCache | None = None,
+    runner: CampaignRunner | None = None,
+    progress: ProgressFn | None = None,
 ) -> list[PingSample]:
     """Measure echo RTTs over the cellular channel (Fig. 13 workload)."""
+    engine = _resolve_runner(runner, workers, cache, progress)
+    units = [
+        make_unit(
+            WORK_PING_PROBE,
+            config.with_overrides(seed=seed, duration=settings.duration),
+            rate_hz=rate_hz,
+            ping_bytes=ping_bytes,
+        )
+        for seed in settings.seeds
+    ]
     samples: list[PingSample] = []
-    for seed in settings.seeds:
-        run_config = config.with_overrides(seed=seed, duration=settings.duration)
-        loop = EventLoop()
-        streams = RngStreams(seed)
-        profile = get_profile(run_config.operator, run_config.environment.value)
-        layout = profile.build_layout(streams.derive("layout"))
-        trajectory = build_trajectory(run_config, streams)
-        channel = CellularChannel(
-            loop,
-            layout,
-            profile,
-            trajectory,
-            streams.child("channel"),
-            config=build_channel_config(run_config),
-        )
-
-        downlink_holder: list[NetworkPath] = []
-
-        def on_echo(datagram: Datagram) -> None:
-            sent_time, altitude = datagram.payload
-            samples.append(
-                PingSample(
-                    time=sent_time,
-                    rtt=loop.now - sent_time,
-                    altitude=altitude,
-                )
-            )
-
-        def on_uplink_delivery(datagram: Datagram) -> None:
-            echo = Datagram(size_bytes=datagram.size_bytes, payload=datagram.payload)
-            downlink_holder[0].send(echo)
-
-        uplink = NetworkPath(
-            loop,
-            channel.uplink_rate,
-            on_uplink_delivery,
-            base_delay=run_config.base_owd,
-            jitter_std=run_config.owd_jitter_std,
-            rng=streams.derive("jitter-up"),
-        )
-        downlink = NetworkPath(
-            loop,
-            channel.downlink_rate,
-            on_echo,
-            base_delay=run_config.base_owd,
-            jitter_std=run_config.owd_jitter_std,
-            rng=streams.derive("jitter-down"),
-        )
-        downlink_holder.append(downlink)
-        channel.attach_path(uplink)
-        channel.attach_path(downlink)
-
-        def send_ping() -> None:
-            position = trajectory.position(loop.now)
-            uplink.send(
-                Datagram(
-                    size_bytes=ping_bytes,
-                    payload=(loop.now, position.altitude),
-                )
-            )
-
-        channel.start()
-        PeriodicTimer(loop, 1.0 / rate_hz, send_ping)
-        loop.run_until(settings.duration)
+    for seed_samples in engine.run(units):
+        samples.extend(seed_samples)
     return samples

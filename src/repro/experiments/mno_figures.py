@@ -18,6 +18,7 @@ from repro.experiments.campaign import (
 )
 from repro.experiments.settings import ExperimentSettings
 from repro.metrics.stats import BoxplotSummary, Cdf
+from repro.runner import CampaignRunner
 from repro.metrics.network import goodput_series
 from repro.metrics.video import (
     RP_LATENCY_THRESHOLD,
@@ -61,7 +62,9 @@ class Fig10Result:
         return part_a + "\n\n" + part_b
 
 
-def fig10_operators(settings: ExperimentSettings) -> Fig10Result:
+def fig10_operators(
+    settings: ExperimentSettings, *, runner: CampaignRunner | None = None
+) -> Fig10Result:
     """Probe the rural channel for both operators."""
     throughput = {}
     probes = {}
@@ -69,7 +72,7 @@ def fig10_operators(settings: ExperimentSettings) -> Fig10Result:
         config = ScenarioConfig(
             environment="rural", platform="air", cc="static", operator=operator
         )
-        probe = run_channel_probe(config, settings)
+        probe = run_channel_probe(config, settings, runner=runner)
         probes[operator] = probe
         throughput[operator] = BoxplotSummary.from_samples(
             [rate / 1e6 for rate in probe.uplink_samples]
@@ -131,7 +134,9 @@ class Fig12Result:
         return "\n\n".join(blocks)
 
 
-def fig12_mno(settings: ExperimentSettings) -> Fig12Result:
+def fig12_mno(
+    settings: ExperimentSettings, *, runner: CampaignRunner | None = None
+) -> Fig12Result:
     """Run the rural matrix over both operators."""
     # The paper's static rural bitrate was picked for P1 (8 Mbps); it
     # is kept for P2 as well, matching the appendix methodology.
@@ -142,7 +147,7 @@ def fig12_mno(settings: ExperimentSettings) -> Fig12Result:
         for cc in ("static", "scream", "gcc")
         for operator in ("P1", "P2")
     ]
-    grouped = run_matrix(configs, settings)
+    grouped = run_matrix(configs, settings, runner=runner)
     goodput: dict[str, BoxplotSummary] = {}
     fps: dict[str, Cdf] = {}
     latency: dict[str, Cdf] = {}

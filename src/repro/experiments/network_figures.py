@@ -26,6 +26,7 @@ from repro.experiments.campaign import (
 )
 from repro.experiments.settings import ExperimentSettings
 from repro.metrics.howindow import HoRatioSummary, handover_latency_ratios
+from repro.runner import CampaignRunner
 from repro.metrics.stats import BoxplotSummary, Cdf
 from repro.metrics.network import one_way_delays
 
@@ -89,11 +90,13 @@ class Fig4Result:
         return part_a + "\n\n" + part_b
 
 
-def fig4_handover(settings: ExperimentSettings) -> Fig4Result:
+def fig4_handover(
+    settings: ExperimentSettings, *, runner: CampaignRunner | None = None
+) -> Fig4Result:
     """Run the Fig. 4 scenario matrix (channel-only, cheap)."""
     probes = {}
     for config in _scenarios_air_ground():
-        probe = run_channel_probe(config, settings)
+        probe = run_channel_probe(config, settings, runner=runner)
         probes[probe.label] = probe
     return Fig4Result(probes=probes)
 
@@ -120,9 +123,11 @@ class Fig5Result:
         )
 
 
-def fig5_latency(settings: ExperimentSettings) -> Fig5Result:
+def fig5_latency(
+    settings: ExperimentSettings, *, runner: CampaignRunner | None = None
+) -> Fig5Result:
     """Run the Fig. 5 matrix: static video over air/ground x urban/rural."""
-    grouped = run_matrix(_scenarios_air_ground(), settings)
+    grouped = run_matrix(_scenarios_air_ground(), settings, runner=runner)
     cdfs = {}
     for label, results in grouped.items():
         delays: list[float] = []
@@ -150,13 +155,15 @@ class Fig9Result:
         )
 
 
-def fig9_ho_ratio(settings: ExperimentSettings) -> Fig9Result:
+def fig9_ho_ratio(
+    settings: ExperimentSettings, *, runner: CampaignRunner | None = None
+) -> Fig9Result:
     """Pool latency ratios around handovers over aerial flights."""
     configs = [
         ScenarioConfig(environment=env, platform="air", cc="static")
         for env in ("urban", "rural")
     ]
-    grouped = run_matrix(configs, settings)
+    grouped = run_matrix(configs, settings, runner=runner)
     ratios = []
     count = 0
     for results in grouped.values():
@@ -198,12 +205,14 @@ class Fig13Result:
         return "\n\n".join(blocks)
 
 
-def fig13_altitude(settings: ExperimentSettings) -> Fig13Result:
+def fig13_altitude(
+    settings: ExperimentSettings, *, runner: CampaignRunner | None = None
+) -> Fig13Result:
     """Measure ping RTT by altitude band in both environments."""
     cdfs: dict[str, dict[str, Cdf]] = {}
     for environment in ("urban", "rural"):
         config = ScenarioConfig(environment=environment, platform="air", cc="static")
-        samples = run_ping_probe(config, settings)
+        samples = run_ping_probe(config, settings, runner=runner)
         bands: dict[str, Cdf] = {}
         for low, high in ALTITUDE_BANDS:
             rtts = [s.rtt for s in samples if low <= s.altitude <= high]

@@ -25,6 +25,8 @@ from repro.core.config import ScenarioConfig
 from repro.core.session import SessionResult, run_session
 from repro.experiments.campaign import run_matrix
 from repro.experiments.settings import ExperimentSettings
+from repro.runner import WORK_SESSION, CampaignRunner
+from repro.runner.work import make_unit
 from repro.metrics.stats import BoxplotSummary, Cdf
 from repro.metrics.network import goodput_series, one_way_delays
 from repro.metrics.video import (
@@ -66,9 +68,11 @@ class Fig6Result:
         )
 
 
-def fig6_goodput(settings: ExperimentSettings) -> Fig6Result:
+def fig6_goodput(
+    settings: ExperimentSettings, *, runner: CampaignRunner | None = None
+) -> Fig6Result:
     """Run the six-way video matrix and summarize goodput."""
-    grouped = run_matrix(_video_matrix(), settings)
+    grouped = run_matrix(_video_matrix(), settings, runner=runner)
     summaries = {}
     for label, results in grouped.items():
         samples: list[float] = []
@@ -141,9 +145,11 @@ class Fig7Result:
         return "\n\n".join(blocks)
 
 
-def fig7_video(settings: ExperimentSettings) -> Fig7Result:
+def fig7_video(
+    settings: ExperimentSettings, *, runner: CampaignRunner | None = None
+) -> Fig7Result:
     """Run the six-way matrix and compute the Fig. 7 panels."""
-    grouped = run_matrix(_video_matrix(), settings)
+    grouped = run_matrix(_video_matrix(), settings, runner=runner)
     fps: dict[str, Cdf] = {}
     ssim: dict[str, Cdf] = {}
     latency: dict[str, Cdf] = {}
@@ -230,7 +236,11 @@ class Fig8Result:
 
 
 def fig8_timeseries(
-    settings: ExperimentSettings, *, environment: str = "rural", seed: int | None = None
+    settings: ExperimentSettings,
+    *,
+    environment: str = "rural",
+    seed: int | None = None,
+    runner: CampaignRunner | None = None,
 ) -> Fig8Result:
     """Run one GCC flight and extract the Fig. 8 series."""
     config = ScenarioConfig(
@@ -240,7 +250,10 @@ def fig8_timeseries(
         seed=seed if seed is not None else settings.seeds[0],
         duration=settings.duration,
     )
-    result = run_session(config)
+    if runner is not None:
+        result = runner.run([make_unit(WORK_SESSION, config)])[0]
+    else:
+        result = run_session(config)
     bucket = 0.5
     owd_buckets: dict[int, list[float]] = {}
     # Index by send time so a delay spike lines up with the radio

@@ -32,7 +32,7 @@ import math
 from typing import Callable
 
 from repro.rtp.packets import RtpPacket, TS_MOD, VIDEO_CLOCK_RATE, seq_distance
-from repro.net.simulator import EventLoop
+from repro.net.simulator import EventHandle, EventLoop
 
 ReleaseFn = Callable[[RtpPacket, float], None]
 
@@ -101,6 +101,7 @@ class JitterBuffer:
         self._gap_penalty = 0.0
         self._gap_penalty_time = 0.0
         self._last_deadline = 0.0
+        self._pending_releases: set[EventHandle] = set()
         self.gap_events = 0
 
     @property
@@ -118,9 +119,14 @@ class JitterBuffer:
         media = timestamp / self.clock_rate
         if self._last_media_time is not None:
             span = TS_MOD / self.clock_rate
-            # unwrap: choose the representation closest to the last one
+            # unwrap: choose the representation closest to the last one,
+            # in both directions — a reordered pre-wrap packet arriving
+            # just after the wrap must map slightly *backward*, not a
+            # full span into the future (which would stall the FIFO).
             while media < self._last_media_time - span / 2:
                 media += span
+            while media > self._last_media_time + span / 2:
+                media -= span
         self._last_media_time = max(self._last_media_time or media, media)
         return media
 
@@ -153,7 +159,14 @@ class JitterBuffer:
                 return
             self._do_release(packet, now)
             return
-        self._loop.call_at(deadline, lambda: self._do_release(packet, deadline))
+        handle: EventHandle
+
+        def fire() -> None:
+            self._pending_releases.discard(handle)
+            self._do_release(packet, deadline)
+
+        handle = self._loop.call_at(deadline, fire)
+        self._pending_releases.add(handle)
 
     def _note_sequence(self, sequence: int, now: float) -> None:
         if self._expected_seq is not None:
@@ -185,5 +198,13 @@ class JitterBuffer:
         self._release(packet, when)
 
     def flush(self) -> None:
-        """Discard all scheduled releases (session teardown)."""
+        """Discard all scheduled releases (session teardown).
+
+        Cancels the release events still queued on the loop, so
+        teardown leaves it clean and ``EventLoop.pending()`` stays
+        meaningful.
+        """
         self._flushed = True
+        for handle in self._pending_releases:
+            handle.cancel()
+        self._pending_releases.clear()

@@ -1,0 +1,38 @@
+"""Campaign execution engine: process-pool fan-out + result cache.
+
+Every figure campaign decomposes into independent (config, seed) work
+units — full video sessions, channel-only probes or ping probes. The
+:class:`CampaignRunner` executes a list of such units over a
+``multiprocessing`` pool (``workers=1`` preserves the in-process
+serial path), consults a content-addressed on-disk cache first, and
+records per-run telemetry. Determinism is guaranteed by the seeded
+event loop, so results are identical for any worker count; merging is
+by submission index and therefore order-independent.
+"""
+
+from repro.runner.cache import CACHE_SCHEMA_VERSION, ResultCache
+from repro.runner.engine import (
+    CampaignRunner,
+    CampaignTelemetry,
+    RunTelemetry,
+)
+from repro.runner.work import (
+    WORK_CHANNEL_PROBE,
+    WORK_PING_PROBE,
+    WORK_SESSION,
+    WorkUnit,
+    execute_unit,
+)
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "ResultCache",
+    "CampaignRunner",
+    "CampaignTelemetry",
+    "RunTelemetry",
+    "WORK_CHANNEL_PROBE",
+    "WORK_PING_PROBE",
+    "WORK_SESSION",
+    "WorkUnit",
+    "execute_unit",
+]

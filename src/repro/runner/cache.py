@@ -1,0 +1,112 @@
+"""Content-addressed on-disk cache for campaign results.
+
+Key = SHA-256 over a canonical JSON rendering of the work unit
+(:meth:`WorkUnit.fingerprint`: kind + every ``ScenarioConfig`` field,
+seed and duration included) plus :data:`CACHE_SCHEMA_VERSION`. Any
+change to the scenario vocabulary or the result layout bumps the
+version and naturally invalidates every older entry.
+
+Payloads are pickles under ``.repro-cache/<k[:2]>/<k>.pkl``; writes go
+through a temp file + ``os.replace`` so a crashed run never leaves a
+truncated entry behind, and unreadable entries degrade to misses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover — avoid a runtime import cycle
+    from repro.runner.work import WorkUnit
+
+#: Bump when ScenarioConfig fields or result dataclasses change shape.
+CACHE_SCHEMA_VERSION = 1
+
+#: Default cache root, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Sentinel distinguishing "no entry" from a cached ``None``.
+MISS = object()
+
+
+class ResultCache:
+    """Pickle store addressed by work-unit content hash."""
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+
+    def key(self, unit: WorkUnit) -> str:
+        """Content hash of one work unit (hex, stable across runs)."""
+        material = json.dumps(
+            {"schema": CACHE_SCHEMA_VERSION, "unit": unit.fingerprint()},
+            sort_keys=True,
+            default=repr,
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, unit: WorkUnit) -> Any:
+        """Cached result for ``unit``, or :data:`MISS`."""
+        path = self._path(self.key(unit))
+        if not path.exists():
+            return MISS
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            # Truncated/corrupt entry (e.g. interrupted write on an
+            # old Python): drop it and treat as a miss.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return MISS
+
+    def put(self, unit: WorkUnit, result: Any) -> None:
+        """Store ``result`` for ``unit`` (atomic replace)."""
+        path = self._path(self.key(unit))
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.root.exists():
+            return 0
+        for path in self.root.rglob("*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def stats(self) -> dict[str, int]:
+        """Entry count and total payload bytes on disk."""
+        entries = 0
+        size = 0
+        if self.root.exists():
+            for path in self.root.rglob("*.pkl"):
+                entries += 1
+                try:
+                    size += path.stat().st_size
+                except OSError:
+                    pass
+        return {"entries": entries, "bytes": size}

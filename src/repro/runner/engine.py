@@ -1,0 +1,186 @@
+"""The campaign execution engine.
+
+:class:`CampaignRunner` takes a list of :class:`WorkUnit` and returns
+their results *in submission order*, regardless of how many worker
+processes executed them — results are reassembled by index, and every
+unit is deterministic given its config, so any merge of the returned
+list is order-independent and identical to the serial path.
+
+Execution strategy per unit:
+
+1. consult the :class:`ResultCache` (if enabled) — hits cost one
+   pickle load and never touch the pool;
+2. misses fan out over a ``multiprocessing`` pool of ``workers``
+   processes (``workers=1`` executes in-process, preserving the
+   classic serial path with zero pickling overhead);
+3. fresh results are written back to the cache and reported to the
+   optional progress callback together with their telemetry record.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.runner.cache import MISS, ResultCache
+from repro.runner.work import WorkUnit, execute_unit
+
+
+@dataclass
+class RunTelemetry:
+    """Wall-clock accounting of one executed (or cache-served) unit."""
+
+    unit: str  #: short work-unit id (kind + scenario label)
+    worker: str  #: ``"main"``, ``"worker-<pid>"`` or ``"cache"``
+    wall_start: float  #: ``time.time()`` at execution start
+    wall_end: float  #: ``time.time()`` at execution end
+    sim_duration: float  #: simulated seconds the unit covers
+    cache_hit: bool  #: served from the result cache
+
+    @property
+    def wall_time(self) -> float:
+        """Wall-clock seconds spent on this unit."""
+        return self.wall_end - self.wall_start
+
+    @property
+    def sim_wall_ratio(self) -> float:
+        """Simulated seconds per wall second (cache hits: inf-like)."""
+        wall = self.wall_time
+        if wall <= 0.0:
+            return float("inf")
+        return self.sim_duration / wall
+
+
+@dataclass
+class CampaignTelemetry:
+    """Aggregated accounting of one :meth:`CampaignRunner.run` call."""
+
+    runs: list[RunTelemetry] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    executed: int = 0  #: units actually simulated (== misses)
+    wall_time: float = 0.0  #: end-to-end wall seconds of the campaign
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        sim_total = sum(r.sim_duration for r in self.runs if not r.cache_hit)
+        ratio = sim_total / self.wall_time if self.wall_time > 0 else float("inf")
+        return (
+            f"{len(self.runs)} units: {self.cache_hits} cached, "
+            f"{self.executed} executed in {self.wall_time:.1f} s wall "
+            f"({ratio:.1f}x real time)"
+        )
+
+
+#: ``progress(done, total, record)`` — invoked in the parent process
+#: once per completed unit (cache hits included).
+ProgressFn = Callable[[int, int, RunTelemetry], None]
+
+
+def _execute_indexed(payload: tuple[int, WorkUnit]) -> tuple[int, Any, RunTelemetry]:
+    """Pool entry point: run one unit, stamp its telemetry."""
+    index, unit = payload
+    start = time.time()
+    result = execute_unit(unit)
+    record = RunTelemetry(
+        unit=unit.describe(),
+        worker=f"worker-{os.getpid()}",
+        wall_start=start,
+        wall_end=time.time(),
+        sim_duration=unit.config.duration,
+        cache_hit=False,
+    )
+    return index, result, record
+
+
+class CampaignRunner:
+    """Fan campaign work units out over processes, caching results.
+
+    Parameters
+    ----------
+    workers:
+        Process count. ``None`` means ``os.cpu_count()``; ``1`` runs
+        every unit in the calling process (no pool, no pickling).
+    cache:
+        A :class:`ResultCache`, or ``None`` to disable caching.
+    progress:
+        Optional per-unit completion callback (see :data:`ProgressFn`).
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        cache: ResultCache | None = None,
+        progress: ProgressFn | None = None,
+    ) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.cache = cache
+        self.progress = progress
+        self.telemetry = CampaignTelemetry()
+
+    def run(self, units: Sequence[WorkUnit]) -> list[Any]:
+        """Execute ``units`` and return results in submission order."""
+        campaign_start = time.time()
+        total = len(units)
+        results: list[Any] = [None] * total
+        done = 0
+        pending: list[tuple[int, WorkUnit]] = []
+
+        for index, unit in enumerate(units):
+            cached = self.cache.get(unit) if self.cache is not None else MISS
+            if cached is MISS:
+                self.telemetry.cache_misses += 1
+                pending.append((index, unit))
+                continue
+            self.telemetry.cache_hits += 1
+            now = time.time()
+            record = RunTelemetry(
+                unit=unit.describe(),
+                worker="cache",
+                wall_start=now,
+                wall_end=now,
+                sim_duration=unit.config.duration,
+                cache_hit=True,
+            )
+            results[index] = cached
+            done += 1
+            self._note(record, done, total)
+
+        for index, result, record in self._execute(pending):
+            if self.cache is not None:
+                self.cache.put(units[index], result)
+            results[index] = result
+            done += 1
+            self.telemetry.executed += 1
+            self._note(record, done, total)
+
+        self.telemetry.wall_time += time.time() - campaign_start
+        return results
+
+    def _execute(
+        self, pending: list[tuple[int, WorkUnit]]
+    ) -> Iterable[tuple[int, Any, RunTelemetry]]:
+        if not pending:
+            return
+        if self.workers == 1 or len(pending) == 1:
+            for payload in pending:
+                index, result, record = _execute_indexed(payload)
+                record.worker = "main"
+                yield index, result, record
+            return
+        processes = min(self.workers, len(pending))
+        with multiprocessing.Pool(processes=processes) as pool:
+            yield from pool.imap_unordered(_execute_indexed, pending, chunksize=1)
+
+    def _note(self, record: RunTelemetry, done: int, total: int) -> None:
+        self.telemetry.runs.append(record)
+        if self.progress is not None:
+            self.progress(done, total, record)

@@ -67,3 +67,58 @@ class TestCommands:
 
         for runner_name, _ in FIGURES.values():
             assert hasattr(experiments, runner_name), runner_name
+
+
+class TestRunnerFlags:
+    def test_defaults(self):
+        args = build_parser().parse_args(["figure", "fig6"])
+        assert args.workers == 1
+        assert args.no_cache is False
+        assert args.cache_dir == ".repro-cache"
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["dataset", "--workers", "4", "--no-cache", "--cache-dir", "/tmp/c"]
+        )
+        assert args.workers == 4
+        assert args.no_cache is True
+        assert args.cache_dir == "/tmp/c"
+
+    def test_help_mentions_workers_and_cache(self, capsys):
+        import pytest as _pytest
+
+        with _pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "--help"])
+        out = capsys.readouterr().out
+        assert "--workers" in out
+        assert "--no-cache" in out
+
+    def test_dataset_uses_cache_dir(self, capsys, tmp_path):
+        argv = [
+            "dataset",
+            "--out", str(tmp_path / "ds"),
+            "--environments", "urban",
+            "--methods", "static",
+            "--duration", "10",
+            "--seeds", "1",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        assert "0 cached, 1 executed" in capsys.readouterr().out
+        # Second invocation is served entirely from the cache.
+        assert main(argv) == 0
+        assert "1 cached, 0 executed" in capsys.readouterr().out
+
+    def test_figure_accepts_runner_flags(self, capsys, tmp_path):
+        code = main(
+            [
+                "figure", "fig13",
+                "--duration", "40",
+                "--seeds", "1",
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig 13" in out
+        assert "executed" in out

@@ -164,6 +164,59 @@ class TestJitterBuffer:
         loop.run()
         assert released == []
 
+    def test_flush_cancels_scheduled_events(self):
+        """Flush must cancel the release events, not just mute them:
+        teardown leaves the loop clean and ``pending()`` meaningful."""
+        loop = EventLoop()
+        buffer = JitterBuffer(loop, lambda p, t: None, latency=0.2)
+        fired = []
+        loop.call_at(0.01, lambda: buffer.push(make_packet(0, 0.0), 0.01))
+        loop.call_at(0.02, lambda: buffer.push(make_packet(1, 1.0 / 30), 0.02))
+        loop.call_at(0.03, lambda: fired.append(loop.pending()))
+        loop.call_at(0.04, buffer.flush)
+        loop.call_at(0.05, lambda: fired.append(loop.pending()))
+        loop.run()
+        # Two releases pending before the flush (plus the two probe
+        # events themselves); none after.
+        assert fired[0] >= 2
+        assert fired[1] == 0
+
+    def test_release_removes_its_pending_handle(self):
+        loop = EventLoop()
+        released = []
+        buffer = JitterBuffer(loop, lambda p, t: released.append(p.sequence))
+        loop.call_at(0.01, lambda: buffer.push(make_packet(0, 0.0), 0.01))
+        loop.run()
+        assert released == [0]
+        assert buffer._pending_releases == set()
+
+    def test_backward_wrap_not_pushed_a_span_forward(self):
+        """A reordered pre-wrap packet arriving just after the wrap
+        must unwrap slightly backward, not a full span forward."""
+        from repro.rtp.packets import TS_MOD, VIDEO_CLOCK_RATE
+
+        loop = EventLoop()
+        released = []
+        buffer = JitterBuffer(
+            loop, lambda p, t: released.append((p.sequence, t)), latency=0.1
+        )
+        # First packet is post-wrap (small timestamp); the reordered
+        # pre-wrap packet has a timestamp just below TS_MOD.
+        post = RtpPacket(ssrc=1, sequence=1, timestamp=100, payload_size=1200)
+        pre = RtpPacket(
+            ssrc=1, sequence=0, timestamp=TS_MOD - 300, payload_size=1200
+        )
+        loop.call_at(0.01, lambda: buffer.push(post, 0.01))
+        loop.call_at(0.02, lambda: buffer.push(pre, 0.02))
+        loop.run_until(5.0)
+        span = TS_MOD / VIDEO_CLOCK_RATE
+        assert len(released) == 2
+        # Both packets play out promptly — nowhere near a span (~13 h)
+        # in the future, and FIFO order is preserved.
+        assert all(t < 1.0 for _, t in released)
+        assert released[0][0] == 1 and released[1][0] == 0
+        assert buffer._last_media_time < span / 2
+
     def test_negative_latency_rejected(self):
         with pytest.raises(ValueError):
             JitterBuffer(EventLoop(), lambda p, t: None, latency=-0.1)

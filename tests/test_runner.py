@@ -1,0 +1,221 @@
+"""Tests for the campaign runner: pool fan-out, cache, telemetry."""
+
+import pytest
+
+from repro.core.config import ScenarioConfig
+from repro.experiments import (
+    ExperimentSettings,
+    run_channel_probe,
+    run_matrix,
+    run_ping_probe,
+)
+from repro.runner import (
+    WORK_CHANNEL_PROBE,
+    WORK_PING_PROBE,
+    WORK_SESSION,
+    CampaignRunner,
+    ResultCache,
+    WorkUnit,
+    execute_unit,
+)
+from repro.runner.cache import MISS
+from repro.runner.work import make_unit
+
+QUICK = ExperimentSettings(duration=12.0, seeds=(1, 2), warmup=2.0)
+CONFIGS = [
+    ScenarioConfig(cc="static", environment="urban"),
+    ScenarioConfig(cc="static", environment="rural"),
+]
+
+
+def _headline(result):
+    return (
+        result.config.label(),
+        result.packets_sent,
+        result.frames_decoded,
+        len(result.packet_log),
+        len(result.playback),
+        result.packets_lost_radio,
+        result.packets_dropped_buffer,
+    )
+
+
+class TestWorkUnit:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            WorkUnit(kind="bogus", config=ScenarioConfig())
+
+    def test_fingerprint_covers_config_fields(self):
+        unit = make_unit(WORK_SESSION, ScenarioConfig(seed=7, duration=42.0))
+        fp = unit.fingerprint()
+        assert fp["config"]["seed"] == 7
+        assert fp["config"]["duration"] == 42.0
+        assert fp["kind"] == WORK_SESSION
+
+    def test_params_canonically_sorted(self):
+        a = make_unit(WORK_PING_PROBE, ScenarioConfig(), rate_hz=5.0, ping_bytes=92)
+        b = make_unit(WORK_PING_PROBE, ScenarioConfig(), ping_bytes=92, rate_hz=5.0)
+        assert a == b
+
+    def test_execute_dispatches_probe_kinds(self):
+        config = ScenarioConfig(cc="static", duration=5.0, seed=1)
+        probe = execute_unit(make_unit(WORK_CHANNEL_PROBE, config))
+        assert len(probe.uplink_samples) > 0
+        pings = execute_unit(
+            make_unit(WORK_PING_PROBE, config, rate_hz=5.0, ping_bytes=92)
+        )
+        assert len(pings) > 0
+
+
+class TestCacheKeys:
+    def test_stable_across_instances(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        a = make_unit(WORK_SESSION, ScenarioConfig(seed=3, duration=20.0))
+        b = make_unit(WORK_SESSION, ScenarioConfig(seed=3, duration=20.0))
+        assert cache.key(a) == cache.key(b)
+
+    def test_sensitive_to_seed_duration_kind_and_extra(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        base = make_unit(WORK_SESSION, ScenarioConfig(seed=3, duration=20.0))
+        keys = {
+            cache.key(base),
+            cache.key(make_unit(WORK_SESSION, ScenarioConfig(seed=4, duration=20.0))),
+            cache.key(make_unit(WORK_SESSION, ScenarioConfig(seed=3, duration=21.0))),
+            cache.key(
+                make_unit(WORK_CHANNEL_PROBE, ScenarioConfig(seed=3, duration=20.0))
+            ),
+            cache.key(
+                make_unit(
+                    WORK_SESSION,
+                    ScenarioConfig(seed=3, duration=20.0, extra={"a3": (2.0, 0.1)}),
+                )
+            ),
+        }
+        assert len(keys) == 5
+
+    def test_roundtrip_and_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        unit = make_unit(WORK_SESSION, ScenarioConfig(seed=1))
+        assert cache.get(unit) is MISS
+        cache.put(unit, {"payload": [1, 2, 3]})
+        assert cache.get(unit) == {"payload": [1, 2, 3]}
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        unit = make_unit(WORK_SESSION, ScenarioConfig(seed=1))
+        cache.put(unit, "ok")
+        path = cache._path(cache.key(unit))
+        path.write_bytes(b"not a pickle")
+        assert cache.get(unit) is MISS
+        assert not path.exists()
+
+    def test_clear_and_stats(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for seed in (1, 2, 3):
+            cache.put(make_unit(WORK_SESSION, ScenarioConfig(seed=seed)), seed)
+        stats = cache.stats()
+        assert stats["entries"] == 3 and stats["bytes"] > 0
+        assert cache.clear() == 3
+        assert cache.stats()["entries"] == 0
+
+
+class TestParallelEqualsSerial:
+    def test_run_matrix_workers(self):
+        serial = run_matrix(CONFIGS, QUICK, workers=1)
+        parallel = run_matrix(CONFIGS, QUICK, workers=4)
+        assert list(serial.keys()) == list(parallel.keys())
+        for label in serial:
+            assert [_headline(r) for r in serial[label]] == [
+                _headline(r) for r in parallel[label]
+            ]
+
+    def test_channel_probe_workers(self):
+        serial = run_channel_probe(CONFIGS[0], QUICK, workers=1)
+        parallel = run_channel_probe(CONFIGS[0], QUICK, workers=4)
+        assert serial.label == parallel.label
+        assert len(serial.handovers) == len(parallel.handovers)
+        assert serial.uplink_samples == parallel.uplink_samples
+        assert serial.cells_seen == parallel.cells_seen
+        assert serial.ping_pong == parallel.ping_pong
+
+    def test_ping_probe_workers(self):
+        serial = run_ping_probe(CONFIGS[0], QUICK, rate_hz=5.0, workers=1)
+        parallel = run_ping_probe(CONFIGS[0], QUICK, rate_hz=5.0, workers=4)
+        assert [(s.time, s.rtt, s.altitude) for s in serial] == [
+            (s.time, s.rtt, s.altitude) for s in parallel
+        ]
+
+
+class TestCacheBehaviour:
+    def test_warm_cache_skips_all_executions(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        cold = CampaignRunner(1, cache=cache)
+        first = run_matrix(CONFIGS, QUICK, runner=cold)
+        expected_units = len(CONFIGS) * len(QUICK.seeds)
+        assert cold.telemetry.executed == expected_units
+        assert cold.telemetry.cache_misses == expected_units
+        assert cold.telemetry.cache_hits == 0
+
+        # A warm campaign must perform zero run_session executions.
+        import repro.runner.work as work_module
+
+        def _boom(config):
+            raise AssertionError("run_session called despite warm cache")
+
+        monkeypatch.setattr(work_module, "run_session", _boom)
+        warm = CampaignRunner(1, cache=cache)
+        second = run_matrix(CONFIGS, QUICK, runner=warm)
+        assert warm.telemetry.cache_hits == expected_units
+        assert warm.telemetry.executed == 0
+        assert list(first.keys()) == list(second.keys())
+        for label in first:
+            assert [_headline(r) for r in first[label]] == [
+                _headline(r) for r in second[label]
+            ]
+
+    def test_partial_cache_executes_only_missing_seeds(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        narrow = ExperimentSettings(duration=12.0, seeds=(1,), warmup=2.0)
+        run_matrix(CONFIGS, narrow, runner=CampaignRunner(1, cache=cache))
+        wide = CampaignRunner(1, cache=cache)
+        run_matrix(CONFIGS, QUICK, runner=wide)
+        assert wide.telemetry.cache_hits == len(CONFIGS)  # seed 1 reused
+        assert wide.telemetry.executed == len(CONFIGS)  # seed 2 fresh
+
+    def test_no_cache_means_no_files(self, tmp_path):
+        runner = CampaignRunner(1, cache=None)
+        run_channel_probe(CONFIGS[0], QUICK, runner=runner)
+        assert runner.telemetry.cache_hits == 0
+        assert runner.telemetry.cache_misses == len(QUICK.seeds)
+
+
+class TestTelemetryAndProgress:
+    def test_records_per_unit(self):
+        runner = CampaignRunner(1)
+        run_channel_probe(CONFIGS[0], QUICK, runner=runner)
+        assert len(runner.telemetry.runs) == len(QUICK.seeds)
+        for record in runner.telemetry.runs:
+            assert record.wall_end >= record.wall_start
+            assert record.sim_duration == QUICK.duration
+            assert record.sim_wall_ratio > 0
+            assert record.worker == "main"
+            assert record.unit.startswith("channel-probe:")
+        assert "2 units" in runner.telemetry.summary()
+
+    def test_progress_callback_invoked(self):
+        seen = []
+        runner = CampaignRunner(
+            1, progress=lambda done, total, rec: seen.append((done, total))
+        )
+        run_channel_probe(CONFIGS[0], QUICK, runner=runner)
+        assert seen == [(1, 2), (2, 2)]
+
+    def test_pool_workers_stamped(self):
+        runner = CampaignRunner(2)
+        run_ping_probe(CONFIGS[0], QUICK, rate_hz=5.0, runner=runner)
+        workers = {record.worker for record in runner.telemetry.runs}
+        assert all(w.startswith("worker-") for w in workers)
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignRunner(0)

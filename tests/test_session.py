@@ -170,3 +170,33 @@ class TestSessionEndToEnd:
         times = [r.time for r in static_result.rssi_log]
         gaps = [b - a for a, b in zip(times, times[1:])]
         assert min(gaps) >= 0.99  # 1 Hz, as the paper's dongles report
+
+
+class TestBufferWiring:
+    """The downlink path must honour its own (shallow) buffer config."""
+
+    def test_downlink_buffer_field_defaults_shallow(self):
+        config = ScenarioConfig()
+        assert config.downlink_buffer_bytes < config.uplink_buffer_bytes
+
+    def test_session_wires_separate_buffer_sizes(self, monkeypatch):
+        import repro.core.session as session_module
+        from repro.net.path import NetworkPath
+
+        captured = []
+
+        class RecordingPath(NetworkPath):
+            def __init__(self, *args, **kwargs):
+                captured.append(kwargs.get("buffer_bytes"))
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(session_module, "NetworkPath", RecordingPath)
+        config = ScenarioConfig(
+            cc="static",
+            duration=5.0,
+            seed=2,
+            uplink_buffer_bytes=4_000_000,
+            downlink_buffer_bytes=1_000_000,
+        )
+        run_session(config)
+        assert captured == [4_000_000, 1_000_000]

@@ -1,0 +1,39 @@
+"""Inspect or clear the campaign result cache (.repro-cache).
+
+Usage::
+
+    python tools/cache_admin.py stats [--cache-dir DIR]
+    python tools/cache_admin.py clear [--cache-dir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
+
+from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("command", choices=["stats", "clear"])
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    args = parser.parse_args(argv)
+    cache = ResultCache(args.cache_dir)
+    if args.command == "stats":
+        stats = cache.stats()
+        print(
+            f"{cache.root}: {stats['entries']} entries, "
+            f"{stats['bytes'] / 1e6:.1f} MB"
+        )
+    else:
+        removed = cache.clear()
+        print(f"{cache.root}: removed {removed} entries")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,13 @@ pytest benchmarks/ --benchmark-only        # refreshes benchmarks/reports/
 python tools/make_experiments_md.py        # rewrites this file
 ```
 
+Campaigns fan out over the `repro.runner` process pool and reuse the
+content-addressed result cache: set `REPRO_BENCH_WORKERS=N` (`0` = one
+worker per core) and `REPRO_BENCH_CACHE=.repro-cache` to parallelize
+the benches and make re-runs free (results are deterministic per seed,
+so worker count never changes a figure). See README "Parallel
+campaigns and result caching" for cache layout and invalidation.
+
 Measured numbers below come from the default bench scale (150 s runs,
 2 seeds; channel-only probes 300 s x 8 seeds). Absolute values are not
 expected to match the Munich testbed — the substrate is a calibrated
