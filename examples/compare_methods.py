@@ -19,6 +19,7 @@ from repro import ScenarioConfig
 from repro.analysis import format_table
 from repro.experiments import ExperimentSettings, run_matrix
 from repro.metrics import VideoSummary, average_goodput
+from repro.util.units import to_mbps
 
 
 def main() -> None:
@@ -59,7 +60,7 @@ def main() -> None:
         rows.append(
             [
                 label.split("-")[0],
-                f"{goodput / 1e6:.1f}",
+                f"{to_mbps(goodput):.1f}",
                 f"{sum(s.median_latency_ms for s in summaries) / len(summaries):.0f}",
                 f"{sum(s.latency_below_threshold for s in summaries) / len(summaries) * 100:.0f}%",
                 f"{sum(s.ssim_above_threshold for s in summaries) / len(summaries) * 100:.1f}%",

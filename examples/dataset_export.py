@@ -24,6 +24,7 @@ import numpy as np
 from repro import ScenarioConfig, run_session
 from repro.analysis import format_table
 from repro.traces import export_session, list_runs, load_run
+from repro.util.units import bytes_to_bits, to_mbps, to_ms
 
 
 def main() -> None:
@@ -51,13 +52,15 @@ def main() -> None:
     for run_dir in list_runs(root):
         run = load_run(run_dir)
         delays = np.array([p.one_way_delay for p in run.packets])
-        goodput = sum(p.size_bytes for p in run.packets) * 8 / run.duration / 1e6
+        goodput = to_mbps(
+            bytes_to_bits(sum(p.size_bytes for p in run.packets)) / run.duration
+        )
         rows.append(
             [
                 run.meta["label"],
                 str(len(run.packets)),
                 str(len(run.handovers)),
-                f"{np.median(delays) * 1e3:.0f}",
+                f"{to_ms(np.median(delays)):.0f}",
                 f"{goodput:.1f}",
             ]
         )

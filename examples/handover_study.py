@@ -22,6 +22,7 @@ from repro import ScenarioConfig
 from repro.analysis import format_table
 from repro.cellular.handover import A3Config, HET_SUCCESS_THRESHOLD
 from repro.experiments import ExperimentSettings, run_channel_probe
+from repro.util.units import to_ms
 
 
 def main() -> None:
@@ -49,8 +50,8 @@ def main() -> None:
                 [
                     f"{environment}/{platform}",
                     f"{probe.ho_frequency:.3f}",
-                    f"{np.median(hets) * 1e3:.0f}" if hets.size else "-",
-                    f"{np.max(hets) * 1e3:.0f}" if hets.size else "-",
+                    f"{to_ms(np.median(hets)):.0f}" if hets.size else "-",
+                    f"{to_ms(np.max(hets)):.0f}" if hets.size else "-",
                     f"{np.mean(hets <= HET_SUCCESS_THRESHOLD) * 100:.0f}%"
                     if hets.size
                     else "-",
@@ -79,7 +80,7 @@ def main() -> None:
         )
         rows.append(
             [
-                f"{hysteresis:.0f} dB / {ttt * 1e3:.0f} ms",
+                f"{hysteresis:.0f} dB / {to_ms(ttt):.0f} ms",
                 f"{probe.ho_frequency:.3f}",
                 str(probe.ping_pong),
                 str(probe.cells_seen),

@@ -30,6 +30,7 @@ from repro.net.simulator import EventLoop
 from repro.traces import TraceReplayChannel
 from repro.traces.schema import ChannelRecord, HandoverRecord
 from repro.util.rng import RngStreams
+from repro.util.units import to_ms
 from repro.video.encoder import EncoderModel
 from repro.video.source import SourceVideo
 
@@ -135,8 +136,8 @@ def main() -> None:
         rows.append(
             [
                 "drop-on-latency" if drop else "default",
-                f"{np.median(latencies) * 1e3:.0f}",
-                f"{np.percentile(latencies, 95) * 1e3:.0f}",
+                f"{to_ms(np.median(latencies)):.0f}",
+                f"{to_ms(np.percentile(latencies, 95)):.0f}",
                 f"{np.mean(latencies < 0.3) * 100:.0f}%",
             ]
         )

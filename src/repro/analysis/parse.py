@@ -22,6 +22,7 @@ from repro.analysis.render import format_table
 from repro.cellular.handover import HET_SUCCESS_THRESHOLD
 from repro.metrics.stats import Cdf
 from repro.traces.dataset import TraceRun, list_runs, load_run
+from repro.util.units import bytes_to_bits, to_mbps, to_ms
 
 #: Remote-piloting playback/stall threshold used throughout the paper.
 RP_THRESHOLD_S = 0.300
@@ -64,16 +65,16 @@ class RunAnalysis:
             operator=str(run.meta["operator"]),
             duration=run.duration,
             packets=len(run.packets),
-            goodput_mbps=total_bytes * 8 / run.duration / 1e6,
-            owd_median_ms=float(np.median(delays)) * 1e3,
-            owd_p99_ms=float(np.percentile(delays, 99)) * 1e3,
+            goodput_mbps=to_mbps(bytes_to_bits(total_bytes) / run.duration),
+            owd_median_ms=to_ms(float(np.median(delays))),
+            owd_p99_ms=to_ms(float(np.percentile(delays, 99))),
             owd_below_100ms=float(np.mean(delays < 0.1)),
             ho_per_s=len(run.handovers) / run.duration,
-            het_median_ms=float(np.median(hets)) * 1e3 if hets.size else 0.0,
+            het_median_ms=to_ms(float(np.median(hets))) if hets.size else 0.0,
             het_success_fraction=float(np.mean(hets <= HET_SUCCESS_THRESHOLD))
             if hets.size
             else 1.0,
-            capacity_mean_mbps=float(np.mean(capacities)) / 1e6
+            capacity_mean_mbps=to_mbps(float(np.mean(capacities)))
             if capacities.size
             else 0.0,
         )

@@ -21,6 +21,7 @@ from repro.cc.gcc.estimator import OveruseEstimator
 from repro.cc.gcc.loss import LossBasedController
 from repro.cc.gcc.rate_control import AimdRateControl
 from repro.rtp.twcc import TwccFeedback
+from repro.util.units import bytes_to_bits, to_ms
 
 
 class GccController(CongestionController):
@@ -121,7 +122,7 @@ class GccController(CongestionController):
                 delta.size_delta,
                 in_stable_state=self._detector.state is BandwidthUsage.NORMAL,
             )
-            last_send_delta_ms = delta.send_delta * 1e3
+            last_send_delta_ms = to_ms(delta.send_delta)
             usage = self._detector.detect(
                 offset_ms,
                 last_send_delta_ms,
@@ -170,7 +171,7 @@ class GccController(CongestionController):
         if len(self._acked) < 2:
             return None
         span = max(self._acked[-1][0] - self._acked[0][0], 0.05)
-        return self._acked_bytes * 8.0 / span
+        return bytes_to_bits(self._acked_bytes) / span
 
     @property
     def detector_state(self) -> BandwidthUsage:

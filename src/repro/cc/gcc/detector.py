@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import enum
 
+from repro.util.units import to_ms
+
 
 class BandwidthUsage(enum.Enum):
     """Detector output consumed by the AIMD rate controller."""
@@ -98,7 +100,7 @@ class OveruseDetector:
         return self._hypothesis
 
     def _update_threshold(self, t: float, now: float) -> None:
-        now_ms = now * 1e3
+        now_ms = to_ms(now)
         if self._last_update_ms is None:
             self._last_update_ms = now_ms
         if abs(t) > self._threshold + 15.0:

@@ -15,13 +15,16 @@ from __future__ import annotations
 
 import math
 
+from repro.util.units import ms, to_ms
+
 
 class OveruseEstimator:
     """Two-state Kalman filter for the one-way delay gradient."""
 
     def __init__(self) -> None:
         # State: slope (ms/byte, ~1/capacity) and offset (ms).
-        self._slope = 8.0 / 512.0
+        # libwebrtc's initial slope constant (not a unit conversion).
+        self._slope = 8.0 / 512.0  # repro-lint: ignore[RPL002]
         self._offset = 0.0
         self._prev_offset = 0.0
         # Error covariance and process noise (libwebrtc defaults).
@@ -59,8 +62,8 @@ class OveruseEstimator:
         Parameters are in seconds/bytes; returns the updated gradient
         estimate in milliseconds.
         """
-        t_delta_ms = arrival_delta * 1e3
-        ts_delta_ms = send_delta * 1e3
+        t_delta_ms = to_ms(arrival_delta)
+        ts_delta_ms = to_ms(send_delta)
         t_ts_delta = t_delta_ms - ts_delta_ms
         fs_delta = float(size_delta)
         self.num_of_deltas = min(self.num_of_deltas + 1, 60)
@@ -109,7 +112,7 @@ class OveruseEstimator:
             return
         # Faster forgetting for larger inter-group gaps (libwebrtc).
         alpha = 0.01 if self.num_of_deltas > 600 else 0.1
-        beta = pow(1.0 - alpha, min(ts_delta_ms, 100.0) * 30.0 / 1000.0)
+        beta = pow(1.0 - alpha, ms(min(ts_delta_ms, 100.0) * 30.0))
         self._avg_noise = beta * self._avg_noise + (1.0 - beta) * residual
         self._var_noise = beta * self._var_noise + (1.0 - beta) * (
             (self._avg_noise - residual) ** 2

@@ -24,6 +24,7 @@ from __future__ import annotations
 import math
 
 from repro.cc.gcc.detector import BandwidthUsage
+from repro.util.units import bits_to_bytes, bytes_to_bits
 
 
 class AimdRateControl:
@@ -144,8 +145,8 @@ class AimdRateControl:
 
     def _additive_increase(self, delta: float) -> float:
         response_time = self.rtt + 0.1
-        expected_packet_size = self._rate / (30.0 * 8.0)  # bytes per frame slice
-        increase_per_s = max(4_000.0, 8.0 * expected_packet_size / response_time)
+        expected_packet_size = bits_to_bytes(self._rate) / 30.0  # bytes per frame slice
+        increase_per_s = max(4_000.0, bytes_to_bits(expected_packet_size) / response_time)
         return increase_per_s * delta
 
     def _update_max_bitrate_estimate(self, incoming_rate: float) -> None:

@@ -24,6 +24,7 @@ from repro.cc.scream.rate import ScreamRateController
 from repro.cc.scream.window import ScreamWindow
 from repro.rtp.ccfb import CcfbReport
 from repro.rtp.packets import seq_distance
+from repro.util.units import bytes_to_bits
 
 
 class ScreamController(CongestionController):
@@ -186,7 +187,7 @@ class ScreamController(CongestionController):
         if len(self._acked) < 2:
             return None
         span = max(self._acked[-1][0] - self._acked[0][0], 0.05)
-        return self._acked_bytes * 8.0 / span
+        return bytes_to_bits(self._acked_bytes) / span
 
     @property
     def bytes_in_flight(self) -> int:

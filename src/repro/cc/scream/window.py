@@ -14,6 +14,7 @@ simulation, matching the paper's GPS-disciplined setup.
 from __future__ import annotations
 
 from repro.util.running import EwmaFilter, WindowedMinMax
+from repro.util.units import bytes_to_bits
 
 #: Maximum segment size used for cwnd arithmetic (bytes).
 MSS = 1200
@@ -121,4 +122,4 @@ class ScreamWindow:
 
     def throughput_estimate(self) -> float:
         """Rate the current window can sustain, in bits/s."""
-        return self.cwnd * 8.0 / max(self.srtt, 1e-3)
+        return bytes_to_bits(self.cwnd) / max(self.srtt, 1e-3)

@@ -207,6 +207,18 @@ def cmd_list_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the invariant linter (same engine as ``python -m repro.lint``)."""
+    from repro.lint.runner import run_cli
+
+    argv: list[str] = list(args.paths)
+    if args.select is not None:
+        argv += ["--select", args.select]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return run_cli(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -245,6 +257,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     list_parser = sub.add_parser("list-figures", help="list regenerable figures")
     list_parser.set_defaults(func=cmd_list_figures)
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="check repo invariants (determinism, units, event-loop hygiene)",
+        description="AST-based invariant linter; exits non-zero on findings. "
+        "Suppress a deliberate violation with '# repro-lint: ignore[RULE]'.",
+    )
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tools", "examples"],
+        help="files or directories to lint (default: src tools examples)",
+    )
+    lint_parser.add_argument("--select", default=None, help="comma-separated rule ids")
+    lint_parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    lint_parser.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -26,6 +26,7 @@ from repro.cellular.channel import CellularChannel
 from repro.cellular.operators import get_profile
 from repro.core.config import ScenarioConfig
 from repro.core.receiver import VideoReceiver
+from repro.util.units import to_ms
 from repro.core.sender import VideoSender
 from repro.core.session import (
     build_channel_config,
@@ -80,17 +81,17 @@ class ControlResult:
     def command_latency_ms(self, percentile: float = 50.0) -> float:
         """Command one-way latency percentile in milliseconds."""
         values = [s.latency for s in self.command_samples]
-        return float(np.percentile(values, percentile)) * 1e3 if values else float("nan")
+        return to_ms(float(np.percentile(values, percentile))) if values else float("nan")
 
     def telemetry_latency_ms(self, percentile: float = 50.0) -> float:
         """Telemetry one-way latency percentile in milliseconds."""
         values = [s.latency for s in self.telemetry_samples]
-        return float(np.percentile(values, percentile)) * 1e3 if values else float("nan")
+        return to_ms(float(np.percentile(values, percentile))) if values else float("nan")
 
     def video_latency_ms(self, percentile: float = 50.0) -> float:
         """Video playback latency percentile in milliseconds."""
         values = [r.playback_latency for r in self.playback]
-        return float(np.percentile(values, percentile)) * 1e3 if values else float("nan")
+        return to_ms(float(np.percentile(values, percentile))) if values else float("nan")
 
     def render(self) -> str:
         """Per-flow latency table (cf. the related-work comparison)."""
@@ -184,7 +185,7 @@ def run_control_session(
         loss_model=GilbertElliottLoss.from_rate_and_burst(
             config.loss_rate, config.loss_mean_burst, streams.derive("loss-down")
         ),
-        buffer_bytes=config.uplink_buffer_bytes,
+        buffer_bytes=config.downlink_buffer_bytes,
         rng=streams.derive("jitter-down"),
     )
     channel.attach_path(uplink)

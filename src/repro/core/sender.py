@@ -18,7 +18,8 @@ from dataclasses import dataclass
 from repro.cc.base import CongestionController, SentPacket
 from repro.net.packet import Datagram, IP_UDP_OVERHEAD_BYTES
 from repro.net.path import NetworkPath
-from repro.net.simulator import EventLoop, PeriodicTimer
+from repro.net.simulator import EventHandle, EventLoop, PeriodicTimer
+from repro.util.units import bytes_to_bits
 from repro.rtp.packetizer import Packetizer
 from repro.rtp.packets import RtpPacket, timestamp_for
 from repro.rtp.rtcp import ReceiverReport, SenderReport, rtt_from_block
@@ -70,6 +71,9 @@ class VideoSender:
         self.stats = SenderStats()
         self._frame_timer: PeriodicTimer | None = None
         self._sr_timer: PeriodicTimer | None = None
+        #: Encode-latency and pacer events in flight, cancelled on stop
+        #: so teardown leaves the event loop clean (cf. JitterBuffer).
+        self._pending_events: set[EventHandle] = set()
         #: (time, rtt) samples from RFC 3550 LSR/DLSR round trips —
         #: available for every workload, including static runs.
         self.rtt_samples: list[tuple[float, float]] = []
@@ -89,11 +93,29 @@ class VideoSender:
         )
 
     def stop(self) -> None:
-        """Stop frame production (queued packets still drain)."""
+        """Stop frame production and cancel in-flight pacer/encode events.
+
+        A stopped sender leaves the event loop clean, so
+        ``EventLoop.pending()`` stays meaningful after teardown.
+        """
         if self._frame_timer is not None:
             self._frame_timer.stop()
         if self._sr_timer is not None:
             self._sr_timer.stop()
+        for handle in self._pending_events:
+            handle.cancel()
+        self._pending_events.clear()
+
+    def _call_later(self, delay: float, callback) -> None:
+        """Schedule ``callback``, tracking the handle for teardown."""
+        handle: EventHandle
+
+        def fire() -> None:
+            self._pending_events.discard(handle)
+            callback()
+
+        handle = self._loop.call_later(delay, fire)
+        self._pending_events.add(handle)
 
     def _send_sender_report(self) -> None:
         now = self._loop.now
@@ -145,7 +167,7 @@ class VideoSender:
         encoded = self.encoder.encode(frame)
         self.stats.frames_encoded += 1
         # The encoded frame becomes available after the encode latency.
-        self._loop.call_later(
+        self._call_later(
             encoded.encode_latency, lambda: self._enqueue_frame_packets(encoded)
         )
 
@@ -189,7 +211,7 @@ class VideoSender:
         if not self.controller.can_send(in_flight, packet.wire_size, now):
             # Window-blocked: poll again shortly (feedback will open it).
             self._pacer_busy = True
-            self._loop.call_later(0.002, self._send_next)
+            self._call_later(0.002, self._send_next)
             return
         self._queue.popleft()
         self._queued_bytes -= packet.wire_size
@@ -215,6 +237,6 @@ class VideoSender:
         if rate == float("inf"):
             delay = 0.0
         else:
-            delay = packet.wire_size * 8.0 / max(rate, 1e4)
+            delay = bytes_to_bits(packet.wire_size) / max(rate, 1e4)
         self._pacer_busy = True
-        self._loop.call_later(delay, self._send_next)
+        self._call_later(delay, self._send_next)

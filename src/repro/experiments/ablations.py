@@ -20,6 +20,7 @@ from repro.core.session import run_session
 from repro.experiments.settings import ExperimentSettings
 from repro.metrics.stats import Cdf
 from repro.metrics.network import average_goodput, one_way_delays
+from repro.util.units import to_megabytes, to_mbps, to_ms
 from repro.metrics.video import (
     RP_LATENCY_THRESHOLD,
     StallMetrics,
@@ -81,12 +82,13 @@ def ackwindow_ablation(
             result = run_session(config)
             false_losses += result.extra.get("false_loss_candidates", 0)
             goodput.append(
-                average_goodput(
-                    result.packet_log,
-                    duration=result.duration,
-                    warmup=settings.warmup,
+                to_mbps(
+                    average_goodput(
+                        result.packet_log,
+                        duration=result.duration,
+                        warmup=settings.warmup,
+                    )
                 )
-                / 1e6
             )
             latencies.extend(
                 record.playback_latency
@@ -177,9 +179,9 @@ def jitterbuffer_ablation(
             cdf = Cdf.from_samples(playback_vals)
             points.append(
                 JitterBufferPoint(
-                    latency_setting_ms=latency * 1e3,
+                    latency_setting_ms=to_ms(latency),
                     drop_on_latency=drop,
-                    median_playback_ms=cdf.median * 1e3,
+                    median_playback_ms=to_ms(cdf.median),
                     below_threshold=cdf.fraction_below(RP_LATENCY_THRESHOLD),
                     stalls_per_minute=stalls / minutes,
                     dropped_late=dropped,
@@ -261,7 +263,7 @@ def a3_ablation(
                 time_to_trigger=ttt,
                 ho_per_s=handovers / (settings.duration * len(settings.seeds)),
                 ping_pong=ping_pong,
-                owd_p95_ms=float(np.percentile(delays, 95)) * 1e3,
+                owd_p95_ms=to_ms(float(np.percentile(delays, 95))),
             )
         )
     return A3Ablation(points=points)
@@ -289,7 +291,7 @@ class BufferAblation:
             ["buffer MB", "OWD p99 ms", "loss", "lat<300"],
             [
                 [
-                    f"{p.buffer_bytes / 1e6:.1f}",
+                    f"{to_megabytes(p.buffer_bytes):.1f}",
                     f"{p.owd_p99_ms:.0f}",
                     f"{p.loss_rate * 100:.2f}%",
                     f"{p.latency_below_threshold:.2f}",
@@ -334,7 +336,7 @@ def buffer_ablation(
         points.append(
             BufferPoint(
                 buffer_bytes=buffer_bytes,
-                owd_p99_ms=float(np.percentile(delays, 99)) * 1e3,
+                owd_p99_ms=to_ms(float(np.percentile(delays, 99))),
                 loss_rate=lost / max(sent, 1),
                 latency_below_threshold=cdf.fraction_below(RP_LATENCY_THRESHOLD),
             )

@@ -21,6 +21,7 @@ from repro.metrics.stats import Cdf
 from repro.metrics.network import one_way_delays
 from repro.metrics.video import RP_LATENCY_THRESHOLD, StallMetrics
 from repro.multipath import run_multipath_session
+from repro.util.units import to_ms
 
 
 @dataclass
@@ -90,7 +91,7 @@ def daps_experiment(settings: ExperimentSettings) -> DapsExperiment:
         points.append(
             DapsPoint(
                 make_before_break=make_before_break,
-                owd_p99_ms=float(np.percentile(delays, 99)) * 1e3,
+                owd_p99_ms=to_ms(float(np.percentile(delays, 99))),
                 latency_below_threshold=cdf.fraction_below(RP_LATENCY_THRESHOLD),
                 stalls_per_minute=stalls / minutes,
                 handovers=handovers,
@@ -166,7 +167,7 @@ def multipath_experiment(
         points.append(
             MultipathPoint(
                 strategy=strategy,
-                owd_p99_ms=float(np.percentile(delays, 99)) * 1e3,
+                owd_p99_ms=to_ms(float(np.percentile(delays, 99))),
                 latency_below_threshold=cdf.fraction_below(RP_LATENCY_THRESHOLD),
                 stalls_per_minute=stalls / minutes,
                 radio_cost=radio_cost,

@@ -19,6 +19,7 @@ from repro.experiments.campaign import (
 from repro.experiments.settings import ExperimentSettings
 from repro.metrics.stats import BoxplotSummary, Cdf
 from repro.runner import CampaignRunner
+from repro.util.units import to_mbps
 from repro.metrics.network import goodput_series
 from repro.metrics.video import (
     RP_LATENCY_THRESHOLD,
@@ -75,7 +76,7 @@ def fig10_operators(
         probe = run_channel_probe(config, settings, runner=runner)
         probes[operator] = probe
         throughput[operator] = BoxplotSummary.from_samples(
-            [rate / 1e6 for rate in probe.uplink_samples]
+            [to_mbps(rate) for rate in probe.uplink_samples]
         )
     return Fig10Result(throughput=throughput, probes=probes)
 
@@ -159,7 +160,7 @@ def fig12_mno(
         ssim_vals: list[float] = []
         for result in results:
             goodput_samples.extend(
-                rate / 1e6
+                to_mbps(rate)
                 for t, rate in goodput_series(
                     result.packet_log, duration=result.duration
                 )

@@ -27,6 +27,7 @@ from repro.experiments.campaign import (
 from repro.experiments.settings import ExperimentSettings
 from repro.metrics.howindow import HoRatioSummary, handover_latency_ratios
 from repro.runner import CampaignRunner
+from repro.util.units import to_ms
 from repro.metrics.stats import BoxplotSummary, Cdf
 from repro.metrics.network import one_way_delays
 
@@ -243,6 +244,6 @@ def fig4_to_series(result: Fig4Result) -> dict[str, float]:
         "grd_rural_ho_s": grd_rural,
         "air_over_ground_urban": air_urban / max(grd_urban, 1e-9),
         "air_over_ground_rural": air_rural / max(grd_rural, 1e-9),
-        "het_median_ms": float(np.median(hets)) * 1e3 if hets else float("nan"),
-        "het_max_ms": float(np.max(hets)) * 1e3 if hets else float("nan"),
+        "het_median_ms": to_ms(float(np.median(hets))) if hets else float("nan"),
+        "het_max_ms": to_ms(float(np.max(hets))) if hets else float("nan"),
     }

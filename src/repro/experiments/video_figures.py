@@ -29,6 +29,7 @@ from repro.runner import WORK_SESSION, CampaignRunner
 from repro.runner.work import make_unit
 from repro.metrics.stats import BoxplotSummary, Cdf
 from repro.metrics.network import goodput_series, one_way_delays
+from repro.util.units import to_mbps
 from repro.metrics.video import (
     RP_LATENCY_THRESHOLD,
     SSIM_THRESHOLD,
@@ -78,7 +79,7 @@ def fig6_goodput(
         samples: list[float] = []
         for result in results:
             samples.extend(
-                rate / 1e6
+                to_mbps(rate)
                 for t, rate in goodput_series(
                     result.packet_log, duration=result.duration
                 )

@@ -146,17 +146,18 @@ def ground_trajectory(
     span: float = 600.0,
     speed: float = CRUISE_SPEED,
     idle_fraction: float = 0.35,
-    rng: np.random.Generator | None = None,
+    rng: np.random.Generator,
     origin: tuple[float, float] = (0.0, 0.0),
     altitude: float = 1.5,
 ) -> WaypointTrajectory:
     """Build a motorbike-style ground run.
 
     Drives back and forth over ``span`` metres with interspersed
-    stationary periods totalling ``idle_fraction`` of the run.
+    stationary periods totalling ``idle_fraction`` of the run. The
+    route's randomness comes entirely from ``rng``; derive it from the
+    scenario's :class:`repro.util.rng.RngStreams` so a ground route
+    never shares a stream with another component.
     """
-    if rng is None:
-        rng = np.random.default_rng(0)
     times: list[float] = [0.0]
     x0, y0 = origin
     points: list[Position] = [Position(x0, y0, altitude)]

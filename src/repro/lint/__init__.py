@@ -1,0 +1,43 @@
+"""repro.lint — AST-based invariant linter for the reproduction.
+
+The simulator's credibility rests on invariants the interpreter never
+checks:
+
+* **determinism** — every stochastic draw flows through
+  :class:`repro.util.rng.RngStreams`, so one seed reproduces every
+  figure bit-for-bit (RPL001, RPL005);
+* **unit safety** — module boundaries speak SI base units (seconds,
+  bytes, bits per second); conversions go through
+  :mod:`repro.util.units` instead of ad-hoc ``* 1e6`` arithmetic
+  (RPL002);
+* **event-loop hygiene** — components with a teardown method never
+  discard :class:`~repro.net.simulator.EventHandle` results, so a
+  stopped component leaves the loop clean (RPL003);
+* **picklability** — work handed to the multiprocessing campaign
+  runner is module-level, never a closure or lambda (RPL004).
+
+Run it as ``python -m repro.lint src tools examples`` or via the
+``repro lint`` CLI subcommand. Suppress a deliberate violation with a
+same-line pragma::
+
+    start = time.time()  # repro-lint: ignore[RPL001]
+
+``# repro-lint: ignore`` (no rule list) suppresses every rule on that
+line; ``# repro-lint: skip-file`` excludes the whole file.
+"""
+
+from __future__ import annotations
+
+from repro.lint.findings import Finding, PragmaIndex
+from repro.lint.rules import ALL_RULES, Rule
+from repro.lint.runner import lint_file, lint_paths, lint_source
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "PragmaIndex",
+    "Rule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

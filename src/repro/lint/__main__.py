@@ -1,0 +1,8 @@
+"""``python -m repro.lint`` — run the invariant linter."""
+
+import sys
+
+from repro.lint.runner import run_cli
+
+if __name__ == "__main__":
+    sys.exit(run_cli())

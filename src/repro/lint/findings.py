@@ -1,0 +1,85 @@
+"""Lint findings and suppression pragmas.
+
+A :class:`Finding` pinpoints one invariant violation; a
+:class:`PragmaIndex` records which lines of a file opted out of which
+rules via ``# repro-lint: ignore[...]`` comments.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>skip-file|ignore)"
+    r"(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
+)
+
+#: Sentinel rule set meaning "every rule is ignored on this line".
+ALL = frozenset({"*"})
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One invariant violation at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        """GCC-style one-line rendering (clickable in most editors)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+class PragmaIndex:
+    """Per-line suppression pragmas extracted from one source file.
+
+    Parameters
+    ----------
+    source:
+        Full text of the file. Comments are located with
+        :mod:`tokenize`, so pragmas inside string literals are inert.
+    """
+
+    def __init__(self, source: str) -> None:
+        self.skip_file = False
+        self._ignored: dict[int, frozenset[str]] = {}
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            for token in tokens:
+                if token.type != tokenize.COMMENT:
+                    continue
+                self._note_comment(token.start[0], token.string)
+        except (tokenize.TokenError, IndentationError):
+            # Unparseable files are reported by the runner; pragma
+            # extraction just degrades to "no pragmas".
+            pass
+
+    def _note_comment(self, line: int, comment: str) -> None:
+        match = _PRAGMA_RE.search(comment)
+        if match is None:
+            return
+        if match.group("kind") == "skip-file":
+            self.skip_file = True
+            return
+        rules = match.group("rules")
+        if rules is None:
+            ignored = ALL
+        else:
+            ignored = frozenset(
+                name.strip().upper() for name in rules.split(",") if name.strip()
+            )
+        previous = self._ignored.get(line, frozenset())
+        self._ignored[line] = previous | ignored
+
+    def is_ignored(self, line: int, rule_id: str) -> bool:
+        """Whether ``rule_id`` findings on ``line`` are suppressed."""
+        ignored = self._ignored.get(line)
+        if ignored is None:
+            return False
+        return "*" in ignored or rule_id.upper() in ignored

@@ -1,0 +1,477 @@
+"""The invariant rules (RPL001–RPL005).
+
+Each rule is an :class:`ast.NodeVisitor` instantiated per file. Rules
+collect :class:`~repro.lint.findings.Finding` objects; suppression via
+pragmas happens later in the runner, so rules stay oblivious to
+comments.
+
+Rule catalogue
+--------------
+
+RPL001 *nondeterminism*
+    Calls that pull entropy or wall-clock state from outside the
+    scenario seed: the stdlib ``random`` module, numpy's global RNG
+    (``np.random.seed`` / ``np.random.<dist>``), unseeded
+    ``default_rng()``, ``time.time``-family clocks, ``datetime.now``,
+    ``os.urandom``, ``uuid.uuid1/uuid4`` and ``secrets``. Simulation
+    code must draw from a ``numpy.random.Generator`` derived via
+    ``RngStreams.derive``; wall-clock telemetry (e.g. the campaign
+    engine) carries explicit pragmas.
+
+RPL002 *unit safety*
+    Ad-hoc unit arithmetic (``* 1e6``, ``/ 1e3``, ``* 8.0``, …)
+    outside :mod:`repro.util.units`, and assignments/keywords that
+    pipe a ``_s``-suffixed value into an ``_ms``-suffixed slot (or
+    bytes into bits, bps into mbps) without conversion.
+
+RPL003 *event-handle leaks*
+    A discarded ``call_at``/``call_later`` result inside a class that
+    also defines ``stop``/``flush``/``close``: the teardown method
+    cannot cancel what was never kept — the JitterBuffer bug class.
+
+RPL004 *picklability*
+    Lambdas or nested functions handed to multiprocessing-style
+    dispatch (``pool.submit``/``imap``/``apply_async``/…,
+    ``Process(target=...)`` or campaign ``make_unit`` params): they
+    break under ``multiprocessing`` — the ping-probe bug class.
+
+RPL005 *seed-path hygiene*
+    ``default_rng(<literal>)`` / ``RandomState(<literal>)`` with a
+    hard-coded seed: two unrelated components silently sharing stream
+    0 — the ``rng=None → default_rng(0)`` fallback bug class.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar
+
+from repro.lint.findings import Finding
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Render ``a.b.c`` attribute chains; ``None`` for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class Rule(ast.NodeVisitor):
+    """Base class: one rule, instantiated fresh per linted file."""
+
+    rule_id: ClassVar[str] = "RPL000"
+    title: ClassVar[str] = ""
+    #: Path suffixes (``/``-normalised) this rule never applies to.
+    exempt_suffixes: ClassVar[tuple[str, ...]] = ()
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.findings: list[Finding] = []
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        """Whether this rule runs on ``path`` at all."""
+        normalized = path.replace("\\", "/")
+        return not any(normalized.endswith(sfx) for sfx in cls.exempt_suffixes)
+
+    def report(self, node: ast.AST, message: str) -> None:
+        """Record a finding anchored at ``node``."""
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                rule_id=self.rule_id,
+                message=message,
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# RPL001 — nondeterminism
+# ----------------------------------------------------------------------
+
+_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+}
+_ENTROPY_CALLS = {"os.urandom", "uuid.uuid1", "uuid.uuid4"}
+_DATETIME_ATTRS = {"now", "utcnow", "today"}
+#: numpy.random members that *construct* seeded machinery (allowed).
+_NP_RANDOM_OK = {
+    "default_rng",
+    "Generator",
+    "RandomState",  # legacy but seedable; literal seeds are RPL005's call
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+}
+
+
+class NondeterminismRule(Rule):
+    """RPL001: entropy or wall clock outside the RngStreams seed path."""
+
+    rule_id = "RPL001"
+    title = "nondeterminism"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is not None:
+            self._check_name(node, name)
+        self.generic_visit(node)
+
+    def _check_name(self, node: ast.Call, name: str) -> None:
+        parts = name.split(".")
+        if name.startswith("random."):
+            self.report(
+                node,
+                f"call to stdlib '{name}' uses the global process RNG; "
+                "draw from a numpy Generator derived via RngStreams.derive",
+            )
+            return
+        if parts[0] in ("np", "numpy") and len(parts) >= 3 and parts[1] == "random":
+            member = parts[2]
+            if member == "seed":
+                self.report(
+                    node,
+                    f"'{name}' reseeds numpy's global RNG; "
+                    "use RngStreams for per-component streams",
+                )
+            elif (
+                member in ("default_rng", "RandomState")
+                and not node.args
+                and not node.keywords
+            ):
+                self.report(
+                    node,
+                    f"'{member}()' without a seed draws OS entropy; "
+                    "derive a Generator from RngStreams instead",
+                )
+            elif member not in _NP_RANDOM_OK:
+                self.report(
+                    node,
+                    f"'{name}' draws from numpy's global RNG; "
+                    "use a Generator derived via RngStreams.derive",
+                )
+            return
+        if name == "default_rng" and not node.args and not node.keywords:
+            self.report(
+                node,
+                "'default_rng()' without a seed draws OS entropy; "
+                "derive a Generator from RngStreams instead",
+            )
+            return
+        if name in _CLOCK_CALLS:
+            self.report(
+                node,
+                f"'{name}' reads the wall clock; simulation code must use "
+                "EventLoop.now (pragma wall-clock telemetry explicitly)",
+            )
+            return
+        if (
+            parts[0] in ("datetime", "date")
+            and parts[-1] in _DATETIME_ATTRS
+            and len(parts) >= 2
+        ):
+            self.report(
+                node,
+                f"'{name}' reads the wall clock; simulation code must use "
+                "EventLoop.now (pragma wall-clock telemetry explicitly)",
+            )
+            return
+        if name in _ENTROPY_CALLS or name.startswith("secrets."):
+            self.report(
+                node,
+                f"'{name}' draws OS entropy; "
+                "derive randomness from RngStreams instead",
+            )
+
+
+# ----------------------------------------------------------------------
+# RPL002 — unit-suffix safety
+# ----------------------------------------------------------------------
+
+#: suffix -> (quantity family, unit). Longest suffix wins.
+_UNIT_SUFFIXES: tuple[tuple[str, tuple[str, str]], ...] = (
+    ("_mbps", ("rate", "mbps")),
+    ("_kbps", ("rate", "kbps")),
+    ("_bps", ("rate", "bps")),
+    ("_ms", ("time", "ms")),
+    ("_us", ("time", "us")),
+    ("_seconds", ("time", "s")),
+    ("_secs", ("time", "s")),
+    ("_s", ("time", "s")),
+    ("_bytes", ("size", "bytes")),
+    ("_bits", ("size", "bits")),
+)
+
+#: Magic constants that mark ad-hoc unit conversions when they appear
+#: as a direct ``*``/``/`` operand. ``8.0`` must be a float literal
+#: (integer 8 is too common as an ordinary number); 1e-3/1e-6 are
+#: deliberately absent because they routinely appear as epsilons.
+_FLOAT_ONLY_CONSTANTS = (8.0,)
+_UNIT_CONSTANTS = (1_000, 1_000_000)
+
+
+def _suffix_unit(name: str | None) -> tuple[str, str] | None:
+    if name is None:
+        return None
+    leaf = name.rsplit(".", 1)[-1]
+    for suffix, family_unit in _UNIT_SUFFIXES:
+        if leaf.endswith(suffix):
+            return family_unit
+    return None
+
+
+def _bare_name(node: ast.AST) -> str | None:
+    """Name of a plain variable/attribute reference, else ``None``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return dotted_name(node)
+    return None
+
+
+def _is_unit_constant(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Constant):
+        return False
+    value = node.value
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return False
+    if isinstance(value, float) and any(value == c for c in _FLOAT_ONLY_CONSTANTS):
+        return True
+    return any(value == c for c in _UNIT_CONSTANTS)
+
+
+class UnitSafetyRule(Rule):
+    """RPL002: SI units at boundaries, conversions via util.units."""
+
+    rule_id = "RPL002"
+    title = "unit-suffix safety"
+    exempt_suffixes = ("repro/util/units.py",)
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, (ast.Mult, ast.Div)):
+            for operand in (node.left, node.right):
+                if _is_unit_constant(operand):
+                    literal = ast.unparse(operand)
+                    self.report(
+                        node,
+                        f"ad-hoc unit arithmetic with literal {literal}; "
+                        "use the repro.util.units helpers "
+                        "(ms/to_ms, mbps/to_mbps, bytes_to_bits, ...)",
+                    )
+                    break
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_flow(node, _bare_name(target), node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_flow(node, _bare_name(node.target), node.value)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        for keyword in node.keywords:
+            if keyword.arg is not None:
+                self._check_flow(keyword.value, keyword.arg, keyword.value)
+        self.generic_visit(node)
+
+    def _check_flow(self, anchor: ast.AST, sink: str | None, source: ast.AST) -> None:
+        sink_unit = _suffix_unit(sink)
+        if sink_unit is None:
+            return
+        source_unit = _suffix_unit(_bare_name(source))
+        if source_unit is None:
+            return
+        if sink_unit[0] == source_unit[0] and sink_unit[1] != source_unit[1]:
+            self.report(
+                anchor,
+                f"'{sink}' ({sink_unit[1]}) assigned from "
+                f"'{_bare_name(source)}' ({source_unit[1]}) without "
+                "conversion; use the repro.util.units helpers",
+            )
+
+
+# ----------------------------------------------------------------------
+# RPL003 — event-handle leaks
+# ----------------------------------------------------------------------
+
+_TEARDOWN_METHODS = {"stop", "flush", "close", "shutdown"}
+_SCHEDULING_ATTRS = {"call_at", "call_later"}
+
+
+class EventHandleRule(Rule):
+    """RPL003: discarded EventHandle in a class with a teardown method."""
+
+    rule_id = "RPL003"
+    title = "event-handle leaks"
+
+    def __init__(self, path: str) -> None:
+        super().__init__(path)
+        self._class_stack: list[bool] = []
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        has_teardown = any(
+            isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and stmt.name in _TEARDOWN_METHODS
+            for stmt in node.body
+        )
+        self._class_stack.append(has_teardown)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def visit_Expr(self, node: ast.Expr) -> None:
+        if self._class_stack and self._class_stack[-1]:
+            call = node.value
+            if isinstance(call, ast.Call) and isinstance(call.func, ast.Attribute):
+                if call.func.attr in _SCHEDULING_ATTRS:
+                    self.report(
+                        node,
+                        f"result of '{call.func.attr}' discarded in a class "
+                        "with a teardown method; keep the EventHandle and "
+                        "cancel it on stop/flush/close",
+                    )
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# RPL004 — picklability
+# ----------------------------------------------------------------------
+
+_POOL_DISPATCH_ATTRS = {
+    "submit",
+    "map",
+    "map_async",
+    "imap",
+    "imap_unordered",
+    "apply",
+    "apply_async",
+    "starmap",
+    "starmap_async",
+}
+_DISPATCH_NAMES = {"make_unit"}
+_PROCESS_NAMES = {"Process", "Thread"}
+
+
+class PicklabilityRule(Rule):
+    """RPL004: only module-level callables cross the process boundary."""
+
+    rule_id = "RPL004"
+    title = "picklability"
+
+    def __init__(self, path: str) -> None:
+        super().__init__(path)
+        self._function_depth = 0
+        self._nested_defs: list[set[str]] = []
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter_function(node)
+
+    def _enter_function(self, node: ast.AST) -> None:
+        if self._function_depth > 0:
+            self._nested_defs[-1].add(node.name)  # type: ignore[attr-defined]
+        self._function_depth += 1
+        self._nested_defs.append(set())
+        self.generic_visit(node)
+        self._nested_defs.pop()
+        self._function_depth -= 1
+
+    def _is_nested_function(self, name: str) -> bool:
+        return any(name in scope for scope in self._nested_defs)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._is_dispatch(node):
+            values = list(node.args) + [kw.value for kw in node.keywords]
+            for value in values:
+                self._check_payload(value)
+        self.generic_visit(node)
+
+    def _is_dispatch(self, node: ast.Call) -> bool:
+        if isinstance(node.func, ast.Attribute):
+            if node.func.attr in _POOL_DISPATCH_ATTRS:
+                return True
+        name = dotted_name(node.func)
+        if name is None:
+            return False
+        leaf = name.rsplit(".", 1)[-1]
+        if leaf in _DISPATCH_NAMES:
+            return True
+        if leaf in _PROCESS_NAMES:
+            return any(kw.arg == "target" for kw in node.keywords)
+        return False
+
+    def _check_payload(self, value: ast.AST) -> None:
+        if isinstance(value, ast.Lambda):
+            self.report(
+                value,
+                "lambda passed to a multiprocessing dispatch call; lambdas "
+                "cannot be pickled — use a module-level function",
+            )
+        elif isinstance(value, ast.Name) and self._is_nested_function(value.id):
+            self.report(
+                value,
+                f"'{value.id}' is defined in a nested scope; closures cannot "
+                "be pickled — hoist it to module level",
+            )
+
+
+# ----------------------------------------------------------------------
+# RPL005 — seed-path hygiene
+# ----------------------------------------------------------------------
+
+
+class SeedHygieneRule(Rule):
+    """RPL005: no hard-coded seed fallbacks in simulation components."""
+
+    rule_id = "RPL005"
+    title = "seed-path hygiene"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is not None:
+            leaf = name.rsplit(".", 1)[-1]
+            if leaf in ("default_rng", "RandomState") and node.args:
+                first = node.args[0]
+                if (
+                    isinstance(first, ast.Constant)
+                    and isinstance(first.value, int)
+                    and not isinstance(first.value, bool)
+                ):
+                    self.report(
+                        node,
+                        f"'{leaf}({first.value})' hard-codes a seed — "
+                        "unrelated components end up sharing one stream; "
+                        "require an explicit Generator or derive from "
+                        "RngStreams",
+                    )
+        self.generic_visit(node)
+
+
+#: Every shipped rule, in catalogue order.
+ALL_RULES: tuple[type[Rule], ...] = (
+    NondeterminismRule,
+    UnitSafetyRule,
+    EventHandleRule,
+    PicklabilityRule,
+    SeedHygieneRule,
+)

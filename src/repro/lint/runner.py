@@ -1,0 +1,142 @@
+"""File walking and rule orchestration for :mod:`repro.lint`."""
+
+from __future__ import annotations
+
+import ast
+import os
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.findings import Finding, PragmaIndex
+from repro.lint.rules import ALL_RULES, Rule
+
+#: Directory names never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".repro-cache", ".hypothesis"}
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Sequence[type[Rule]] | None = None,
+) -> list[Finding]:
+    """Lint one source string; returns pragma-filtered findings."""
+    if rules is None:
+        rules = ALL_RULES
+    pragmas = PragmaIndex(source)
+    if pragmas.skip_file:
+        return []
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                rule_id="RPL000",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    findings: list[Finding] = []
+    for rule_cls in rules:
+        if not rule_cls.applies_to(path):
+            continue
+        rule = rule_cls(path)
+        rule.visit(tree)
+        findings.extend(
+            finding
+            for finding in rule.findings
+            if not pragmas.is_ignored(finding.line, finding.rule_id)
+        )
+    return sorted(findings)
+
+
+def lint_file(
+    path: str | Path, rules: Sequence[type[Rule]] | None = None
+) -> list[Finding]:
+    """Lint one file on disk."""
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, str(path), rules)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterable[Path]:
+    """Yield every ``.py`` file under ``paths`` in sorted order."""
+    for root in paths:
+        root = Path(root)
+        if root.is_file():
+            if root.suffix == ".py":
+                yield root
+            continue
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = sorted(d for d in dirnames if d not in _SKIP_DIRS)
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield Path(dirpath) / filename
+
+
+def lint_paths(
+    paths: Iterable[str | Path], rules: Sequence[type[Rule]] | None = None
+) -> list[Finding]:
+    """Lint every Python file under ``paths``."""
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        findings.extend(lint_file(file_path, rules))
+    return findings
+
+
+def run_cli(argv: Sequence[str] | None = None) -> int:
+    """Entry point shared by ``python -m repro.lint`` and ``repro lint``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="AST-based invariant linter for the reproduction "
+        "(determinism, unit safety, event-loop hygiene, picklability).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tools", "examples"],
+        help="files or directories to lint (default: src tools examples)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_cls in ALL_RULES:
+            print(f"{rule_cls.rule_id}  {rule_cls.title}")
+        return 0
+
+    rules: Sequence[type[Rule]] | None = None
+    if args.select is not None:
+        wanted = {name.strip().upper() for name in args.select.split(",")}
+        rules = [cls for cls in ALL_RULES if cls.rule_id in wanted]
+        unknown = wanted - {cls.rule_id for cls in rules}
+        if unknown:
+            parser.error(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        parser.error(f"no such path(s): {', '.join(missing)}")
+
+    files = list(iter_python_files(args.paths))
+    findings: list[Finding] = []
+    for file_path in files:
+        findings.extend(lint_file(file_path, rules))
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"{len(findings)} finding(s) in {len(files)} file(s)")
+        return 1
+    print(f"checked {len(files)} file(s): no findings")
+    return 0

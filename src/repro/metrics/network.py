@@ -14,6 +14,7 @@ from repro.cellular.handover import HET_SUCCESS_THRESHOLD, HandoverEvent
 from repro.core.receiver import PacketLogEntry
 from repro.core.session import SessionResult
 from repro.metrics.stats import BoxplotSummary, Cdf, windowed_rate
+from repro.util.units import bytes_to_bits, to_mbps, to_ms
 
 
 @dataclass
@@ -107,7 +108,7 @@ def average_goodput(
         if entry.received_at >= warmup
     )
     span = max(duration - warmup, 1e-9)
-    return total * 8.0 / span
+    return bytes_to_bits(total) / span
 
 
 @dataclass
@@ -160,15 +161,14 @@ def network_summary(result: SessionResult) -> dict[str, float]:
     owds = one_way_delays(result.packet_log)
     return {
         "ho_per_s": handovers.frequency_per_s,
-        "het_median_ms": float(np.median(handovers.het_seconds) * 1e3)
+        "het_median_ms": to_ms(float(np.median(handovers.het_seconds)))
         if handovers.het_seconds
         else 0.0,
-        "owd_median_ms": float(np.median(owds) * 1e3) if owds else 0.0,
-        "owd_p99_ms": float(np.percentile(owds, 99) * 1e3) if owds else 0.0,
-        "goodput_mbps": average_goodput(
-            result.packet_log, duration=result.duration
-        )
-        / 1e6,
+        "owd_median_ms": to_ms(float(np.median(owds))) if owds else 0.0,
+        "owd_p99_ms": to_ms(float(np.percentile(owds, 99))) if owds else 0.0,
+        "goodput_mbps": to_mbps(
+            average_goodput(result.packet_log, duration=result.duration)
+        ),
         "loss_rate": loss.loss_rate,
         "cells_seen": float(result.cells_seen),
     }

@@ -13,6 +13,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.util.units import bytes_to_bits
+
 
 @dataclass
 class BoxplotSummary:
@@ -123,5 +125,6 @@ def windowed_rate(
     edges = np.arange(lo, hi + window, window)
     sums, _ = np.histogram(times_arr, bins=edges, weights=sizes_arr)
     return [
-        (float(edges[i]), float(sums[i] * 8.0 / window)) for i in range(len(sums))
+        (float(edges[i]), float(bytes_to_bits(sums[i]) / window))
+        for i in range(len(sums))
     ]

@@ -19,6 +19,7 @@ import numpy as np
 from repro.core.session import SessionResult
 from repro.metrics.stats import Cdf
 from repro.video.player import PlaybackRecord
+from repro.util.units import to_ms
 
 #: RP latency / stall threshold the paper derives (~300 ms).
 RP_LATENCY_THRESHOLD = 0.300
@@ -143,7 +144,7 @@ class VideoSummary:
             mean_fps=fps.mean,
             fraction_full_fps=fps.fraction_above(result.config.fps - 2.0),
             latency_below_threshold=latency.fraction_below(RP_LATENCY_THRESHOLD),
-            median_latency_ms=latency.median * 1e3,
+            median_latency_ms=to_ms(latency.median),
             ssim_above_threshold=ssim.fraction_above(SSIM_THRESHOLD),
             median_ssim=ssim.median,
             stalls_per_minute=stalls.stalls_per_minute,

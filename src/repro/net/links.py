@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.net.packet import Datagram
 from repro.net.simulator import EventLoop
+from repro.util.units import bytes_to_bits
 
 DeliverFn = Callable[[Datagram], None]
 RateFn = Callable[[float], float]
@@ -109,7 +110,7 @@ class CapacityLink:
     def queuing_delay_estimate(self) -> float:
         """Approximate sojourn time of a packet entering the queue now."""
         rate = max(self._rate_fn(self._loop.now), self.min_rate_bps)
-        return self._queued_bytes * 8.0 / rate
+        return bytes_to_bits(self._queued_bytes) / rate
 
     def set_up(self, up: bool) -> None:
         """Raise or silence the link (handover execution windows).
@@ -138,7 +139,7 @@ class CapacityLink:
         datagram = self._queue.popleft()
         self._queued_bytes -= datagram.size_bytes
         rate = max(self._rate_fn(self._loop.now), self.min_rate_bps)
-        duration = datagram.size_bytes * 8.0 / rate
+        duration = bytes_to_bits(datagram.size_bytes) / rate
         self._busy = True
         self._loop.call_later(duration, lambda: self._finish(datagram))
 

@@ -40,6 +40,10 @@ class NetworkPath:
         Residual loss process applied after the radio queue.
     buffer_bytes:
         Radio queue depth (drop-tail).
+    rng:
+        Jitter noise generator; required whenever ``jitter_std > 0``.
+        Derive it from the scenario's :class:`repro.util.rng.RngStreams`
+        so two paths never share a stream.
     """
 
     def __init__(
@@ -60,7 +64,10 @@ class NetworkPath:
         self.lost_packets = 0
         self.sent_packets = 0
         if jitter_std > 0 and rng is None:
-            rng = np.random.default_rng(0)
+            raise ValueError(
+                "rng is required when jitter_std > 0; derive one from the "
+                "scenario RngStreams (e.g. streams.derive('jitter-up'))"
+            )
         self.delay_line = DelayLine(
             loop,
             self._on_delivered,

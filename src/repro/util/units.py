@@ -29,6 +29,11 @@ def to_mbps(rate_bps: float) -> float:
     return rate_bps / 1e6
 
 
+def to_megabytes(num_bytes: float) -> float:
+    """Express a byte count in (decimal) megabytes, for display."""
+    return num_bytes / 1e6
+
+
 def ms(duration_ms: float) -> float:
     """Express a duration given in milliseconds as seconds."""
     return duration_ms / 1e3

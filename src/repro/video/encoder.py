@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.video.frames import EncodedFrame, FrameType, SourceFrame
+from repro.util.units import bits_to_bytes, bytes_to_bits
 
 
 class EncoderModel:
@@ -112,8 +113,8 @@ class EncoderModel:
         # Rate control: shave the next frame when we recently overspent.
         correction = float(np.clip(1.0 - self._bit_debt / (4.0 * budget_bits), 0.6, 1.2))
         size_bits = budget_bits * scale * frame.complexity * noise * correction
-        size_bytes = max(200, int(size_bits / 8.0))
-        self._bit_debt += size_bytes * 8.0 - budget_bits
+        size_bytes = max(200, int(bits_to_bytes(size_bits)))
+        self._bit_debt += bytes_to_bits(size_bytes) - budget_bits
         # Debt decays so a single large IDR doesn't starve a whole GoP.
         self._bit_debt *= 0.95
         latency = self.encode_latency + abs(

@@ -69,6 +69,19 @@ class TestVideoSender:
         loop.run_until(3.0)
         assert sender.stats.frames_encoded == count
 
+    def test_stop_cancels_pending_events(self):
+        """Teardown leaves no live sender events on the loop (RPL003)."""
+        controller = StaticBitrateController(8e6)
+        loop, sender, receiver, _ = build_pipeline(controller)
+        sender.start()
+        loop.run_until(1.0)
+        sender.stop()
+        receiver.stop()
+        sent = sender.stats.packets_sent
+        loop.run()  # drains instantly: everything left is cancelled
+        assert sender.stats.packets_sent == sent
+        assert not sender._pending_events
+
     def test_scream_queue_discard_on_stall(self):
         """When the network stalls, SCReAM discards its send queue
         after 100 ms instead of building unbounded latency."""

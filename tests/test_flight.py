@@ -108,6 +108,10 @@ class TestGroundTrajectory:
         idle = sum(1 for s in speeds if s < 0.01)
         assert idle > 30  # significant stationary time
 
+    def test_rng_is_required(self):
+        with pytest.raises(TypeError):
+            ground_trajectory(duration=60.0)
+
     @given(st.integers(0, 1000))
     @settings(max_examples=15, deadline=None)
     def test_deterministic_for_seed(self, seed):

@@ -232,6 +232,13 @@ class TestNetworkPath:
         assert path.lost_packets == 10
         assert path.loss_rate == 1.0
 
+    def test_jitter_requires_rng(self):
+        loop = EventLoop()
+        with pytest.raises(ValueError, match="rng is required"):
+            NetworkPath(
+                loop, lambda t: 8e6, lambda d: None, base_delay=0.0, jitter_std=0.001
+            )
+
     def test_outage_propagates_to_capacity_link(self):
         loop = EventLoop()
         received = []

@@ -15,6 +15,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).parent.parent / "src"))
 
 from repro.runner.cache import DEFAULT_CACHE_DIR, ResultCache  # noqa: E402
+from repro.util.units import to_megabytes  # noqa: E402
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -27,7 +28,7 @@ def main(argv: list[str] | None = None) -> int:
         stats = cache.stats()
         print(
             f"{cache.root}: {stats['entries']} entries, "
-            f"{stats['bytes'] / 1e6:.1f} MB"
+            f"{to_megabytes(stats['bytes']):.1f} MB"
         )
     else:
         removed = cache.clear()

@@ -7,6 +7,7 @@ from repro.cellular.operators import get_profile
 from repro.core.config import ScenarioConfig, Environment, Platform
 from repro.core.session import build_trajectory, build_channel_config
 from repro.util.rng import RngStreams
+from repro.util.units import to_mbps, to_ms
 
 def probe(env, plat, operator="P1", seeds=(1,2,3,4,5), duration=360.0):
     hos, caps, het_all = [], [], []
@@ -23,10 +24,10 @@ def probe(env, plat, operator="P1", seeds=(1,2,3,4,5), duration=360.0):
         hos.append(len(ch.engine.events)/duration)
         caps.extend(s.uplink_bps for s in ch.samples)
         het_all.extend(e.execution_time for e in ch.engine.events)
-    caps = np.array(caps)/1e6
+    caps = to_mbps(np.array(caps))
     print(f"{env:5s} {plat:6s} {operator}: HO/s={np.mean(hos):.3f}  cap Mbps p10/p50/p90={np.percentile(caps,10):.1f}/{np.percentile(caps,50):.1f}/{np.percentile(caps,90):.1f} mean={caps.mean():.1f}", end="")
     if het_all:
-        het = np.array(het_all)*1e3
+        het = to_ms(np.array(het_all))
         print(f"  HET med={np.median(het):.0f}ms p95={np.percentile(het,95):.0f}ms max={het.max():.0f}ms n={len(het)}")
     else:
         print("  (no HOs)")

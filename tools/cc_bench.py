@@ -8,11 +8,12 @@ from repro.core.receiver import VideoReceiver
 from repro.core.session import build_controller
 from repro.core.config import ScenarioConfig
 from repro.util.rng import RngStreams
+from repro.util.units import mbps, to_mbps
 from repro.video.source import SourceVideo
 from repro.video.encoder import EncoderModel
 
 cc_name = sys.argv[1] if len(sys.argv)>1 else "gcc"
-capacity = float(sys.argv[2])*1e6 if len(sys.argv)>2 else 40e6
+capacity = mbps(float(sys.argv[2])) if len(sys.argv)>2 else 40e6
 duration = float(sys.argv[3]) if len(sys.argv)>3 else 60.0
 
 cfg = ScenarioConfig(cc=cc_name, duration=duration, seed=5)
@@ -35,6 +36,6 @@ for t in range(0, int(duration), 5):
     entries=[e for e in log if t<=e.time<t+5]
     if entries:
         e=entries[-1]
-        print(f"t={t:3d} target={e.target_bitrate/1e6:5.2f}Mbps", {k:(round(v,2) if isinstance(v,float) else v) for k,v in e.extra.items()})
+        print(f"t={t:3d} target={to_mbps(e.target_bitrate):5.2f}Mbps", {k:(round(v,2) if isinstance(v,float) else v) for k,v in e.extra.items()})
 print("extra:", getattr(ctrl,'overuse_events',None), getattr(ctrl,'false_loss_candidates',None), getattr(ctrl,'detected_losses',None))
 print("sent", snd.stats.packets_sent, "delivered", len(rcv.packet_log), "discards", snd.stats.queue_discards)

@@ -1,5 +1,6 @@
 import numpy as np
 from repro import ScenarioConfig, run_session
+from repro.util.units import to_mbps
 cfg = ScenarioConfig(cc='gcc', environment='urban', platform='air', duration=120.0, seed=21)
 res = run_session(cfg)
 log = res.cc_log
@@ -13,6 +14,6 @@ for t in range(0, 120, 10):
     acked = [e.extra['acked_bitrate'] for e in seg if e.extra['acked_bitrate']>0]
     caps = [s.uplink_bps for s in res.capacity_samples if t <= s.time < t+10]
     hos = [h for h in res.handovers if t <= h.time < t+10]
-    print(f"t={t:3d} tgt={np.mean(targets)/1e6:5.1f} acked={np.mean(acked)/1e6 if acked else 0:5.1f} cap={np.mean(caps)/1e6:5.1f} "
+    print(f"t={t:3d} tgt={to_mbps(np.mean(targets)):5.1f} acked={to_mbps(np.mean(acked)) if acked else 0:5.1f} cap={to_mbps(np.mean(caps)):5.1f} "
           f"off_p95={np.percentile(np.abs(offs),95):6.2f} thr={np.mean(thr):5.1f} HOs={len(hos)}")
 print("overuse:", res.extra['overuse_events'])

@@ -31,6 +31,17 @@ expected to match the Munich testbed — the substrate is a calibrated
 simulator — but who wins, by roughly what factor, and where the
 crossovers fall should match; deviations are called out explicitly.
 
+Every number in this file rests on the repo's reproducibility
+invariants, which CI enforces with the `repro.lint` static pass
+(`python -m repro.lint src tools examples`): no entropy or wall-clock
+reads outside the seeded `RngStreams` path (RPL001), unit conversions
+through `repro.util.units` only (RPL002), no leaked event-loop handles
+(RPL003), only picklable callables across the campaign process
+boundary (RPL004), and no hard-coded seed fallbacks (RPL005).
+Deliberate exceptions — e.g. wall-clock campaign telemetry — carry an
+inline `# repro-lint: ignore[RPL001]` pragma. See README "Static
+analysis" for the rule catalogue.
+
 """
 
 SECTIONS = [
