@@ -55,13 +55,20 @@ def channel_settings() -> ExperimentSettings:
 
 
 @pytest.fixture()
-def runner() -> CampaignRunner:
-    """Campaign runner honouring the bench env knobs (fresh per bench)."""
+def runner():
+    """Campaign runner honouring the bench env knobs (fresh per bench).
+
+    Tears the runner's worker pool down after the bench: the pool is
+    persistent across ``run()`` calls, so without an explicit close a
+    ``REPRO_BENCH_WORKERS`` session would leak one pool of worker
+    processes per bench.
+    """
     workers_env = os.environ.get("REPRO_BENCH_WORKERS", "1")
     workers = None if workers_env == "0" else max(1, int(workers_env))
     cache_dir = os.environ.get("REPRO_BENCH_CACHE", "")
     cache = ResultCache(cache_dir) if cache_dir else None
-    return CampaignRunner(workers, cache=cache)
+    with CampaignRunner(workers, cache=cache) as campaign_runner:
+        yield campaign_runner
 
 
 @pytest.fixture(scope="session")

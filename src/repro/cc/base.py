@@ -24,6 +24,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.obs import NULL_RECORDER
+
 
 class FeedbackKind(enum.Enum):
     """Which RTCP extension the receiver must produce for a controller."""
@@ -74,6 +76,9 @@ class CongestionController:
             raise ValueError(f"initial_bitrate must be positive: {initial_bitrate}")
         self._target_bitrate = float(initial_bitrate)
         self.log: list[CcLogEntry] = []
+        #: Observability recorder; the session wires a live one in
+        #: for traced runs, everything else keeps the null recorder.
+        self.obs = NULL_RECORDER
 
     def target_bitrate(self, now: float) -> float:
         """Bitrate the encoder should currently produce (bits/s)."""

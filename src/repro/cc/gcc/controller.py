@@ -139,12 +139,31 @@ class GccController(CongestionController):
             usage = BandwidthUsage.NORMAL
         if usage is BandwidthUsage.OVERUSING:
             self.overuse_events += 1
+            if self.obs.enabled:
+                self.obs.event(
+                    "gcc.overuse",
+                    offset_ms=self._estimator.offset_ms,
+                    threshold_ms=self._detector.threshold_ms,
+                )
+                self.obs.count("gcc/overuse_events")
         incoming = self.acked_bitrate(now)
         delay_rate = self._aimd.update(usage, incoming, now)
         loss_rate = self._loss.update(lost, total)
+        previous_target = self._target_bitrate
         self._target_bitrate = min(
             max(min(delay_rate, loss_rate), self.min_bitrate), self.max_bitrate
         )
+        if self.obs.enabled:
+            self.obs.count("gcc/packets_acked", total - lost)
+            self.obs.count("gcc/packets_lost", lost)
+            self.obs.gauge("gcc/target_bitrate", self._target_bitrate)
+            self.obs.observe("gcc/rtt_ms", to_ms(self.rtt_estimate))
+            if self._target_bitrate < previous_target:
+                self.obs.event(
+                    "gcc.rate_decrease",
+                    from_bps=previous_target,
+                    to_bps=self._target_bitrate,
+                )
         self._record(
             now,
             delay_rate=delay_rate,

@@ -24,7 +24,7 @@ from repro.cc.scream.rate import ScreamRateController
 from repro.cc.scream.window import ScreamWindow
 from repro.rtp.ccfb import CcfbReport
 from repro.rtp.packets import seq_distance
-from repro.util.units import bytes_to_bits
+from repro.util.units import bytes_to_bits, to_ms
 
 
 class ScreamController(CongestionController):
@@ -144,8 +144,14 @@ class ScreamController(CongestionController):
             self.window.on_packet_lost(record.size_bytes, now)
             self.false_loss_candidates += 1
             loss_detected = True
+        if stale and self.obs.enabled:
+            self.obs.event("scream.false_loss", packets=len(stale))
+            self.obs.count("scream/false_loss_candidates", len(stale))
         if loss_detected:
             self.detected_losses += 1
+            if self.obs.enabled:
+                self.obs.event("scream.loss", cwnd=float(self.window.cwnd))
+                self.obs.count("scream/loss_events")
             # Media-rate back-off at most once per RTT, mirroring the
             # cwnd loss-event gating — individual reports often flag
             # several packets of the same loss episode.
@@ -157,6 +163,7 @@ class ScreamController(CongestionController):
                 self.rate.on_loss()
         if now - self._last_rate_adjust >= self.rate_adjust_interval:
             self._last_rate_adjust = now
+            previous_target = self._target_bitrate
             self._target_bitrate = self.rate.adjust(
                 now,
                 rtp_queue_delay=self._rtp_queue_delay,
@@ -173,6 +180,16 @@ class ScreamController(CongestionController):
                 srtt=self.window.srtt,
                 rtp_queue_delay=self._rtp_queue_delay,
             )
+            if self.obs.enabled:
+                self.obs.gauge("scream/target_bitrate", self._target_bitrate)
+                self.obs.gauge("scream/cwnd_bytes", float(self.window.cwnd))
+                self.obs.observe("scream/qdelay_ms", to_ms(self.window.qdelay))
+                if self._target_bitrate < previous_target:
+                    self.obs.event(
+                        "scream.rate_decrease",
+                        from_bps=previous_target,
+                        to_bps=self._target_bitrate,
+                    )
 
     def _note_acked(self, arrival: float, size_bytes: int) -> None:
         self._acked.append((arrival, size_bytes))

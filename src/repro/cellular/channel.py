@@ -37,6 +37,7 @@ from repro.cellular.propagation import (
 from repro.flight.trajectory import WaypointTrajectory
 from repro.net.path import NetworkPath
 from repro.net.simulator import EventLoop
+from repro.obs import NULL_RECORDER, NullRecorder
 from repro.util.rng import RngStreams
 
 #: UE measurement period (100 ms, standard LTE).
@@ -50,6 +51,8 @@ INTERFERENCE_LOAD = 0.02
 #: urban area sustains ~30-45 Mbps and the rural area ~8-13 Mbps,
 #: matching the paper's Fig. 6 operating points.
 UL_BUDGET_DB = 106.0
+#: Histogram buckets for the SINR metric (dB; spans outage to ideal).
+SINR_BUCKETS = (-10.0, -5.0, 0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 40.0)
 
 
 @dataclass
@@ -140,8 +143,10 @@ class CellularChannel:
         streams: RngStreams,
         *,
         config: ChannelConfig | None = None,
+        obs: NullRecorder = NULL_RECORDER,
     ) -> None:
         self._loop = loop
+        self.obs = obs
         self.layout = layout
         self.profile = profile
         self.trajectory = trajectory
@@ -155,6 +160,7 @@ class CellularChannel:
             config=self.config.a3,
             het_sampler=self.config.het,
         )
+        self.engine.obs = obs
         self._fading_rng = streams.derive("fading")
         self._meas_rng = streams.derive("measurement")
         self._fastfade_rng = streams.derive("fastfade")
@@ -236,6 +242,10 @@ class CellularChannel:
         self._uplink_bps = uplink
         self._downlink_bps = downlink
         serving_rsrp = self.engine.serving_rsrp()
+        if self.obs.enabled:
+            self.obs.gauge("channel/uplink_bps", uplink)
+            self.obs.gauge("channel/downlink_bps", downlink)
+            self.obs.observe("channel/sinr_db", sinr, buckets=SINR_BUCKETS)
         self.samples.append(
             CapacitySample(
                 time=now,
@@ -297,6 +307,14 @@ class CellularChannel:
         if self._outlier_rng.random() < rate * MEASUREMENT_PERIOD:
             low, high = self.config.outlier_duration_range
             self._outlier_until = now + float(self._outlier_rng.uniform(low, high))
+            if self.obs.enabled:
+                self.obs.span_at(
+                    "channel.interference_outlier",
+                    now,
+                    self._outlier_until,
+                    altitude=float(altitude),
+                )
+                self.obs.count("channel/interference_outliers")
 
     def _capacity(self, now, position) -> tuple[float, float, float]:
         filtered = self.engine.filtered_rsrp

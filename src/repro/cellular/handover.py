@@ -23,6 +23,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import NULL_RECORDER
+from repro.util.units import to_ms
+
 #: 3GPP success threshold for handover execution (TR 36.881).
 HET_SUCCESS_THRESHOLD = 0.0495
 
@@ -117,6 +120,8 @@ class HandoverEngine:
         self._a3_since: float | None = None
         self._in_handover_until: float | None = None
         self.events: list[HandoverEvent] = []
+        #: Observability recorder (wired by the owning channel).
+        self.obs = NULL_RECORDER
 
     @property
     def filtered_rsrp(self) -> np.ndarray | None:
@@ -187,6 +192,14 @@ class HandoverEngine:
             if self._a3_candidate != best:
                 self._a3_candidate = best
                 self._a3_since = now
+                if self.obs.enabled:
+                    self.obs.event(
+                        "handover.a3_enter",
+                        t=now,
+                        serving=self.serving_cell,
+                        candidate=best,
+                        margin_db=float(margin),
+                    )
             elif now - (self._a3_since or now) >= self.config.time_to_trigger:
                 return self._execute(now, best, altitude)
         else:
@@ -206,6 +219,19 @@ class HandoverEngine:
             altitude=altitude,
         )
         self.events.append(event)
+        if self.obs.enabled:
+            self.obs.span_at(
+                "handover.execution",
+                now,
+                now + het,
+                source=self.serving_cell,
+                target=target,
+                het_ms=to_ms(het),
+            )
+            self.obs.count("handover/executed")
+            if not event.successful:
+                self.obs.count("handover/het_over_threshold")
+            self.obs.observe("handover/het_ms", to_ms(het))
         self.serving_cell = target
         self._a3_candidate = None
         self._a3_since = None

@@ -1,12 +1,16 @@
 """Command-line interface.
 
-Three entry points a downstream user needs:
+Entry points a downstream user needs:
 
 * ``repro run`` — fly one measurement run and print its summary;
 * ``repro dataset`` — fly a campaign and export it in the released-
   dataset layout (per-run CSV directories);
 * ``repro figure`` — regenerate one of the paper's figures/tables and
-  print its text rendering.
+  print its text rendering;
+* ``repro trace`` — fly one instrumented run (or load JSONL exports)
+  and print the merged sim-time timeline of cc / handover / jitter-
+  buffer records;
+* ``repro lint`` — the repo's invariant linter.
 
 Installed as the ``repro`` console script; also runnable as
 ``python -m repro.cli``.
@@ -24,6 +28,14 @@ from repro.core.config import ScenarioConfig
 from repro.core.session import run_session
 from repro.experiments import ExperimentSettings
 from repro.metrics import VideoSummary, network_summary
+from repro.obs import (
+    Recorder,
+    filter_records,
+    merge_traces,
+    read_jsonl,
+    render_timeline,
+    write_jsonl,
+)
 from repro.runner import (
     WORK_SESSION,
     CampaignRunner,
@@ -156,8 +168,10 @@ def cmd_dataset(args: argparse.Namespace) -> int:
         for cc in args.methods.split(",")
         for seed in range(1, args.seeds + 1)
     ]
-    runner = _runner_from(args)
-    results = runner.run([make_unit(WORK_SESSION, config) for config in configs])
+    with _runner_from(args) as runner:
+        results = runner.run(
+            [make_unit(WORK_SESSION, config) for config in configs]
+        )
     for config, result in zip(configs, results):
         run_dir = export_session(result, root / config.label())
         print(f"wrote {run_dir}")
@@ -191,12 +205,55 @@ def cmd_figure(args: argparse.Namespace) -> int:
     if "runner" in inspect.signature(runner).parameters:
         campaign_runner = _runner_from(args)
         kwargs["runner"] = campaign_runner
-    result = runner(settings, **kwargs)
+    try:
+        result = runner(settings, **kwargs)
+    finally:
+        if campaign_runner is not None:
+            campaign_runner.close()
     print()
     print(result.render())
     if campaign_runner is not None and campaign_runner.telemetry.runs:
         print()
         print(campaign_runner.telemetry.summary())
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Print a sim-time timeline from a traced run or JSONL exports."""
+    recorder = Recorder()
+    if args.input:
+        traces = []
+        for path in args.input:
+            trace, registry = read_jsonl(path)
+            traces.append(trace)
+            recorder.registry.merge_snapshot(registry.snapshot())
+        recorder.trace = merge_traces(*traces)
+    else:
+        config = _scenario_from(args)
+        print(
+            f"Tracing {config.label()} ({config.duration:.0f} s simulated)...",
+            file=sys.stderr,
+        )
+        run_session(config, recorder=recorder)
+        recorder.trace = merge_traces(recorder.trace)
+    components = None
+    if args.component:
+        components = [
+            name.strip()
+            for entry in args.component
+            for name in entry.split(",")
+            if name.strip()
+        ]
+    records = filter_records(
+        recorder.trace, components=components, t0=args.t0, t1=args.t1
+    )
+    print(render_timeline(records))
+    if args.metrics:
+        print()
+        print(recorder.registry.render())
+    if args.out:
+        path = write_jsonl(args.out, recorder)
+        print(f"\nwrote {path}", file=sys.stderr)
     return 0
 
 
@@ -257,6 +314,47 @@ def build_parser() -> argparse.ArgumentParser:
 
     list_parser = sub.add_parser("list-figures", help="list regenerable figures")
     list_parser.set_defaults(func=cmd_list_figures)
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="trace one run (or merge JSONL exports) into a timeline",
+        description="Fly one instrumented measurement run and print the "
+        "merged sim-time timeline of congestion-control, handover and "
+        "jitter-buffer records; or, with --input, merge previously "
+        "exported JSONL traces instead of simulating.",
+    )
+    _add_scenario_arguments(trace_parser)
+    trace_parser.set_defaults(cc="gcc", duration=60.0)
+    trace_parser.add_argument(
+        "--input",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="JSONL trace export(s) to merge instead of running a session",
+    )
+    trace_parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the merged trace + metrics as JSONL",
+    )
+    trace_parser.add_argument(
+        "--component",
+        action="append",
+        default=[],
+        help="only show these components (repeatable or comma-separated; "
+        "e.g. --component gcc,handover)",
+    )
+    trace_parser.add_argument(
+        "--t0", type=float, default=None, help="window start, sim seconds"
+    )
+    trace_parser.add_argument(
+        "--t1", type=float, default=None, help="window end, sim seconds"
+    )
+    trace_parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metric registry after the timeline",
+    )
+    trace_parser.set_defaults(func=cmd_trace)
 
     lint_parser = sub.add_parser(
         "lint",

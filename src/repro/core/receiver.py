@@ -16,6 +16,8 @@ from repro.cc.base import CongestionController, FeedbackKind
 from repro.net.packet import Datagram, IP_UDP_OVERHEAD_BYTES
 from repro.net.path import NetworkPath
 from repro.net.simulator import EventLoop, PeriodicTimer
+from repro.obs import NULL_RECORDER, NullRecorder
+from repro.util.units import to_ms
 from repro.rtp.ccfb import CcfbRecorder
 from repro.rtp.jitter_buffer import JitterBuffer
 from repro.rtp.packetizer import FrameAssembler
@@ -55,8 +57,10 @@ class VideoReceiver:
         drop_on_latency: bool = False,
         decoder: DecoderModel | None = None,
         scream_ack_window: int = 64,
+        obs: NullRecorder = NULL_RECORDER,
     ) -> None:
         self._loop = loop
+        self.obs = obs
         self.controller = controller
         self.downlink = downlink
         self.decoder = decoder if decoder is not None else DecoderModel()
@@ -67,6 +71,7 @@ class VideoReceiver:
             self._on_packet_released,
             latency=jitter_buffer_latency,
             drop_on_latency=drop_on_latency,
+            obs=obs,
         )
         self.packet_log: list[PacketLogEntry] = []
         self._twcc: TwccRecorder | None = None
@@ -147,6 +152,10 @@ class VideoReceiver:
             self._twcc.on_packet(packet.transport_seq, now)
         if self._ccfb is not None:
             self._ccfb.on_packet(packet.sequence, now)
+        if self.obs.enabled:
+            self.obs.count("receiver/packets")
+            self.obs.count("receiver/bytes", packet.wire_size)
+            self.obs.observe("receiver/owd_ms", to_ms(now - datagram.sent_at))
         self.jitter_buffer.push(packet, now)
 
     def _on_packet_released(self, packet: RtpPacket, when: float) -> None:
@@ -167,6 +176,8 @@ class VideoReceiver:
         if payload is None:
             return
         self.feedback_sent += 1
+        if self.obs.enabled:
+            self.obs.count("receiver/feedback_sent")
         self.downlink.send(
             Datagram(
                 size_bytes=payload.wire_size + IP_UDP_OVERHEAD_BYTES,

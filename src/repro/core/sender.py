@@ -19,7 +19,8 @@ from repro.cc.base import CongestionController, SentPacket
 from repro.net.packet import Datagram, IP_UDP_OVERHEAD_BYTES
 from repro.net.path import NetworkPath
 from repro.net.simulator import EventHandle, EventLoop, PeriodicTimer
-from repro.util.units import bytes_to_bits
+from repro.obs import NULL_RECORDER, NullRecorder
+from repro.util.units import bytes_to_bits, to_ms
 from repro.rtp.packetizer import Packetizer
 from repro.rtp.packets import RtpPacket, timestamp_for
 from repro.rtp.rtcp import ReceiverReport, SenderReport, rtt_from_block
@@ -53,8 +54,10 @@ class VideoSender:
         uplink: NetworkPath,
         *,
         ssrc: int = 0x1234,
+        obs: NullRecorder = NULL_RECORDER,
     ) -> None:
         self._loop = loop
+        self.obs = obs
         self.source = source
         self.encoder = encoder
         self.controller = controller
@@ -166,6 +169,9 @@ class VideoSender:
         frame = self.source.next_frame(now)
         encoded = self.encoder.encode(frame)
         self.stats.frames_encoded += 1
+        if self.obs.enabled:
+            self.obs.count("sender/frames_encoded")
+            self.obs.gauge("sender/encoder_target_bps", self.encoder.target_bitrate)
         # The encoded frame becomes available after the encode latency.
         self._call_later(
             encoded.encode_latency, lambda: self._enqueue_frame_packets(encoded)
@@ -187,6 +193,16 @@ class VideoSender:
         if now - self._queue[0][1] > threshold:
             self.stats.queue_discards += 1
             self.stats.packets_discarded += len(self._queue)
+            if self.obs.enabled:
+                self.obs.event(
+                    "sender.queue_discard",
+                    t=now,
+                    packets=len(self._queue),
+                    queued_bytes=self._queued_bytes,
+                    head_age_ms=to_ms(now - self._queue[0][1]),
+                )
+                self.obs.count("sender/queue_discards")
+                self.obs.count("sender/packets_discarded", len(self._queue))
             self._queue.clear()
             self._queued_bytes = 0
 
@@ -222,6 +238,10 @@ class VideoSender:
         self.uplink.send(datagram)
         self.stats.packets_sent += 1
         self.stats.bytes_sent += packet.wire_size
+        if self.obs.enabled:
+            self.obs.count("sender/packets_sent")
+            self.obs.count("sender/bytes_sent", packet.wire_size)
+            self.obs.observe("sender/queue_delay_ms", to_ms(self.queue_delay))
         self.controller.on_packet_sent(
             SentPacket(
                 sequence=packet.sequence,

@@ -35,6 +35,7 @@ from repro.flight.trajectory import (
 from repro.net.loss import GilbertElliottLoss
 from repro.net.path import NetworkPath
 from repro.net.simulator import EventLoop
+from repro.obs import NULL_RECORDER, NullRecorder, Recorder
 from repro.util.rng import RngStreams
 from repro.video.encoder import EncoderModel
 from repro.video.player import PlaybackRecord
@@ -131,9 +132,24 @@ def build_channel_config(config: ScenarioConfig) -> ChannelConfig:
     return channel_config
 
 
-def run_session(config: ScenarioConfig) -> SessionResult:
-    """Execute one measurement run and collect its dataset."""
+def run_session(
+    config: ScenarioConfig,
+    *,
+    recorder: NullRecorder | None = None,
+) -> SessionResult:
+    """Execute one measurement run and collect its dataset.
+
+    Pass a live :class:`~repro.obs.Recorder` to collect sim-time
+    traces and a metrics registry alongside the classic logs; the
+    recorder is bound to this run's event loop, its metric snapshot
+    lands in ``result.extra["metrics"]``, and the simulated outcome is
+    bit-identical to an untraced run (the recorder draws no random
+    numbers and schedules no events).
+    """
+    obs = recorder if recorder is not None else NULL_RECORDER
     loop = EventLoop()
+    if isinstance(obs, Recorder):
+        obs.bind(loop)
     streams = RngStreams(config.seed)
     profile = get_profile(config.operator, config.environment.value)
     layout = profile.build_layout(streams.derive("layout"))
@@ -145,9 +161,11 @@ def run_session(config: ScenarioConfig) -> SessionResult:
         trajectory,
         streams.child("channel"),
         config=build_channel_config(config),
+        obs=obs,
     )
 
     controller = build_controller(config)
+    controller.obs = obs
     if config.cc is CcAlgorithm.SCREAM and "ramp_up_speed" in config.extra:
         controller.rate.ramp_up_speed = config.extra["ramp_up_speed"]
 
@@ -188,7 +206,7 @@ def run_session(config: ScenarioConfig) -> SessionResult:
         max_bitrate=config.max_bitrate,
         initial_bitrate=controller.target_bitrate(0.0),
     )
-    sender = VideoSender(loop, source, encoder, controller, uplink)
+    sender = VideoSender(loop, source, encoder, controller, uplink, obs=obs)
     receiver = VideoReceiver(
         loop,
         controller,
@@ -197,6 +215,7 @@ def run_session(config: ScenarioConfig) -> SessionResult:
         jitter_buffer_latency=config.jitter_buffer_latency,
         drop_on_latency=config.jitter_buffer_drop_on_latency,
         scream_ack_window=config.scream_ack_window,
+        obs=obs,
     )
     receiver_holder.append(receiver)
     receiver.on_receiver_report = sender.on_receiver_report
@@ -217,6 +236,11 @@ def run_session(config: ScenarioConfig) -> SessionResult:
     extra["ping_pong_handovers"] = channel.engine.ping_pong_count()
     extra["jitter_dropped_late"] = receiver.jitter_buffer.dropped_late_packets
     extra["rtt_samples"] = list(sender.rtt_samples)
+    if isinstance(obs, Recorder):
+        # Per-run metric snapshot travels with the result record, so
+        # campaign caches serve it without re-simulating and the
+        # parent-side runner can merge registries across processes.
+        extra["metrics"] = obs.registry.snapshot()
 
     return SessionResult(
         config=config,

@@ -61,19 +61,24 @@ def run_matrix(
     cache: ResultCache | None = None,
     runner: CampaignRunner | None = None,
     progress: ProgressFn | None = None,
+    obs: bool = False,
 ) -> dict[str, list[SessionResult]]:
     """Run every config across the settings' seeds.
 
     Returns results grouped by the config's label (seed excluded), one
     entry per seed. Pass ``workers``/``cache`` (or a preconfigured
     ``runner``) to parallelize and cache the underlying sessions; the
-    grouped result is identical for any worker count.
+    grouped result is identical for any worker count. With
+    ``obs=True`` every session runs instrumented and ships its metric
+    snapshot in ``result.extra["metrics"]`` (the runner additionally
+    merges them into ``runner.metrics``).
     """
     engine = _resolve_runner(runner, workers, cache, progress)
     units = [
         make_unit(
             WORK_SESSION,
             base.with_overrides(seed=seed, duration=settings.duration),
+            **({"obs": True} if obs else {}),
         )
         for base in base_configs
         for seed in settings.seeds

@@ -1,0 +1,58 @@
+"""Observability layer: metrics registry + sim-time tracing.
+
+Public surface:
+
+* :class:`MetricsRegistry` with :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` instruments, snapshotable and mergeable across
+  worker processes;
+* :class:`Recorder` — collects metrics plus sim-time trace spans and
+  point events stamped by the event-loop clock;
+* :data:`NULL_RECORDER` — the near-zero-cost default every component
+  holds; untraced runs pay one ``obs.enabled`` attribute check per
+  instrumented site;
+* JSONL export/import (:func:`write_jsonl` / :func:`read_jsonl`) and
+  the text timeline (:func:`merge_traces` / :func:`filter_records` /
+  :func:`render_timeline`) behind the ``repro trace`` CLI.
+"""
+
+from repro.obs.export import read_jsonl, trace_to_dicts, write_jsonl
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_key,
+)
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    TraceEvent,
+    TraceRecord,
+    TraceSpan,
+    component_of,
+)
+from repro.obs.timeline import filter_records, merge_traces, render_timeline
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "NULL_RECORDER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRecorder",
+    "Recorder",
+    "TraceEvent",
+    "TraceRecord",
+    "TraceSpan",
+    "component_of",
+    "filter_records",
+    "format_key",
+    "merge_traces",
+    "read_jsonl",
+    "render_timeline",
+    "trace_to_dicts",
+    "write_jsonl",
+]

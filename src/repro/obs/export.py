@@ -1,0 +1,95 @@
+"""JSONL serialization of traces and metric snapshots.
+
+One JSON object per line, in three shapes::
+
+    {"type": "event", "name": ..., "t": ..., "labels": {...}, "depth": n}
+    {"type": "span", "name": ..., "t0": ..., "t1": ..., "labels": {...},
+     "depth": n}
+    {"type": "metric", "kind": "counter"|"gauge"|"histogram", ...}
+
+Metric lines reuse the exact :meth:`MetricsRegistry.snapshot` record
+layout, so an export/import round trip reproduces both the trace and
+the registry bit-for-bit. Line order is trace first (recording
+order), then the sorted metric snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import Recorder, TraceEvent, TraceRecord, TraceSpan
+
+
+def trace_to_dicts(trace: Iterable[TraceRecord]) -> list[dict]:
+    """Render trace records as plain dicts (JSON-able)."""
+    lines: list[dict] = []
+    for record in trace:
+        if isinstance(record, TraceSpan):
+            lines.append({
+                "type": "span", "name": record.name, "t0": record.t0,
+                "t1": record.t1, "labels": dict(record.labels),
+                "depth": record.depth,
+            })
+        else:
+            lines.append({
+                "type": "event", "name": record.name, "t": record.time,
+                "labels": dict(record.labels), "depth": record.depth,
+            })
+    return lines
+
+
+def record_from_dict(data: dict) -> TraceRecord:
+    """Rebuild one trace record from its dict rendering."""
+    if data["type"] == "span":
+        return TraceSpan(
+            name=data["name"], t0=data["t0"], t1=data["t1"],
+            labels=dict(data.get("labels", {})),
+            depth=int(data.get("depth", 0)),
+        )
+    if data["type"] == "event":
+        return TraceEvent(
+            name=data["name"], time=data["t"],
+            labels=dict(data.get("labels", {})),
+            depth=int(data.get("depth", 0)),
+        )
+    raise ValueError(f"unknown trace record type {data['type']!r}")
+
+
+def write_jsonl(path: str | Path, recorder: Recorder) -> Path:
+    """Write the recorder's trace + metric snapshot to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for line in trace_to_dicts(recorder.trace):
+            handle.write(json.dumps(line, sort_keys=True) + "\n")
+        for record in recorder.registry.snapshot():
+            payload = {"type": "metric", **record}
+            handle.write(json.dumps(payload, sort_keys=True) + "\n")
+    return path
+
+
+def read_jsonl(path: str | Path) -> tuple[list[TraceRecord], MetricsRegistry]:
+    """Load a JSONL export back into (trace records, registry)."""
+    trace: list[TraceRecord] = []
+    snapshot: list[dict] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: invalid JSON ({error})"
+                ) from error
+            if data.get("type") == "metric":
+                snapshot.append(
+                    {key: value for key, value in data.items() if key != "type"}
+                )
+            else:
+                trace.append(record_from_dict(data))
+    return trace, MetricsRegistry.from_snapshot(snapshot)

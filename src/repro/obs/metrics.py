@@ -1,0 +1,330 @@
+"""Lightweight metrics registry: counters, gauges, histograms.
+
+Metrics are keyed by ``component/name`` plus a label set, e.g.
+``gcc/target_bitrate{environment=urban}``. The registry is designed
+around the campaign engine's process model:
+
+* instruments are plain Python objects with one mutation method each
+  (``inc`` / ``set`` / ``observe``) — cheap enough for per-packet
+  call sites when tracing is on, absent entirely when it is off;
+* :meth:`MetricsRegistry.snapshot` renders the whole registry to
+  plain picklable data, which worker processes attach to their
+  :class:`~repro.core.session.SessionResult` records;
+* :meth:`MetricsRegistry.merge_snapshot` folds such snapshots back
+  into a parent-side registry with order-independent rules (counters
+  and histograms sum, gauges keep the maximum), so a campaign merge
+  is identical for any worker count or completion order.
+
+Histograms use fixed bucket upper bounds so that quantiles are
+mergeable across processes: per-bucket counts add, and quantiles are
+recovered by linear interpolation inside the owning bucket.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+#: Default histogram buckets, tuned for millisecond-scale latencies
+#: (values in the instrument's own unit; callers pick the unit).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1000.0, 2000.0, 5000.0,
+)
+
+LabelItems = tuple[tuple[str, Any], ...]
+MetricKey = tuple[str, LabelItems]
+
+
+def _label_items(labels: dict[str, Any]) -> LabelItems:
+    return tuple(sorted(labels.items()))
+
+
+def format_key(name: str, labels: dict[str, Any]) -> str:
+    """Render ``component/name{label=value,...}`` for display/export."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count (merge: sum)."""
+
+    name: str
+    labels: dict[str, Any] = field(default_factory=dict)
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-written value (merge: maximum, which is order-independent)."""
+
+    name: str
+    labels: dict[str, Any] = field(default_factory=dict)
+    value: float = math.nan
+    maximum: float = math.nan
+    updates: int = 0
+
+    def set(self, value: float) -> None:
+        """Record the instantaneous value."""
+        self.value = float(value)
+        if not (self.maximum >= self.value):  # NaN-safe max
+            self.maximum = self.value
+        self.updates += 1
+
+
+class Histogram:
+    """Fixed-bucket histogram with mergeable quantile estimates.
+
+    Parameters
+    ----------
+    buckets:
+        Strictly increasing upper bounds. Observations above the last
+        bound land in an implicit overflow bucket.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "counts", "count", "total",
+                 "minimum", "maximum")
+
+    def __init__(
+        self,
+        name: str,
+        labels: dict[str, Any] | None = None,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b >= c for b, c in zip(bounds, bounds[1:])):
+            raise ValueError(f"buckets must be strictly increasing: {bounds}")
+        self.name = name
+        self.labels = dict(labels or {})
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1 overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        index = bisect.bisect_left(self.buckets, value)
+        self.counts[index] += 1
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (NaN when empty)."""
+        return self.total / self.count if self.count else math.nan
+
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate in [0, 1].
+
+        Exact at the recorded extremes: ``q=0`` returns the minimum
+        and ``q=1`` the maximum. Inside a bucket the estimate
+        interpolates linearly between the bucket's bounds, clamped to
+        the observed min/max so estimates never leave the data range.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return math.nan
+        if q == 0.0:
+            return self.minimum
+        if q == 1.0:
+            return self.maximum
+        target = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                lower = self.buckets[index - 1] if index > 0 else self.minimum
+                if index >= len(self.buckets):
+                    upper = self.maximum
+                else:
+                    upper = self.buckets[index]
+                fraction = (target - cumulative) / bucket_count
+                estimate = lower + (upper - lower) * fraction
+                return min(max(estimate, self.minimum), self.maximum)
+            cumulative += bucket_count
+        return self.maximum
+
+
+Metric = Counter | Gauge | Histogram
+
+
+class MetricsRegistry:
+    """Keyed store of counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[MetricKey, Metric] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        """Get-or-create the counter ``name{labels}``."""
+        return self._instrument(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        """Get-or-create the gauge ``name{labels}``."""
+        return self._instrument(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        """Get-or-create the histogram ``name{labels}``.
+
+        ``buckets`` only applies on first creation; later lookups
+        return the existing instrument unchanged.
+        """
+        key = (name, _label_items(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = Histogram(name, labels, buckets)
+            self._metrics[key] = metric
+        elif not isinstance(metric, Histogram):
+            raise TypeError(
+                f"{format_key(name, labels)} already registered as "
+                f"{type(metric).__name__}"
+            )
+        return metric
+
+    def _instrument(self, cls, name: str, labels: dict[str, Any]):
+        key = (name, _label_items(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name=name, labels=dict(labels))
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"{format_key(name, labels)} already registered as "
+                f"{type(metric).__name__}"
+            )
+        return metric
+
+    def get(self, name: str, **labels: Any) -> Metric | None:
+        """Existing instrument for ``name{labels}``, or ``None``."""
+        return self._metrics.get((name, _label_items(labels)))
+
+    # ------------------------------------------------------------------
+    # snapshot / merge
+    # ------------------------------------------------------------------
+    def snapshot(self) -> list[dict[str, Any]]:
+        """Plain-data rendering of every instrument (picklable/JSON-able)."""
+        records: list[dict[str, Any]] = []
+        for metric in self._metrics.values():
+            if isinstance(metric, Counter):
+                records.append({
+                    "kind": "counter", "name": metric.name,
+                    "labels": dict(metric.labels), "value": metric.value,
+                })
+            elif isinstance(metric, Gauge):
+                records.append({
+                    "kind": "gauge", "name": metric.name,
+                    "labels": dict(metric.labels), "value": metric.value,
+                    "max": metric.maximum, "updates": metric.updates,
+                })
+            else:
+                records.append({
+                    "kind": "histogram", "name": metric.name,
+                    "labels": dict(metric.labels),
+                    "buckets": list(metric.buckets),
+                    "counts": list(metric.counts),
+                    "count": metric.count, "total": metric.total,
+                    "min": metric.minimum, "max": metric.maximum,
+                })
+        records.sort(key=lambda r: (r["name"], sorted(r["labels"].items())))
+        return records
+
+    def merge_snapshot(self, snapshot: list[dict[str, Any]]) -> None:
+        """Fold a :meth:`snapshot` into this registry (order-independent)."""
+        for record in snapshot:
+            kind = record["kind"]
+            name = record["name"]
+            labels = record["labels"]
+            if kind == "counter":
+                self.counter(name, **labels).inc(record["value"])
+            elif kind == "gauge":
+                gauge = self.gauge(name, **labels)
+                merged_max = record.get("max", record["value"])
+                if not (gauge.maximum >= merged_max):  # NaN-safe
+                    gauge.maximum = merged_max
+                # Merge rule: a gauge's merged value is its maximum —
+                # "last write" is undefined across processes, max is
+                # associative and commutative.
+                gauge.value = gauge.maximum
+                gauge.updates += record.get("updates", 1)
+            elif kind == "histogram":
+                histogram = self.histogram(
+                    name, buckets=record["buckets"], **labels
+                )
+                if tuple(record["buckets"]) != histogram.buckets:
+                    raise ValueError(
+                        f"bucket mismatch merging {format_key(name, labels)}"
+                    )
+                for index, bucket_count in enumerate(record["counts"]):
+                    histogram.counts[index] += bucket_count
+                histogram.count += record["count"]
+                histogram.total += record["total"]
+                histogram.minimum = min(histogram.minimum, record["min"])
+                histogram.maximum = max(histogram.maximum, record["max"])
+            else:
+                raise ValueError(f"unknown metric kind {kind!r}")
+
+    @classmethod
+    def from_snapshot(cls, snapshot: list[dict[str, Any]]) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`snapshot` output."""
+        registry = cls()
+        registry.merge_snapshot(snapshot)
+        return registry
+
+    def render(self) -> str:
+        """Human-readable one-line-per-metric dump (sorted by key)."""
+        lines: list[str] = []
+        for record in self.snapshot():
+            key = format_key(record["name"], record["labels"])
+            if record["kind"] == "counter":
+                lines.append(f"{key} = {record['value']:g}")
+            elif record["kind"] == "gauge":
+                lines.append(
+                    f"{key} = {record['value']:g} (max {record['max']:g}, "
+                    f"{record['updates']} updates)"
+                )
+            else:
+                histogram = Histogram(
+                    record["name"], record["labels"], record["buckets"]
+                )
+                histogram.counts = list(record["counts"])
+                histogram.count = record["count"]
+                histogram.total = record["total"]
+                histogram.minimum = record["min"]
+                histogram.maximum = record["max"]
+                lines.append(
+                    f"{key}: n={histogram.count} mean={histogram.mean:.3g} "
+                    f"p50={histogram.quantile(0.5):.3g} "
+                    f"p99={histogram.quantile(0.99):.3g} "
+                    f"max={histogram.maximum:.3g}"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,212 @@
+"""Sim-time trace recorder (spans + point events) and its null twin.
+
+Every record is stamped with the **event-loop clock**, never the wall
+clock, so two runs of the same seed produce byte-identical traces and
+traces from different seeds are meaningfully diffable.
+
+Instrumented components hold a recorder reference that defaults to
+the module-level :data:`NULL_RECORDER`; hot paths guard their
+recording with ``if obs.enabled:`` so an untraced run pays exactly
+one attribute check per site and allocates nothing.
+
+Naming convention: record names are ``component.what`` (for example
+``handover.execution``, ``gcc.overuse``); the part before the first
+dot is the *component*, which the ``repro trace`` CLI filters on.
+Metric names use ``component/name`` (see :mod:`repro.obs.metrics`).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+
+
+def component_of(name: str) -> str:
+    """Component prefix of a record name (``gcc.overuse`` -> ``gcc``)."""
+    return name.split(".", 1)[0].split("/", 1)[0]
+
+
+@dataclass
+class TraceEvent:
+    """A point-in-sim-time occurrence."""
+
+    name: str
+    time: float
+    labels: dict[str, Any] = field(default_factory=dict)
+    depth: int = 0
+
+    @property
+    def component(self) -> str:
+        """Component prefix of the record name."""
+        return component_of(self.name)
+
+    @property
+    def sort_time(self) -> float:
+        """Timeline position (events sort at their instant)."""
+        return self.time
+
+
+@dataclass
+class TraceSpan:
+    """An interval of sim time (``t0`` .. ``t1``)."""
+
+    name: str
+    t0: float
+    t1: float
+    labels: dict[str, Any] = field(default_factory=dict)
+    depth: int = 0
+
+    @property
+    def duration(self) -> float:
+        """Span length in simulated seconds."""
+        return self.t1 - self.t0
+
+    @property
+    def component(self) -> str:
+        """Component prefix of the record name."""
+        return component_of(self.name)
+
+    @property
+    def sort_time(self) -> float:
+        """Timeline position (spans sort at their start)."""
+        return self.t0
+
+
+TraceRecord = TraceEvent | TraceSpan
+
+
+class NullRecorder:
+    """Do-nothing recorder: the default wired into every component.
+
+    ``enabled`` is a class attribute, so the hot-path guard
+    ``if obs.enabled:`` compiles down to one attribute load; the
+    methods exist only for call sites that are not worth guarding.
+    """
+
+    enabled = False
+
+    def event(self, name: str, t: float | None = None, **labels: Any) -> None:
+        """Ignore a point event."""
+
+    def span_at(
+        self, name: str, t0: float, t1: float, **labels: Any
+    ) -> None:
+        """Ignore a completed span."""
+
+    @contextmanager
+    def span(self, name: str, **labels: Any) -> Iterator[None]:
+        """No-op span context."""
+        yield
+
+    def count(self, name: str, amount: float = 1.0, **labels: Any) -> None:
+        """Ignore a counter increment."""
+
+    def gauge(self, name: str, value: float, **labels: Any) -> None:
+        """Ignore a gauge write."""
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> None:
+        """Ignore a histogram observation."""
+
+
+#: Shared null recorder instance; components default to this.
+NULL_RECORDER = NullRecorder()
+
+
+class Recorder(NullRecorder):
+    """Collecting recorder: metrics registry + sim-time trace.
+
+    Bind it to the event loop that owns the run (:meth:`bind`) before
+    the simulation starts; records default their timestamps to
+    ``clock.now``. Explicit ``t=``/``t0=``/``t1=`` arguments bypass
+    the clock, which keeps scheduled-duration spans (e.g. a handover
+    whose execution time is drawn up front) expressible without
+    callbacks.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Any | None = None) -> None:
+        self.registry = MetricsRegistry()
+        self.trace: list[TraceRecord] = []
+        self._clock = clock
+        self._depth = 0
+
+    def bind(self, clock: Any) -> None:
+        """Attach the sim clock (any object exposing ``.now``)."""
+        self._clock = clock
+
+    @property
+    def now(self) -> float:
+        """Current sim time (0.0 before :meth:`bind`)."""
+        return self._clock.now if self._clock is not None else 0.0
+
+    # ------------------------------------------------------------------
+    # tracing
+    # ------------------------------------------------------------------
+    def event(self, name: str, t: float | None = None, **labels: Any) -> None:
+        """Record a point event at ``t`` (default: the sim clock)."""
+        self.trace.append(
+            TraceEvent(
+                name=name,
+                time=self.now if t is None else t,
+                labels=labels,
+                depth=self._depth,
+            )
+        )
+
+    def span_at(self, name: str, t0: float, t1: float, **labels: Any) -> None:
+        """Record a completed span with explicit bounds."""
+        self.trace.append(
+            TraceSpan(name=name, t0=t0, t1=t1, labels=labels, depth=self._depth)
+        )
+
+    @contextmanager
+    def span(self, name: str, **labels: Any) -> Iterator[TraceSpan]:
+        """Open a span now; close it when the block exits.
+
+        Spans nest: records emitted inside the block (including inner
+        spans) carry ``depth + 1`` relative to this span. The span is
+        appended on entry so the trace preserves opening order; its
+        ``t1`` is patched on exit.
+        """
+        span = TraceSpan(
+            name=name, t0=self.now, t1=self.now, labels=labels,
+            depth=self._depth,
+        )
+        self.trace.append(span)
+        self._depth += 1
+        try:
+            yield span
+        finally:
+            self._depth -= 1
+            span.t1 = self.now
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def count(self, name: str, amount: float = 1.0, **labels: Any) -> None:
+        """Increment the counter ``name{labels}``."""
+        self.registry.counter(name, **labels).inc(amount)
+
+    def gauge(self, name: str, value: float, **labels: Any) -> None:
+        """Set the gauge ``name{labels}``."""
+        self.registry.gauge(name, **labels).set(value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: Any,
+    ) -> None:
+        """Observe ``value`` in the histogram ``name{labels}``."""
+        self.registry.histogram(name, buckets=buckets, **labels).observe(value)

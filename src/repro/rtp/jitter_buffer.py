@@ -33,6 +33,8 @@ from typing import Callable
 
 from repro.rtp.packets import RtpPacket, TS_MOD, VIDEO_CLOCK_RATE, seq_distance
 from repro.net.simulator import EventHandle, EventLoop
+from repro.obs import NULL_RECORDER, NullRecorder
+from repro.util.units import to_ms
 
 ReleaseFn = Callable[[RtpPacket, float], None]
 
@@ -80,10 +82,12 @@ class JitterBuffer:
         gap_penalty_threshold: int = 100,
         gap_penalty_cap: float = 1.0,
         gap_penalty_tau: float = 4.0,
+        obs: NullRecorder = NULL_RECORDER,
     ) -> None:
         if latency < 0:
             raise ValueError(f"latency must be non-negative, got {latency}")
         self._loop = loop
+        self.obs = obs
         self._release = release
         self.latency = latency
         self.drop_on_latency = drop_on_latency
@@ -156,6 +160,8 @@ class JitterBuffer:
         if deadline <= now:
             if self.drop_on_latency:
                 self._dropped_late += 1
+                if self.obs.enabled:
+                    self.obs.count("jitter/dropped_late")
                 return
             self._do_release(packet, now)
             return
@@ -183,6 +189,15 @@ class JitterBuffer:
                     )
                     self._gap_penalty = min(penalty, self.gap_penalty_cap)
                     self._gap_penalty_time = now
+                if self.obs.enabled:
+                    self.obs.event(
+                        "jitter.gap",
+                        t=now,
+                        packets=gap,
+                        penalty_ms=to_ms(self._current_penalty(now)),
+                    )
+                    self.obs.count("jitter/gap_events")
+                    self.obs.count("jitter/gap_packets", gap)
         self._expected_seq = (sequence + 1) % (1 << 16)
 
     def _current_penalty(self, now: float) -> float:
@@ -195,6 +210,8 @@ class JitterBuffer:
         if self._flushed:
             return
         self._released += 1
+        if self.obs.enabled:
+            self.obs.count("jitter/released")
         self._release(packet, when)
 
     def flush(self) -> None:

@@ -25,6 +25,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
+from repro.obs import MetricsRegistry
 from repro.runner.cache import MISS, ResultCache
 from repro.runner.work import WorkUnit, execute_unit
 
@@ -108,6 +109,17 @@ class CampaignRunner:
         A :class:`ResultCache`, or ``None`` to disable caching.
     progress:
         Optional per-unit completion callback (see :data:`ProgressFn`).
+
+    The worker pool is created lazily on the first parallel campaign
+    and **reused across** :meth:`run` calls — repeated campaigns skip
+    the per-call fork/spawn cost. Call :meth:`close` (or use the
+    runner as a context manager) when done, so worker processes do
+    not outlive their campaign.
+
+    Results carrying an observability snapshot (``extra["metrics"]``
+    from instrumented sessions, cache hits included) are merged into
+    :attr:`metrics`, a parent-side :class:`MetricsRegistry`, so
+    campaign-wide metrics are available without re-simulating.
     """
 
     def __init__(
@@ -125,6 +137,8 @@ class CampaignRunner:
         self.cache = cache
         self.progress = progress
         self.telemetry = CampaignTelemetry()
+        self.metrics = MetricsRegistry()
+        self._pool: multiprocessing.pool.Pool | None = None
 
     def run(self, units: Sequence[WorkUnit]) -> list[Any]:
         """Execute ``units`` and return results in submission order."""
@@ -152,6 +166,7 @@ class CampaignRunner:
             )
             results[index] = cached
             done += 1
+            self._collect_metrics(cached)
             self._note(record, done, total)
 
         for index, result, record in self._execute(pending):
@@ -160,6 +175,7 @@ class CampaignRunner:
             results[index] = result
             done += 1
             self.telemetry.executed += 1
+            self._collect_metrics(result)
             self._note(record, done, total)
 
         self.telemetry.wall_time += time.time() - campaign_start  # repro-lint: ignore[RPL001]
@@ -176,9 +192,35 @@ class CampaignRunner:
                 record.worker = "main"
                 yield index, result, record
             return
-        processes = min(self.workers, len(pending))
-        with multiprocessing.Pool(processes=processes) as pool:
-            yield from pool.imap_unordered(_execute_indexed, pending, chunksize=1)
+        if self._pool is None:
+            self._pool = multiprocessing.Pool(processes=self.workers)
+        yield from self._pool.imap_unordered(
+            _execute_indexed, pending, chunksize=1
+        )
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent).
+
+        A closed runner remains usable: the next parallel campaign
+        simply builds a fresh pool.
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "CampaignRunner":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _collect_metrics(self, result: Any) -> None:
+        extra = getattr(result, "extra", None)
+        if isinstance(extra, dict):
+            snapshot = extra.get("metrics")
+            if snapshot:
+                self.metrics.merge_snapshot(snapshot)
 
     def _note(self, record: RunTelemetry, done: int, total: int) -> None:
         self.telemetry.runs.append(record)

@@ -16,6 +16,7 @@ from typing import Any
 
 from repro.core.config import ScenarioConfig
 from repro.core.session import run_session
+from repro.obs import Recorder
 
 #: Full video-pipeline session (expensive; video figures).
 WORK_SESSION = "session"
@@ -84,7 +85,12 @@ def execute_unit(unit: WorkUnit) -> Any:
 
     params = dict(unit.params)
     if unit.kind == WORK_SESSION:
-        return run_session(unit.config)
+        # ``obs=True`` runs the session under a live recorder and
+        # ships the per-run metric snapshot home inside the result
+        # (``extra["metrics"]``). It is part of the cache fingerprint:
+        # an instrumented result is a different payload.
+        recorder = Recorder() if params.pop("obs", False) else None
+        return run_session(unit.config, recorder=recorder)
     if unit.kind == WORK_CHANNEL_PROBE:
         return channel_probe_seed(unit.config)
     if unit.kind == WORK_PING_PROBE:

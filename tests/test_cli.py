@@ -122,3 +122,57 @@ class TestRunnerFlags:
         out = capsys.readouterr().out
         assert "Fig 13" in out
         assert "executed" in out
+
+
+class TestTrace:
+    def test_defaults_target_gcc_minute(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.cc == "gcc"
+        assert args.duration == 60.0
+        assert args.component == [] and args.input == []
+
+    def test_traced_run_prints_timeline(self, capsys):
+        code = main(["trace", "--duration", "20", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "t (s)" in out
+        assert "component" in out
+
+    def test_component_and_window_filters(self, capsys):
+        code = main(
+            [
+                "trace", "--duration", "20", "--seed", "1",
+                "--component", "gcc,handover",
+                "--t0", "5", "--t1", "15",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for line in out.splitlines()[2:]:
+            if "·" in line or "▶" in line:
+                assert " gcc " in line or " handover " in line
+
+    def test_metrics_flag_prints_registry(self, capsys):
+        code = main(["trace", "--duration", "20", "--seed", "1", "--metrics"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sender/packets_sent" in out
+
+    def test_export_then_merge_inputs(self, capsys, tmp_path):
+        first = tmp_path / "s1.jsonl"
+        second = tmp_path / "s2.jsonl"
+        assert main(
+            ["trace", "--duration", "15", "--seed", "1", "--out", str(first)]
+        ) == 0
+        assert main(
+            ["trace", "--duration", "15", "--seed", "2", "--out", str(second)]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            ["trace", "--input", str(first), "--input", str(second), "--metrics"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "t (s)" in out
+        # Metrics from both runs merged: counters sum across inputs.
+        assert "sender/packets_sent" in out

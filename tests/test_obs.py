@@ -1,0 +1,445 @@
+"""Tests for the observability layer: metrics, tracing, export, CLI."""
+
+import json
+import math
+
+import pytest
+
+from repro.core.config import ScenarioConfig
+from repro.core.session import run_session
+from repro.experiments import ExperimentSettings, run_matrix
+from repro.obs import (
+    NULL_RECORDER,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRecorder,
+    Recorder,
+    TraceEvent,
+    TraceSpan,
+    component_of,
+    filter_records,
+    format_key,
+    merge_traces,
+    read_jsonl,
+    render_timeline,
+    write_jsonl,
+)
+from repro.runner import CampaignRunner
+
+
+class FakeClock:
+    """Stand-in for the event loop: just an advanceable ``.now``."""
+
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+
+# ----------------------------------------------------------------------
+# metrics registry
+# ----------------------------------------------------------------------
+class TestInstruments:
+    def test_counter_accumulates_and_rejects_negative(self):
+        counter = Counter("gcc/overuse_events")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_tracks_value_max_updates(self):
+        gauge = Gauge("gcc/target_bitrate")
+        gauge.set(5.0)
+        gauge.set(9.0)
+        gauge.set(2.0)
+        assert gauge.value == 2.0
+        assert gauge.maximum == 9.0
+        assert gauge.updates == 3
+
+    def test_histogram_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("x", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("x", buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError):
+            Histogram("x", buckets=(2.0, 1.0))
+
+    def test_format_key(self):
+        assert format_key("gcc/rtt_ms", {}) == "gcc/rtt_ms"
+        assert (
+            format_key("gcc/rtt_ms", {"env": "urban", "cc": "gcc"})
+            == "gcc/rtt_ms{cc=gcc,env=urban}"
+        )
+
+    def test_registry_get_or_create_and_type_conflict(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a/b") is registry.counter("a/b")
+        assert registry.counter("a/b", env="x") is not registry.counter("a/b")
+        with pytest.raises(TypeError):
+            registry.gauge("a/b")
+        with pytest.raises(TypeError):
+            registry.histogram("a/b")
+        assert registry.get("a/b").value == 0.0
+        assert registry.get("missing/metric") is None
+
+
+class TestHistogramQuantiles:
+    def test_empty_histogram_is_nan(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0))
+        assert math.isnan(histogram.quantile(0.5))
+        assert math.isnan(histogram.mean)
+
+    def test_edges_are_exact_min_and_max(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        for value in (0.3, 4.0, 7.0, 42.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.0) == 0.3
+        assert histogram.quantile(1.0) == 42.0
+
+    def test_out_of_range_rejected(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            histogram.quantile(-0.1)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.1)
+
+    def test_interpolated_quantile_stays_in_data_range(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        for value in (2.0, 3.0, 4.0, 5.0):
+            histogram.observe(value)
+        # All mass sits in the (1, 10] bucket, so the raw interpolation
+        # (1 + 9 * 0.5 = 5.5) exceeds the observed max and is clamped.
+        assert histogram.quantile(0.5) == 5.0
+        assert 2.0 <= histogram.quantile(0.25) <= 5.0
+
+    def test_overflow_bucket_uses_observed_max(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        histogram.observe(500.0)
+        histogram.observe(700.0)
+        assert histogram.quantile(0.99) <= 700.0
+        assert histogram.quantile(0.5) >= 1.0
+
+    def test_single_observation_all_quantiles_equal(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0))
+        histogram.observe(3.0)
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert histogram.quantile(q) == 3.0
+
+
+class TestSnapshotMerge:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("sender/packets_sent").inc(10)
+        registry.gauge("gcc/target_bitrate").set(8e6)
+        histogram = registry.histogram("receiver/owd_ms", buckets=(10.0, 100.0))
+        histogram.observe(5.0)
+        histogram.observe(50.0)
+        return registry
+
+    def test_snapshot_roundtrip(self):
+        registry = self._populated()
+        rebuilt = MetricsRegistry.from_snapshot(registry.snapshot())
+        assert rebuilt.snapshot() == registry.snapshot()
+
+    def test_merge_is_order_independent(self):
+        a = self._populated()
+        b = MetricsRegistry()
+        b.counter("sender/packets_sent").inc(7)
+        b.gauge("gcc/target_bitrate").set(6e6)
+        b.histogram("receiver/owd_ms", buckets=(10.0, 100.0)).observe(150.0)
+
+        ab = MetricsRegistry()
+        ab.merge_snapshot(a.snapshot())
+        ab.merge_snapshot(b.snapshot())
+        ba = MetricsRegistry()
+        ba.merge_snapshot(b.snapshot())
+        ba.merge_snapshot(a.snapshot())
+        assert ab.snapshot() == ba.snapshot()
+
+        assert ab.get("sender/packets_sent").value == 17
+        assert ab.get("gcc/target_bitrate").value == 8e6  # merged gauge = max
+        merged = ab.get("receiver/owd_ms")
+        assert merged.count == 3
+        assert merged.minimum == 5.0 and merged.maximum == 150.0
+
+    def test_merge_rejects_bucket_mismatch(self):
+        a = MetricsRegistry()
+        a.histogram("h", buckets=(1.0, 2.0)).observe(1.0)
+        snapshot = a.snapshot()
+        b = MetricsRegistry()
+        b.histogram("h", buckets=(1.0, 3.0))
+        with pytest.raises(ValueError):
+            b.merge_snapshot(snapshot)
+
+    def test_render_mentions_every_metric(self):
+        text = self._populated().render()
+        assert "sender/packets_sent = 10" in text
+        assert "gcc/target_bitrate" in text
+        assert "receiver/owd_ms: n=2" in text
+
+
+# ----------------------------------------------------------------------
+# recorders
+# ----------------------------------------------------------------------
+class TestNullRecorder:
+    def test_disabled_and_shared(self):
+        assert NullRecorder.enabled is False
+        assert NULL_RECORDER.enabled is False
+        assert isinstance(NULL_RECORDER, NullRecorder)
+
+    def test_all_record_calls_are_noops(self):
+        null = NullRecorder()
+        null.event("gcc.overuse", offset_ms=1.0)
+        null.span_at("handover.execution", 1.0, 2.0)
+        with null.span("outer.block") as span:
+            assert span is None
+        null.count("a/b")
+        null.gauge("a/b", 1.0)
+        null.observe("a/b", 1.0)
+        assert not hasattr(null, "trace")
+        assert not hasattr(null, "registry")
+
+    def test_recorder_is_a_null_recorder(self):
+        # Components annotate their slot as NullRecorder; the live
+        # recorder must satisfy the same interface by inheritance.
+        assert isinstance(Recorder(), NullRecorder)
+        assert Recorder.enabled is True
+
+
+class TestRecorder:
+    def test_component_of(self):
+        assert component_of("gcc.overuse") == "gcc"
+        assert component_of("sender/bytes_sent") == "sender"
+        assert component_of("plain") == "plain"
+
+    def test_event_defaults_to_sim_clock(self):
+        clock = FakeClock(3.5)
+        recorder = Recorder()
+        assert recorder.now == 0.0  # unbound
+        recorder.bind(clock)
+        recorder.event("gcc.overuse", offset_ms=2.0)
+        clock.now = 4.0
+        recorder.event("gcc.rate_decrease")
+        recorder.event("jitter.gap", t=1.25)
+        times = [record.time for record in recorder.trace]
+        assert times == [3.5, 4.0, 1.25]
+        assert recorder.trace[0].labels == {"offset_ms": 2.0}
+
+    def test_span_nesting_under_sim_clock(self):
+        clock = FakeClock(10.0)
+        recorder = Recorder(clock)
+        with recorder.span("handover.execution", target=5):
+            clock.now = 10.5
+            recorder.event("gcc.overuse")
+            with recorder.span("gcc.backoff"):
+                clock.now = 10.8
+            clock.now = 11.0
+        recorder.event("jitter.gap")
+
+        outer, event, inner, after = recorder.trace
+        assert isinstance(outer, TraceSpan)
+        assert (outer.t0, outer.t1, outer.depth) == (10.0, 11.0, 0)
+        assert outer.duration == pytest.approx(1.0)
+        assert (event.time, event.depth) == (10.5, 1)
+        assert (inner.t0, inner.t1, inner.depth) == (10.5, 10.8, 1)
+        assert after.depth == 0  # depth restored after exit
+
+    def test_span_at_explicit_bounds(self):
+        recorder = Recorder(FakeClock(2.0))
+        recorder.span_at("handover.execution", 5.0, 5.04, target=3)
+        (span,) = recorder.trace
+        assert (span.t0, span.t1) == (5.0, 5.04)
+        assert span.component == "handover"
+
+    def test_metric_helpers_hit_registry(self):
+        recorder = Recorder()
+        recorder.count("sender/packets_sent", 3)
+        recorder.gauge("gcc/target_bitrate", 7e6)
+        recorder.observe("receiver/owd_ms", 42.0, buckets=(10.0, 100.0))
+        assert recorder.registry.get("sender/packets_sent").value == 3
+        assert recorder.registry.get("gcc/target_bitrate").value == 7e6
+        assert recorder.registry.get("receiver/owd_ms").count == 1
+
+
+# ----------------------------------------------------------------------
+# export / timeline
+# ----------------------------------------------------------------------
+def _sample_recorder() -> Recorder:
+    recorder = Recorder(FakeClock(0.0))
+    recorder.span_at("handover.execution", 12.3, 12.332, source=3, target=5)
+    recorder.event("gcc.overuse", t=12.355, offset_ms=1.84)
+    recorder.event("gcc.rate_decrease", t=12.405, from_bps=8.1e6, to_bps=6.9e6)
+    recorder.event("jitter.gap", t=12.5, packets=4)
+    recorder.count("handover/executed")
+    recorder.observe("gcc/rtt_ms", 85.0)
+    return recorder
+
+
+class TestJsonlRoundtrip:
+    def test_roundtrip_is_lossless(self, tmp_path):
+        recorder = _sample_recorder()
+        path = write_jsonl(tmp_path / "run.jsonl", recorder)
+        trace, registry = read_jsonl(path)
+        assert trace == recorder.trace
+        assert registry.snapshot() == recorder.registry.snapshot()
+
+    def test_lines_are_json_with_type_tags(self, tmp_path):
+        path = write_jsonl(tmp_path / "run.jsonl", _sample_recorder())
+        types = [json.loads(line)["type"] for line in path.read_text().splitlines()]
+        assert types == ["span", "event", "event", "event", "metric", "metric"]
+
+    def test_invalid_json_reports_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "event", "name": "a", "t": 1}\nnot json\n')
+        with pytest.raises(ValueError, match=":2"):
+            read_jsonl(path)
+
+
+class TestTimeline:
+    def test_merge_orders_by_sim_time_stably(self):
+        a = [TraceEvent("gcc.overuse", 2.0), TraceEvent("gcc.overuse", 5.0)]
+        b = [TraceSpan("handover.execution", 1.0, 3.0), TraceEvent("jitter.gap", 2.0)]
+        merged = merge_traces(a, b)
+        assert [record.sort_time for record in merged] == [1.0, 2.0, 2.0, 5.0]
+        # stable: a's 2.0 event precedes b's 2.0 event
+        assert merged[1].name == "gcc.overuse"
+        assert merged[2].name == "jitter.gap"
+
+    def test_filter_by_component(self):
+        records = _sample_recorder().trace
+        gcc_only = filter_records(records, components=["gcc"])
+        assert {record.component for record in gcc_only} == {"gcc"}
+        assert len(gcc_only) == 2
+
+    def test_filter_window_keeps_overlapping_spans(self):
+        records = _sample_recorder().trace
+        window = filter_records(records, t0=12.31, t1=12.36)
+        names = [record.name for record in window]
+        # span overlaps the window even though it starts before t0;
+        # the 12.405/12.5 events fall outside.
+        assert names == ["handover.execution", "gcc.overuse"]
+
+    def test_render_timeline_shape(self):
+        text = render_timeline(merge_traces(_sample_recorder().trace))
+        assert "t (s)" in text
+        assert "▶ handover.execution [+0.032 s]" in text
+        assert "· gcc.overuse offset_ms=1.84" in text
+        assert text.index("handover.execution") < text.index("gcc.overuse")
+
+    def test_render_empty(self):
+        assert "(no records)" in render_timeline([])
+
+
+# ----------------------------------------------------------------------
+# end-to-end: instrumented sessions and campaigns
+# ----------------------------------------------------------------------
+QUICK = ScenarioConfig(cc="gcc", duration=12.0, seed=1)
+
+
+def _headline(result):
+    return (
+        result.packets_sent,
+        result.frames_decoded,
+        result.packet_log,
+        result.playback,
+        [(e.time, e.source, e.target) for e in result.handovers],
+        result.cc_log,
+    )
+
+
+class TestTracedSession:
+    def test_traced_run_bit_identical_to_untraced(self):
+        untraced = run_session(QUICK)
+        recorder = Recorder()
+        traced = run_session(QUICK, recorder=recorder)
+        assert _headline(traced) == _headline(untraced)
+        assert "metrics" not in (untraced.extra or {})
+        assert traced.extra["metrics"]  # snapshot attached
+
+    def test_traced_run_captures_expected_instruments(self):
+        recorder = Recorder()
+        run_session(QUICK, recorder=recorder)
+        registry = recorder.registry
+        assert registry.get("sender/packets_sent").value > 0
+        assert registry.get("receiver/packets").value > 0
+        assert registry.get("gcc/target_bitrate").updates > 0
+        assert registry.get("receiver/owd_ms").count > 0
+        components = {record.component for record in recorder.trace}
+        assert "handover" in components
+        # Timestamps are sim time: inside [0, duration].
+        for record in recorder.trace:
+            assert 0.0 <= record.sort_time <= QUICK.duration + 1.0
+
+
+class TestCampaignMetricsMerge:
+    SETTINGS = ExperimentSettings(duration=12.0, seeds=(1, 2), warmup=2.0)
+    CONFIGS = [ScenarioConfig(cc="gcc", environment="urban")]
+
+    def test_merge_across_worker_processes(self):
+        with CampaignRunner(1) as serial, CampaignRunner(2) as parallel:
+            run_matrix(self.CONFIGS, self.SETTINGS, runner=serial, obs=True)
+            run_matrix(self.CONFIGS, self.SETTINGS, runner=parallel, obs=True)
+        # Merge rules are order-independent, so serial and two-worker
+        # campaigns agree exactly, whatever the completion order.
+        assert serial.metrics.snapshot() == parallel.metrics.snapshot()
+        assert serial.metrics.get("sender/packets_sent").value > 0
+
+    def test_obs_off_collects_nothing(self):
+        with CampaignRunner(1) as runner:
+            results = run_matrix(self.CONFIGS, self.SETTINGS, runner=runner)
+        assert len(runner.metrics) == 0
+        for group in results.values():
+            for result in group:
+                assert "metrics" not in (result.extra or {})
+
+    def test_obs_is_part_of_cache_identity(self, tmp_path):
+        from repro.runner import ResultCache
+
+        cache = ResultCache(tmp_path)
+        with CampaignRunner(1, cache=cache) as runner:
+            run_matrix(self.CONFIGS, self.SETTINGS, runner=runner)
+            assert runner.telemetry.cache_hits == 0
+            run_matrix(self.CONFIGS, self.SETTINGS, runner=runner, obs=True)
+            # obs=True units must not reuse the untraced cache entries.
+            assert runner.telemetry.cache_hits == 0
+            assert runner.telemetry.executed == 2 * len(self.SETTINGS.seeds)
+
+
+class TestRunnerPoolLifecycle:
+    def test_close_is_idempotent(self):
+        runner = CampaignRunner(2)
+        runner.close()
+        runner.close()
+
+    def test_pool_reused_across_runs_and_recreated_after_close(self):
+        from repro.experiments import run_ping_probe
+
+        # Two seeds: single-unit campaigns run serial and never build
+        # a pool.
+        settings = ExperimentSettings(duration=5.0, seeds=(1, 2), warmup=1.0)
+        runner = CampaignRunner(2)
+        run_ping_probe(self.config(), settings, rate_hz=5.0, runner=runner)
+        pool = runner._pool
+        assert pool is not None
+        run_ping_probe(self.config(), settings, rate_hz=2.0, runner=runner)
+        assert runner._pool is pool  # persistent across run() calls
+        runner.close()
+        assert runner._pool is None
+        # Closed runner is reusable: a new pool is created on demand.
+        run_ping_probe(self.config(), settings, rate_hz=1.0, runner=runner)
+        assert runner._pool is not None and runner._pool is not pool
+        runner.close()
+
+    def test_context_manager_tears_down(self):
+        from repro.experiments import run_ping_probe
+
+        settings = ExperimentSettings(duration=5.0, seeds=(1, 2), warmup=1.0)
+        with CampaignRunner(2) as runner:
+            run_ping_probe(self.config(), settings, rate_hz=5.0, runner=runner)
+            assert runner._pool is not None
+        assert runner._pool is None
+
+    @staticmethod
+    def config() -> ScenarioConfig:
+        return ScenarioConfig(cc="static", environment="urban")

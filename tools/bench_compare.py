@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Compare a pytest-benchmark JSON run against the committed baseline.
+
+CI's ``bench-smoke`` job runs the representative benches with
+``--benchmark-json=bench-current.json`` and calls::
+
+    python tools/bench_compare.py benchmarks/baseline.json \
+        bench-current.json --max-regression 0.25
+
+exiting non-zero when any bench's wall time regressed by more than
+the tolerance. Refresh the baseline (after an intentional perf
+change, or when CI runner hardware shifts) with::
+
+    python tools/bench_compare.py benchmarks/baseline.json \
+        bench-current.json --update
+
+which rewrites the baseline from the current run; commit the result.
+
+The committed baseline uses a minimal schema — ``{"schema": 1,
+"scale": ..., "benches": {name: seconds}}`` — extracted from the
+pytest-benchmark JSON, so refreshes don't churn machine-specific
+metadata through git history.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+BASELINE_SCHEMA = 1
+
+
+def load_current(path: Path) -> dict[str, float]:
+    """Bench name -> mean seconds from a pytest-benchmark JSON file."""
+    data = json.loads(path.read_text())
+    benches: dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        benches[bench["name"]] = float(bench["stats"]["mean"])
+    return benches
+
+
+def load_baseline(path: Path) -> dict[str, float]:
+    """Bench name -> seconds from the committed baseline file."""
+    data = json.loads(path.read_text())
+    if data.get("schema") != BASELINE_SCHEMA:
+        raise SystemExit(
+            f"{path}: unsupported baseline schema {data.get('schema')!r} "
+            f"(expected {BASELINE_SCHEMA}); refresh with --update"
+        )
+    return {name: float(secs) for name, secs in data["benches"].items()}
+
+
+def write_baseline(path: Path, benches: dict[str, float], scale: str) -> None:
+    """Write the minimal committed-baseline rendering."""
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "scale": scale,
+        "benches": {name: round(secs, 4) for name, secs in sorted(benches.items())},
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="committed baseline JSON")
+    parser.add_argument(
+        "current", type=Path, help="pytest-benchmark --benchmark-json output"
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.25")),
+        help="allowed fractional slowdown per bench (default 0.25, "
+        "or env REPRO_BENCH_TOLERANCE)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from the current run instead of comparing",
+    )
+    parser.add_argument(
+        "--scale",
+        default=os.environ.get("REPRO_BENCH_SCALE", "quick"),
+        help="scale tag recorded on --update (default: REPRO_BENCH_SCALE)",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_current(args.current)
+    if not current:
+        print(f"error: no benchmarks found in {args.current}", file=sys.stderr)
+        return 2
+    if args.update:
+        write_baseline(args.baseline, current, args.scale)
+        print(f"baseline refreshed: {args.baseline} ({len(current)} benches)")
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    tolerance = args.max_regression
+    regressions: list[str] = []
+    width = max(len(name) for name in current)
+    print(f"{'bench':<{width}}  {'base':>8}  {'now':>8}  {'ratio':>6}")
+    for name, now in sorted(current.items()):
+        base = baseline.get(name)
+        if base is None:
+            print(f"{name:<{width}}  {'--':>8}  {now:8.2f}  {'new':>6}  "
+                  "(not in baseline; refresh with --update)")
+            continue
+        ratio = now / base if base > 0 else float("inf")
+        flag = ""
+        if ratio > 1.0 + tolerance:
+            flag = "  REGRESSION"
+            regressions.append(name)
+        print(f"{name:<{width}}  {base:8.2f}  {now:8.2f}  {ratio:6.2f}{flag}")
+    for name in sorted(set(baseline) - set(current)):
+        print(f"{name:<{width}}  (in baseline but not measured)")
+    if regressions:
+        print(
+            f"\n{len(regressions)} bench(es) slower than baseline by "
+            f">{tolerance * 100:.0f}%: {', '.join(regressions)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nall {len(current)} benches within {tolerance * 100:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
