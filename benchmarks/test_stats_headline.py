@@ -27,8 +27,12 @@ def test_stall_rates(benchmark, settings, report):
     report("stats_stalls", result.render())
     stalls = result.stalls_per_minute
     # The static stream is the most stable (paper: 0.11/min vs the
-    # CCs' 0.89-1.37/min).
-    assert stalls["static"] <= max(stalls["scream"], stalls["gcc"]) + 0.01
+    # CCs' 0.89-1.37/min). The ordering can only be resolved down to
+    # the rate one stall event contributes at this scale: at quick
+    # scale (one 40 s measured window) a single stall is 1.5/min.
+    minutes = (settings.duration - settings.warmup) / 60.0 * len(settings.seeds)
+    one_stall = 1.0 / minutes
+    assert stalls["static"] <= max(stalls["scream"], stalls["gcc"]) + one_stall + 0.01
     # Nothing is stalling pathologically.
     for cc, rate in stalls.items():
         assert rate < 6.0, (cc, rate)

@@ -35,7 +35,7 @@ class FeedbackKind(enum.Enum):
     CCFB = "ccfb"
 
 
-@dataclass
+@dataclass(slots=True)
 class SentPacket:
     """Sender-side record of a transmitted RTP packet."""
 
@@ -48,7 +48,7 @@ class SentPacket:
     lost: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class CcLogEntry:
     """One sample of a controller's internal state, for analysis."""
 

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 BURST_DELTA = 0.005
 
 
-@dataclass
+@dataclass(slots=True)
 class PacketGroup:
     """Aggregated timing of one packet burst."""
 
@@ -32,7 +32,7 @@ class PacketGroup:
     packets: int = 1
 
 
-@dataclass
+@dataclass(slots=True)
 class GroupDelta:
     """Filter input computed between two complete packet groups."""
 

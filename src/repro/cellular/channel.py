@@ -20,8 +20,10 @@ logged exactly as coarsely as the paper's LTE dongles reported them.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
@@ -31,10 +33,10 @@ from repro.cellular.operators import OperatorProfile
 from repro.cellular.propagation import (
     PropagationConfig,
     ShadowingProcess,
-    path_loss_db,
-    rsrp_dbm,
+    antenna_gain_db_array,
+    path_loss_db_array,
 )
-from repro.flight.trajectory import WaypointTrajectory
+from repro.flight.trajectory import Position, WaypointTrajectory
 from repro.net.path import NetworkPath
 from repro.net.simulator import EventLoop
 from repro.obs import NULL_RECORDER, NullRecorder
@@ -53,6 +55,60 @@ INTERFERENCE_LOAD = 0.02
 UL_BUDGET_DB = 106.0
 #: Histogram buckets for the SINR metric (dB; spans outage to ideal).
 SINR_BUCKETS = (-10.0, -5.0, 0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 40.0)
+
+#: Tick-count growth increment when a run outlives the precomputed
+#: geometry horizon (60 simulated seconds per extension).
+_GEO_CHUNK_TICKS = 600
+
+
+@lru_cache(maxsize=8)
+def _tick_geometry(
+    traj_key: tuple,
+    cell_key: tuple,
+    prop_key: tuple,
+    anchor: float,
+    start_tick: int,
+    n_ticks: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Deterministic per-tick, per-cell radio geometry, vectorized.
+
+    For measurement ticks ``anchor + (start_tick + k) * 0.1`` this
+    precomputes everything about the tick that does not depend on a
+    random draw: the UE position along the trajectory, the 3-D path
+    loss to every cell and the down-tilted antenna gain toward the UE.
+    Returns ``(rsrp_det, loss, altitudes)`` where ``rsrp_det[k, i]``
+    is ``tx_power - loss + gain`` for cell ``i`` (shadowing and
+    fading are added per tick at run time) and ``loss[k, i]`` is the
+    3-D path loss that also feeds the uplink budget.
+
+    Keyed on value tuples (waypoints, cell parameters, propagation
+    config), so repeated runs over the same trajectory and layout —
+    same-seed re-runs, parallel-vs-serial equality checks, cached
+    campaign replays — reuse the arrays across channel instances.
+    """
+    wp_times, wp_points = traj_key
+    trajectory = WaypointTrajectory(
+        list(wp_times), [Position(x, y, alt) for x, y, alt in wp_points]
+    )
+    config = PropagationConfig(*prop_key)
+    ticks = anchor + (start_tick + np.arange(n_ticks)) * MEASUREMENT_PERIOD
+    pos = trajectory.positions_at(ticks)
+    cell_ids = np.array([c[0] for c in cell_key], dtype=float)
+    cx = np.array([c[1] for c in cell_key])
+    cy = np.array([c[2] for c in cell_key])
+    ch = np.array([c[3] for c in cell_key])
+    tx_power = np.array([c[4] for c in cell_key])
+    downtilt = np.array([c[5] for c in cell_key])
+    dx = pos[:, 0:1] - cx[None, :]
+    dy = pos[:, 1:2] - cy[None, :]
+    dz = pos[:, 2:3] - ch[None, :]
+    horizontal = np.hypot(dx, dy)
+    dist3d = np.sqrt(dx * dx + dy * dy + dz * dz)
+    altitudes = pos[:, 2].copy()
+    loss = path_loss_db_array(dist3d, pos[:, 2:3], config)
+    gain = antenna_gain_db_array(horizontal, dz, cell_ids, downtilt, config)
+    rsrp_det = tx_power[None, :] - loss + gain
+    return rsrp_det, loss, altitudes
 
 
 @dataclass
@@ -132,6 +188,11 @@ class CellularChannel:
         UE position source.
     streams:
         Random-stream factory for shadowing/fading/HET draws.
+    horizon:
+        Expected run duration in seconds; the deterministic per-tick
+        geometry is precomputed for the whole horizon in one
+        vectorized pass. Runs that outlive the horizon (or pass
+        ``None``) extend the precomputation in 60 s chunks.
     """
 
     def __init__(
@@ -143,6 +204,7 @@ class CellularChannel:
         streams: RngStreams,
         *,
         config: ChannelConfig | None = None,
+        horizon: float | None = None,
         obs: NullRecorder = NULL_RECORDER,
     ) -> None:
         self._loop = loop
@@ -168,7 +230,13 @@ class CellularChannel:
         self._fading_db = 0.0
         self._fastfade = np.zeros(len(layout))
         self._shadow = np.zeros(len(layout))
-        self._position = trajectory.position(0.0)
+        self._horizon = horizon
+        self._tick_index = 0
+        self._anchor = 0.0
+        self._det: np.ndarray | None = None
+        self._loss3d: np.ndarray | None = None
+        self._altitudes: np.ndarray | None = None
+        self._geo_keys: tuple | None = None
         self._uplink_bps = 1e6
         self._downlink_bps = 10e6
         self._outlier_until: float | None = None
@@ -200,22 +268,52 @@ class CellularChannel:
         if self._started:
             raise RuntimeError("channel already started")
         self._started = True
+        self._anchor = self._loop.now
         self._tick()
+
+    # ------------------------------------------------------------------
+    # precomputed geometry
+    # ------------------------------------------------------------------
+    def _geometry_row(self, k: int) -> tuple[np.ndarray, np.ndarray, float]:
+        """Deterministic ``(rsrp_det, loss, altitude)`` for tick ``k``."""
+        if self._det is None or k >= len(self._det):
+            self._extend_geometry(k)
+        return self._det[k], self._loss3d[k], float(self._altitudes[k])
+
+    def _extend_geometry(self, k: int) -> None:
+        if self._geo_keys is None:
+            self._geo_keys = (
+                self.trajectory.waypoint_key(),
+                tuple(
+                    (c.cell_id, c.x, c.y, c.height, c.tx_power_dbm, c.downtilt_deg)
+                    for c in self.layout.cells
+                ),
+                dataclasses.astuple(self.config.propagation),
+            )
+        start = 0 if self._det is None else len(self._det)
+        if start == 0 and self._horizon is not None:
+            # +2: one tick at t=0 plus a guard row at the boundary.
+            n = max(int(math.ceil(self._horizon / MEASUREMENT_PERIOD)) + 2, k + 1)
+        else:
+            n = max(_GEO_CHUNK_TICKS, k + 1 - start)
+        det, loss, alts = _tick_geometry(
+            *self._geo_keys, self._anchor, start, n
+        )
+        if start == 0:
+            self._det, self._loss3d, self._altitudes = det, loss, alts
+        else:
+            self._det = np.concatenate([self._det, det])
+            self._loss3d = np.concatenate([self._loss3d, loss])
+            self._altitudes = np.concatenate([self._altitudes, alts])
 
     # ------------------------------------------------------------------
     # per-tick update
     # ------------------------------------------------------------------
     def _tick(self) -> None:
         now = self._loop.now
-        position = self.trajectory.position(now)
-        shadow = self._shadowing.sample(now, position.altitude)
-        rsrp = np.array(
-            [
-                rsrp_dbm(position, cell, shadow[i], self.config.propagation)
-                for i, cell in enumerate(self.layout.cells)
-            ]
-        )
-        frac = min(position.altitude / 40.0, 1.0)
+        det_row, loss_row, altitude = self._geometry_row(self._tick_index)
+        shadow = self._shadowing.sample(now, altitude)
+        frac = min(altitude / 40.0, 1.0)
         noise_std = self.config.meas_noise_ground_db + frac * (
             self.config.meas_noise_air_db - self.config.meas_noise_ground_db
         )
@@ -226,19 +324,19 @@ class CellularChannel:
             1 - rho * rho
         ) * self._fastfade_rng.normal(0.0, 1.0, size=self._fastfade.shape)
         rsrp = (
-            rsrp
-            + self._meas_rng.normal(0.0, noise_std, size=rsrp.shape)
+            det_row
+            + shadow
+            + self._meas_rng.normal(0.0, noise_std, size=det_row.shape)
             + frac * self.config.air_fastfade_std_db * self._fastfade
         )
-        event = self.engine.measure(now, rsrp, altitude=position.altitude)
-        self._position = position
+        event = self.engine.measure(now, rsrp, altitude=altitude)
         self._shadow = shadow
         if event is not None:
             self._begin_outage(event.execution_time)
         self.cells_seen.add(self.engine.serving_cell)
-        self._update_fading(position.altitude)
-        self._update_outliers(now, position.altitude)
-        uplink, downlink, sinr = self._capacity(now, position)
+        self._update_fading(altitude)
+        self._update_outliers(now, altitude)
+        uplink, downlink, sinr = self._capacity(now, altitude, loss_row)
         self._uplink_bps = uplink
         self._downlink_bps = downlink
         serving_rsrp = self.engine.serving_rsrp()
@@ -254,7 +352,7 @@ class CellularChannel:
                 serving_cell=self.engine.serving_cell,
                 rsrp_dbm=serving_rsrp,
                 sinr_db=sinr,
-                altitude=position.altitude,
+                altitude=altitude,
                 in_handover=self.engine.in_handover,
             )
         )
@@ -267,7 +365,13 @@ class CellularChannel:
                     cell_id=self.engine.serving_cell,
                 )
             )
-        self._loop.call_later(MEASUREMENT_PERIOD, self._tick)
+        self._tick_index += 1
+        # Anchored re-arm (cf. PeriodicTimer): tick k fires at exactly
+        # anchor + k * period, so tick times line up with the
+        # precomputed geometry rows and never accumulate float drift.
+        self._loop.schedule_at(
+            self._anchor + self._tick_index * MEASUREMENT_PERIOD, self._tick
+        )
 
     def _begin_outage(self, het: float) -> None:
         if self.config.make_before_break:
@@ -316,24 +420,24 @@ class CellularChannel:
                 )
                 self.obs.count("channel/interference_outliers")
 
-    def _capacity(self, now, position) -> tuple[float, float, float]:
+    def _capacity(
+        self, now: float, altitude: float, loss_row: np.ndarray
+    ) -> tuple[float, float, float]:
         filtered = self.engine.filtered_rsrp
         if filtered is None:
             return self._uplink_bps, self._downlink_bps, 0.0
         serving = self.engine.serving_cell
-        cell = self.layout.cells[serving]
         # Uplink budget: the BS receive antenna is wide in the uplink,
         # so the uplink SNR follows the 3-D path loss to the serving
         # site (plus the serving cell's shadowing and fast fading) —
         # not the down-tilted downlink pattern that drives handovers.
-        distance = position.distance_to(cell.position())
-        loss = path_loss_db(distance, position.altitude, self.config.propagation)
+        loss = float(loss_row[serving])
         # The serving cell's aerial fast fading enters the uplink SNR:
         # a handover is usually preceded by the serving cell fading
         # below its neighbours, so capacity dips *before* the A3 event
         # fires — the origin of the paper's pre-handover latency
         # spikes (Fig. 8/9).
-        alt_frac = min(position.altitude / 40.0, 1.0)
+        alt_frac = min(altitude / 40.0, 1.0)
         serving_fastfade = (
             alt_frac
             * self.config.air_fastfade_std_db

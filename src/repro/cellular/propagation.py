@@ -93,6 +93,59 @@ def path_loss_db(distance: float, altitude: float, config: PropagationConfig) ->
     return loss
 
 
+def path_loss_db_array(
+    distances: np.ndarray, altitudes: np.ndarray, config: PropagationConfig
+) -> np.ndarray:
+    """Vectorized :func:`path_loss_db` over a ``(ticks, cells)`` grid.
+
+    ``distances`` has shape ``(T, C)``; ``altitudes`` has shape
+    ``(T, 1)`` (one UE altitude per tick, broadcast across cells).
+    Mirrors the scalar math exactly, including the dual-slope
+    breakpoint and the altitude-dependent exponent.
+    """
+    d = np.maximum(distances, 1.0)
+    near = np.minimum(d, config.break_distance)
+    loss = config.ref_loss_db + 20.0 * np.log10(near)
+    frac = np.clip(altitudes / config.air_transition_alt, 0.0, 1.0)
+    exponent = config.exponent_ground + frac * (
+        config.exponent_air - config.exponent_ground
+    )
+    beyond = d > config.break_distance
+    loss += np.where(
+        beyond,
+        10.0 * exponent * np.log10(np.maximum(d, config.break_distance) / config.break_distance),
+        0.0,
+    )
+    return loss
+
+
+def antenna_gain_db_array(
+    horizontal: np.ndarray,
+    dz: np.ndarray,
+    cell_ids: np.ndarray,
+    downtilts: np.ndarray,
+    config: PropagationConfig,
+) -> np.ndarray:
+    """Vectorized :func:`antenna_gain_db` over a ``(ticks, cells)`` grid.
+
+    ``horizontal`` and ``dz`` have shape ``(T, C)``; ``cell_ids`` and
+    ``downtilts`` have shape ``(C,)``. Reproduces the 3GPP parabolic
+    main lobe, the side-lobe floor and the deterministic above-horizon
+    ripple of the scalar version.
+    """
+    elevation = np.degrees(np.arctan2(dz, np.maximum(horizontal, 1.0)))
+    off_boresight = elevation + downtilts
+    attenuation = 12.0 * (off_boresight / config.vertical_beamwidth_deg) ** 2
+    attenuation = np.minimum(attenuation, -config.sidelobe_floor_db)
+    gain = config.antenna_gain_max_db - attenuation
+    phase = np.sin(elevation * 1.7 + cell_ids * 2.39) + np.sin(
+        elevation * 0.61 + cell_ids
+    )
+    return gain + np.where(
+        elevation > 0.0, 0.5 * config.sidelobe_ripple_db * phase, 0.0
+    )
+
+
 def antenna_gain_db(
     ue: Position, cell: Cell, config: PropagationConfig
 ) -> float:

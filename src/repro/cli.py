@@ -10,6 +10,8 @@ Entry points a downstream user needs:
 * ``repro trace`` — fly one instrumented run (or load JSONL exports)
   and print the merged sim-time timeline of cc / handover / jitter-
   buffer records;
+* ``repro profile`` — profile one session or figure campaign and write
+  a ranked hot-spot report plus a JSON summary;
 * ``repro lint`` — the repo's invariant linter.
 
 Installed as the ``repro`` console script; also runnable as
@@ -22,6 +24,7 @@ import argparse
 import inspect
 import sys
 from pathlib import Path
+from typing import Callable
 
 from repro.analysis import format_table
 from repro.core.config import ScenarioConfig
@@ -257,6 +260,49 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile one workload and write report + JSON summary."""
+    from repro.profiling import profile_callable
+
+    if args.target == "session":
+        config = _scenario_from(args)
+        workload: Callable[[], object] = lambda: run_session(config)
+        label = f"session-{config.label()}"
+    elif args.target in FIGURES:
+        import repro.experiments as experiments
+
+        runner_name, _ = FIGURES[args.target]
+        runner = getattr(experiments, runner_name)
+        seeds = tuple(range(1, args.seeds + 1))
+        settings = ExperimentSettings(
+            duration=args.duration,
+            seeds=seeds,
+            warmup=min(30.0, args.duration / 4),
+        )
+        workload = lambda: runner(settings)
+        label = f"figure-{args.target}"
+    else:
+        print(
+            f"unknown target {args.target!r}; choices: session, "
+            f"{', '.join(sorted(FIGURES))}"
+        )
+        return 2
+    print(f"Profiling {label} (engine: {args.engine})...", file=sys.stderr)
+    report = profile_callable(
+        workload,
+        target=label,
+        engine=args.engine,
+        top=args.top,
+        sort=args.sort,
+    )
+    text_path, json_path = report.write(args.out)
+    print(report.text)
+    print(f"wall time: {report.wall_time:.2f} s (engine: {report.engine})")
+    print(f"wrote {text_path}")
+    print(f"wrote {json_path}")
+    return 0
+
+
 def cmd_list_figures(args: argparse.Namespace) -> int:
     """List the regenerable figures."""
     for name in sorted(FIGURES):
@@ -355,6 +401,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the metric registry after the timeline",
     )
     trace_parser.set_defaults(func=cmd_trace)
+
+    profile_parser = sub.add_parser(
+        "profile",
+        help="profile a session or figure and write hot-spot reports",
+        description="Run one workload under cProfile (or pyinstrument when "
+        "installed) and write a ranked text report plus a JSON summary "
+        "for CI archiving.",
+    )
+    profile_parser.add_argument(
+        "target",
+        nargs="?",
+        default="session",
+        help="'session' (default) or a figure id (see list-figures)",
+    )
+    _add_scenario_arguments(profile_parser)
+    profile_parser.set_defaults(cc="gcc", duration=60.0)
+    profile_parser.add_argument(
+        "--seeds", type=int, default=1, help="seeds per figure campaign"
+    )
+    profile_parser.add_argument(
+        "--engine",
+        default="auto",
+        choices=["auto", "cprofile", "pyinstrument"],
+        help="profiler backend (auto = pyinstrument if installed)",
+    )
+    profile_parser.add_argument(
+        "--sort",
+        default="cumulative",
+        choices=["cumulative", "tottime"],
+        help="ranking for the cProfile report",
+    )
+    profile_parser.add_argument(
+        "--top", type=int, default=30, help="functions to keep in the reports"
+    )
+    profile_parser.add_argument(
+        "--out", default="profiles", help="output directory (default profiles/)"
+    )
+    profile_parser.set_defaults(func=cmd_profile)
 
     lint_parser = sub.add_parser(
         "lint",

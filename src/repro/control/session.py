@@ -34,7 +34,7 @@ from repro.core.session import (
     build_trajectory,
 )
 from repro.net.loss import GilbertElliottLoss
-from repro.net.packet import Datagram
+from repro.net.packet import Datagram, reset_datagram_ids
 from repro.net.path import NetworkPath
 from repro.net.simulator import EventLoop, PeriodicTimer
 from repro.util.rng import RngStreams
@@ -129,6 +129,7 @@ def run_control_session(
     config: ScenarioConfig, *, with_video: bool = True
 ) -> ControlResult:
     """Run commands + telemetry (and optionally video) over one channel."""
+    reset_datagram_ids()
     loop = EventLoop()
     streams = RngStreams(config.seed)
     profile = get_profile(config.operator, config.environment.value)
@@ -141,6 +142,7 @@ def run_control_session(
         trajectory,
         streams.child("channel"),
         config=build_channel_config(config),
+        horizon=config.duration,
     )
 
     command_samples: list[C2Sample] = []

@@ -31,7 +31,7 @@ from repro.video.decoder import DecoderModel
 from repro.video.player import Player
 
 
-@dataclass
+@dataclass(slots=True)
 class PacketLogEntry:
     """Per-packet transport log (the tcpdump equivalent)."""
 

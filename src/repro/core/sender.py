@@ -74,9 +74,15 @@ class VideoSender:
         self.stats = SenderStats()
         self._frame_timer: PeriodicTimer | None = None
         self._sr_timer: PeriodicTimer | None = None
-        #: Encode-latency and pacer events in flight, cancelled on stop
-        #: so teardown leaves the event loop clean (cf. JitterBuffer).
+        #: Encode-latency events in flight, cancelled on stop so
+        #: teardown leaves the event loop clean (cf. JitterBuffer).
         self._pending_events: set[EventHandle] = set()
+        #: The pacer is strictly sequential (one outstanding
+        #: ``_send_next`` at a time), so its event — by far the
+        #: hottest in the sender — is a single reused handle and a
+        #: bound method instead of a per-event closure in the tracked
+        #: set above.
+        self._pacer_handle: EventHandle | None = None
         #: (time, rtt) samples from RFC 3550 LSR/DLSR round trips —
         #: available for every workload, including static runs.
         self.rtt_samples: list[tuple[float, float]] = []
@@ -108,6 +114,9 @@ class VideoSender:
         for handle in self._pending_events:
             handle.cancel()
         self._pending_events.clear()
+        if self._pacer_handle is not None:
+            self._pacer_handle.cancel()
+            self._pacer_handle = None
 
     def _call_later(self, delay: float, callback) -> None:
         """Schedule ``callback``, tracking the handle for teardown."""
@@ -217,7 +226,12 @@ class VideoSender:
             return
         self._send_next()
 
+    def _schedule_send(self, delay: float) -> None:
+        self._pacer_busy = True
+        self._pacer_handle = self._loop.call_later(delay, self._send_next)
+
     def _send_next(self) -> None:
+        self._pacer_handle = None
         self._pacer_busy = False
         if not self._queue:
             return
@@ -226,8 +240,7 @@ class VideoSender:
         in_flight = getattr(self.controller, "bytes_in_flight", 0)
         if not self.controller.can_send(in_flight, packet.wire_size, now):
             # Window-blocked: poll again shortly (feedback will open it).
-            self._pacer_busy = True
-            self._call_later(0.002, self._send_next)
+            self._schedule_send(0.002)
             return
         self._queue.popleft()
         self._queued_bytes -= packet.wire_size
@@ -258,5 +271,4 @@ class VideoSender:
             delay = 0.0
         else:
             delay = bytes_to_bits(packet.wire_size) / max(rate, 1e4)
-        self._pacer_busy = True
-        self._call_later(delay, self._send_next)
+        self._schedule_send(delay)

@@ -33,6 +33,7 @@ from repro.flight.trajectory import (
     paper_flight_trajectory,
 )
 from repro.net.loss import GilbertElliottLoss
+from repro.net.packet import reset_datagram_ids
 from repro.net.path import NetworkPath
 from repro.net.simulator import EventLoop
 from repro.obs import NULL_RECORDER, NullRecorder, Recorder
@@ -147,6 +148,7 @@ def run_session(
     numbers and schedules no events).
     """
     obs = recorder if recorder is not None else NULL_RECORDER
+    reset_datagram_ids()
     loop = EventLoop()
     if isinstance(obs, Recorder):
         obs.bind(loop)
@@ -161,6 +163,7 @@ def run_session(
         trajectory,
         streams.child("channel"),
         config=build_channel_config(config),
+        horizon=config.duration,
         obs=obs,
     )
 

@@ -20,7 +20,7 @@ from repro.cellular.handover import HandoverEvent
 from repro.cellular.operators import get_profile
 from repro.core.config import ScenarioConfig
 from repro.core.session import build_channel_config, build_trajectory
-from repro.net.packet import Datagram
+from repro.net.packet import Datagram, reset_datagram_ids
 from repro.net.path import NetworkPath
 from repro.net.simulator import EventLoop, PeriodicTimer
 from repro.util.rng import RngStreams
@@ -59,6 +59,7 @@ def _build_channel(
         trajectory,
         streams.child("channel"),
         config=build_channel_config(config),
+        horizon=config.duration,
     )
 
 
@@ -95,6 +96,7 @@ class _PingProbe:
     ) -> None:
         self.samples: list[PingSample] = []
         self._ping_bytes = ping_bytes
+        reset_datagram_ids()
         self._loop = EventLoop()
         streams = RngStreams(config.seed)
         profile = get_profile(config.operator, config.environment.value)
@@ -107,6 +109,7 @@ class _PingProbe:
             self._trajectory,
             streams.child("channel"),
             config=build_channel_config(config),
+            horizon=config.duration,
         )
         self._uplink = NetworkPath(
             self._loop,

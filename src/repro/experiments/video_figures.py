@@ -312,6 +312,7 @@ def rampup_experiment(
     from repro.core.receiver import VideoReceiver
     from repro.core.sender import VideoSender
     from repro.core.session import build_controller
+    from repro.net.packet import reset_datagram_ids
     from repro.net.path import NetworkPath
     from repro.net.simulator import EventLoop
     from repro.util.rng import RngStreams
@@ -324,6 +325,7 @@ def rampup_experiment(
         reach: list[float] = []
         for seed in settings.seeds:
             config = ScenarioConfig(cc=cc, seed=seed, duration=duration)
+            reset_datagram_ids()
             loop = EventLoop()
             streams = RngStreams(seed)
             controller = build_controller(config)

@@ -62,6 +62,26 @@ class WaypointTrajectory:
         """Total trajectory duration in seconds."""
         return self._times[-1] - self._times[0]
 
+    def positions_at(self, times: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`position` (without speed) for many times.
+
+        Returns an ``(n, 3)`` array of ``(x, y, altitude)`` rows.
+        ``np.interp`` clamps to the end waypoints exactly like the
+        scalar method.
+        """
+        wp_times = np.asarray(self._times, dtype=float)
+        xs = np.interp(times, wp_times, [p.x for p in self._points])
+        ys = np.interp(times, wp_times, [p.y for p in self._points])
+        alts = np.interp(times, wp_times, [p.altitude for p in self._points])
+        return np.column_stack([xs, ys, alts])
+
+    def waypoint_key(self) -> tuple:
+        """Hashable identity of this trajectory (for geometry caches)."""
+        return (
+            tuple(self._times),
+            tuple((p.x, p.y, p.altitude) for p in self._points),
+        )
+
     def position(self, t: float) -> Position:
         """Interpolated position at time ``t`` (clamped to the ends)."""
         if t <= self._times[0]:

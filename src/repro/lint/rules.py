@@ -1,4 +1,4 @@
-"""The invariant rules (RPL001–RPL005).
+"""The invariant rules (RPL001–RPL006).
 
 Each rule is an :class:`ast.NodeVisitor` instantiated per file. Rules
 collect :class:`~repro.lint.findings.Finding` objects; suppression via
@@ -39,6 +39,14 @@ RPL005 *seed-path hygiene*
     ``default_rng(<literal>)`` / ``RandomState(<literal>)`` with a
     hard-coded seed: two unrelated components silently sharing stream
     0 — the ``rng=None → default_rng(0)`` fallback bug class.
+
+RPL006 *hot-path dataclass slots*
+    A ``@dataclass`` without ``slots=True`` (and without a manual
+    ``__slots__``) in the per-packet hot modules (``repro/net``,
+    ``repro/rtp``, ``repro/cc``): every instance then carries a
+    ``__dict__``, which is measurable at 10^5-10^6 allocations per
+    run — the ``Datagram`` bug class. Only applies inside the listed
+    directories; cold-path modules keep their plain dataclasses.
 """
 
 from __future__ import annotations
@@ -68,6 +76,9 @@ class Rule(ast.NodeVisitor):
     title: ClassVar[str] = ""
     #: Path suffixes (``/``-normalised) this rule never applies to.
     exempt_suffixes: ClassVar[tuple[str, ...]] = ()
+    #: When non-empty, the rule *only* runs on paths containing one of
+    #: these (``/``-normalised) directory fragments.
+    only_dirs: ClassVar[tuple[str, ...]] = ()
 
     def __init__(self, path: str) -> None:
         self.path = path
@@ -77,7 +88,11 @@ class Rule(ast.NodeVisitor):
     def applies_to(cls, path: str) -> bool:
         """Whether this rule runs on ``path`` at all."""
         normalized = path.replace("\\", "/")
-        return not any(normalized.endswith(sfx) for sfx in cls.exempt_suffixes)
+        if any(normalized.endswith(sfx) for sfx in cls.exempt_suffixes):
+            return False
+        if cls.only_dirs and not any(frag in normalized for frag in cls.only_dirs):
+            return False
+        return True
 
     def report(self, node: ast.AST, message: str) -> None:
         """Record a finding anchored at ``node``."""
@@ -467,6 +482,68 @@ class SeedHygieneRule(Rule):
         self.generic_visit(node)
 
 
+# ----------------------------------------------------------------------
+# RPL006 — hot-path dataclass slots
+# ----------------------------------------------------------------------
+
+
+class HotPathSlotsRule(Rule):
+    """RPL006: per-packet dataclasses must opt into ``__slots__``."""
+
+    rule_id = "RPL006"
+    title = "hot-path dataclass slots"
+    only_dirs = ("repro/net/", "repro/rtp/", "repro/cc/")
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        decorator = self._dataclass_decorator(node)
+        if (
+            decorator is not None
+            and not self._has_slots_keyword(decorator)
+            and not self._defines_slots(node)
+        ):
+            self.report(
+                node,
+                f"dataclass '{node.name}' in a per-packet hot module "
+                "without slots; use @dataclass(slots=True) (or define "
+                "__slots__) to drop the per-instance __dict__",
+            )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _dataclass_decorator(node: ast.ClassDef) -> ast.expr | None:
+        for decorator in node.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            name = dotted_name(target)
+            if name is not None and name.rsplit(".", 1)[-1] == "dataclass":
+                return decorator
+        return None
+
+    @staticmethod
+    def _has_slots_keyword(decorator: ast.expr) -> bool:
+        if not isinstance(decorator, ast.Call):
+            return False
+        return any(
+            kw.arg == "slots"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is True
+            for kw in decorator.keywords
+        )
+
+    @staticmethod
+    def _defines_slots(node: ast.ClassDef) -> bool:
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, ast.AnnAssign):
+                targets = [stmt.target]
+            else:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    return True
+        return False
+
+
 #: Every shipped rule, in catalogue order.
 ALL_RULES: tuple[type[Rule], ...] = (
     NondeterminismRule,
@@ -474,4 +551,5 @@ ALL_RULES: tuple[type[Rule], ...] = (
     EventHandleRule,
     PicklabilityRule,
     SeedHygieneRule,
+    HotPathSlotsRule,
 )

@@ -33,7 +33,7 @@ from repro.core.receiver import PacketLogEntry, VideoReceiver
 from repro.core.sender import SenderStats, VideoSender
 from repro.core.session import build_channel_config, build_trajectory
 from repro.net.loss import GilbertElliottLoss
-from repro.net.packet import Datagram
+from repro.net.packet import Datagram, reset_datagram_ids
 from repro.net.path import NetworkPath
 from repro.net.simulator import EventLoop
 from repro.rtp.packets import RtpPacket, seq_distance
@@ -151,6 +151,7 @@ def run_multipath_session(
     """
     if config.cc is not CcAlgorithm.STATIC:
         raise ValueError("multipath sessions support the static workload only")
+    reset_datagram_ids()
     loop = EventLoop()
     streams = RngStreams(config.seed)
     trajectory = build_trajectory(config, streams)
@@ -170,6 +171,7 @@ def run_multipath_session(
             trajectory,
             substreams.child("channel"),
             config=build_channel_config(config),
+            horizon=config.duration,
         )
         path = NetworkPath(
             loop,

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.net.packet import Datagram
 from repro.net.simulator import EventLoop
+from repro.util.rng import BatchedNormal
 from repro.util.units import bytes_to_bits
 
 DeliverFn = Callable[[Datagram], None]
@@ -90,6 +91,10 @@ class CapacityLink:
         self._queued_bytes = 0
         self._busy = False
         self._up = True
+        #: The single datagram currently serializing (``_busy`` guards
+        #: exclusivity), kept on the instance so the per-packet finish
+        #: event is a bound method instead of a fresh closure.
+        self._inflight: Datagram | None = None
         self.stats = LinkStats()
 
     @property
@@ -141,9 +146,12 @@ class CapacityLink:
         rate = max(self._rate_fn(self._loop.now), self.min_rate_bps)
         duration = bytes_to_bits(datagram.size_bytes) / rate
         self._busy = True
-        self._loop.call_later(duration, lambda: self._finish(datagram))
+        self._inflight = datagram
+        self._loop.schedule_later(duration, self._finish)
 
-    def _finish(self, datagram: Datagram) -> None:
+    def _finish(self) -> None:
+        datagram = self._inflight
+        self._inflight = None
         self._busy = False
         self.stats.delivered += 1
         self.stats.bytes_delivered += datagram.size_bytes
@@ -156,7 +164,11 @@ class DelayLine:
 
     Delivery order is enforced FIFO: jitter can stretch gaps between
     packets but never reorders them, matching the in-order delivery of
-    a single LTE bearer plus WAN path.
+    a single LTE bearer plus WAN path. Because arrivals are monotone,
+    in-flight datagrams live in a FIFO deque and every delivery event
+    is the same bound method — no per-packet closure — and the jitter
+    draws come from a :class:`~repro.util.rng.BatchedNormal` block
+    buffer (bit-identical to scalar draws on the same stream).
     """
 
     def __init__(
@@ -178,7 +190,8 @@ class DelayLine:
         self._deliver = deliver
         self.base_delay = base_delay
         self.jitter_std = jitter_std
-        self._rng = rng
+        self._jitter = BatchedNormal(rng) if rng is not None else None
+        self._inflight: deque[Datagram] = deque()
         self._last_delivery = -1.0
         self.stats = LinkStats()
 
@@ -186,14 +199,16 @@ class DelayLine:
         """Deliver ``datagram`` after the propagation delay."""
         self.stats.enqueued += 1
         delay = self.base_delay
-        if self.jitter_std > 0 and self._rng is not None:
+        if self.jitter_std > 0 and self._jitter is not None:
             # half-normal jitter: the floor is the physical minimum
-            delay += abs(self._rng.normal(0.0, self.jitter_std))
+            delay += abs(self._jitter.normal(0.0, self.jitter_std))
         arrival = max(self._loop.now + delay, self._last_delivery)
         self._last_delivery = arrival
-        self._loop.call_at(arrival, lambda: self._finish(datagram))
+        self._inflight.append(datagram)
+        self._loop.schedule_at(arrival, self._finish)
 
-    def _finish(self, datagram: Datagram) -> None:
+    def _finish(self) -> None:
+        datagram = self._inflight.popleft()
         self.stats.delivered += 1
         self.stats.bytes_delivered += datagram.size_bytes
         self._deliver(datagram)

@@ -1,0 +1,172 @@
+"""Profiling harness for the simulation pipeline.
+
+``repro profile`` wraps one workload — a single session or one of the
+paper's figure campaigns — in a profiler and writes two artifacts:
+
+* a ranked plain-text report (cumulative time by default), the thing
+  you read to find the next hot spot;
+* a machine-readable JSON summary (top functions with call counts and
+  timings), the thing CI archives so regressions in the profile shape
+  can be compared across commits.
+
+The default engine is :mod:`cProfile` from the standard library, which
+is always available. When `pyinstrument <https://pyinstrument.readthedocs.io>`_
+happens to be installed, ``--engine auto`` (the default) prefers its
+wall-clock sampling output; the dependency is strictly optional and
+nothing here imports it unconditionally.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import pstats
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+try:  # optional, never required
+    from pyinstrument import Profiler as _PyinstrumentProfiler
+except ImportError:  # pragma: no cover - exercised only without the dep
+    _PyinstrumentProfiler = None
+
+#: Engines accepted by :func:`profile_callable`.
+ENGINES = ("auto", "cprofile", "pyinstrument")
+
+
+def available_engines() -> tuple[str, ...]:
+    """Concrete engines usable in this environment."""
+    if _PyinstrumentProfiler is not None:
+        return ("cprofile", "pyinstrument")
+    return ("cprofile",)
+
+
+def resolve_engine(requested: str) -> str:
+    """Map an ``--engine`` value to a concrete engine.
+
+    ``auto`` prefers pyinstrument when installed and falls back to
+    cProfile. Asking explicitly for pyinstrument without the package
+    raises, so CI failures are loud rather than silently different.
+    """
+    if requested not in ENGINES:
+        raise ValueError(f"unknown engine {requested!r}; choices: {ENGINES}")
+    if requested == "auto":
+        return "pyinstrument" if _PyinstrumentProfiler is not None else "cprofile"
+    if requested == "pyinstrument" and _PyinstrumentProfiler is None:
+        raise RuntimeError(
+            "pyinstrument is not installed; use --engine cprofile (or auto)"
+        )
+    return requested
+
+
+@dataclass
+class ProfileReport:
+    """Everything one profiling run produced."""
+
+    target: str
+    engine: str
+    wall_time: float
+    text: str
+    summary: dict = field(default_factory=dict)
+
+    def write(self, out_dir: Path | str) -> tuple[Path, Path]:
+        """Write the text report and JSON summary under ``out_dir``.
+
+        Returns ``(text_path, json_path)``.
+        """
+        out = Path(out_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        slug = self.target.replace("/", "-")
+        text_path = out / f"{slug}.txt"
+        json_path = out / f"{slug}.json"
+        text_path.write_text(self.text)
+        json_path.write_text(json.dumps(self.summary, indent=2, sort_keys=True))
+        return text_path, json_path
+
+
+def _cprofile_summary(
+    stats: pstats.Stats, *, top: int, sort: str
+) -> list[dict]:
+    """Top-``top`` rows of a cProfile run as plain dicts."""
+    key = {"cumulative": 3, "tottime": 2}[sort]
+    rows = sorted(
+        stats.stats.items(), key=lambda item: item[1][key], reverse=True
+    )
+    summary = []
+    for (filename, line, name), (ccalls, ncalls, tottime, cumtime, _) in rows[:top]:
+        summary.append(
+            {
+                "function": name,
+                "file": filename,
+                "line": line,
+                "calls": ncalls,
+                "primitive_calls": ccalls,
+                "tottime_s": round(tottime, 6),
+                "cumtime_s": round(cumtime, 6),
+            }
+        )
+    return summary
+
+
+def profile_callable(
+    fn: Callable[[], object],
+    *,
+    target: str,
+    engine: str = "auto",
+    top: int = 30,
+    sort: str = "cumulative",
+) -> ProfileReport:
+    """Run ``fn`` under a profiler and assemble a :class:`ProfileReport`.
+
+    ``sort`` ranks the text report and JSON summary by ``cumulative``
+    or ``tottime`` (cProfile engine; pyinstrument always reports its
+    own wall-clock tree).
+    """
+    if sort not in ("cumulative", "tottime"):
+        raise ValueError(f"sort must be 'cumulative' or 'tottime', got {sort!r}")
+    concrete = resolve_engine(engine)
+    # Wall-clock telemetry about the host run, not simulated time.
+    start = time.perf_counter()  # repro-lint: ignore[RPL001]
+    if concrete == "pyinstrument":
+        profiler = _PyinstrumentProfiler()
+        profiler.start()
+        try:
+            fn()
+        finally:
+            profiler.stop()
+        wall = time.perf_counter() - start  # repro-lint: ignore[RPL001]
+        text = profiler.output_text(unicode=True, color=False)
+        summary = {
+            "schema": 1,
+            "target": target,
+            "engine": concrete,
+            "wall_time_s": round(wall, 4),
+        }
+        return ProfileReport(
+            target=target, engine=concrete, wall_time=wall, text=text,
+            summary=summary,
+        )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        fn()
+    finally:
+        profiler.disable()
+    wall = time.perf_counter() - start  # repro-lint: ignore[RPL001]
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats(sort).print_stats(top)
+    summary = {
+        "schema": 1,
+        "target": target,
+        "engine": concrete,
+        "wall_time_s": round(wall, 4),
+        "sort": sort,
+        "top": _cprofile_summary(stats, top=top, sort=sort),
+    }
+    return ProfileReport(
+        target=target, engine=concrete, wall_time=wall,
+        text=buffer.getvalue(), summary=summary,
+    )

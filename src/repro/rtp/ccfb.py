@@ -35,7 +35,7 @@ _ATO_MAX = 0x1FFD  # values above are saturated per the RFC
 _ATO_UNAVAILABLE = 0x1FFF
 
 
-@dataclass
+@dataclass(slots=True)
 class CcfbPacketReport:
     """Status of one RTP sequence number inside a CCFB report."""
 
@@ -44,7 +44,7 @@ class CcfbPacketReport:
     ecn: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class CcfbReport:
     """An RFC 8888 report block for a single SSRC.
 

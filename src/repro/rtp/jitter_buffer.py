@@ -29,6 +29,7 @@ playout deadline, proportional to the hole size and decaying slowly.
 from __future__ import annotations
 
 import math
+from collections import deque
 from typing import Callable
 
 from repro.rtp.packets import RtpPacket, TS_MOD, VIDEO_CLOCK_RATE, seq_distance
@@ -105,7 +106,12 @@ class JitterBuffer:
         self._gap_penalty = 0.0
         self._gap_penalty_time = 0.0
         self._last_deadline = 0.0
-        self._pending_releases: set[EventHandle] = set()
+        #: Deadlines are monotone (enforced in :meth:`push`), so the
+        #: waiting packets form a FIFO and one armed loop event — at
+        #: the head deadline — serves the whole queue, instead of a
+        #: per-packet closure plus a tracked handle per packet.
+        self._waiting: deque[tuple[RtpPacket, float]] = deque()
+        self._head_handle: EventHandle | None = None
         self.gap_events = 0
 
     @property
@@ -165,14 +171,21 @@ class JitterBuffer:
                 return
             self._do_release(packet, now)
             return
-        handle: EventHandle
+        self._waiting.append((packet, deadline))
+        if self._head_handle is None:
+            self._head_handle = self._loop.call_at(deadline, self._fire)
 
-        def fire() -> None:
-            self._pending_releases.discard(handle)
+    def _fire(self) -> None:
+        self._head_handle = None
+        if self._flushed:
+            return
+        now = self._loop.now
+        waiting = self._waiting
+        while waiting and waiting[0][1] <= now:
+            packet, deadline = waiting.popleft()
             self._do_release(packet, deadline)
-
-        handle = self._loop.call_at(deadline, fire)
-        self._pending_releases.add(handle)
+        if waiting:
+            self._head_handle = self._loop.call_at(waiting[0][1], self._fire)
 
     def _note_sequence(self, sequence: int, now: float) -> None:
         if self._expected_seq is not None:
@@ -222,6 +235,7 @@ class JitterBuffer:
         meaningful.
         """
         self._flushed = True
-        for handle in self._pending_releases:
-            handle.cancel()
-        self._pending_releases.clear()
+        if self._head_handle is not None:
+            self._head_handle.cancel()
+            self._head_handle = None
+        self._waiting.clear()

@@ -89,7 +89,7 @@ class Packetizer:
         return packets
 
 
-@dataclass
+@dataclass(slots=True)
 class AssembledFrame:
     """Result of reassembling one video frame at the receiver.
 

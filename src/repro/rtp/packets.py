@@ -50,7 +50,7 @@ def timestamp_for(time_s: float, clock_rate: int = VIDEO_CLOCK_RATE) -> int:
     return int(round(time_s * clock_rate)) % TS_MOD
 
 
-@dataclass
+@dataclass(slots=True)
 class RtpPacket:
     """A single RTP packet.
 

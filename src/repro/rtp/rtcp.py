@@ -43,7 +43,7 @@ def middle_ntp(time_s: float) -> int:
     return ((seconds & 0xFFFF) << 16) | (fraction >> 16)
 
 
-@dataclass
+@dataclass(slots=True)
 class ReportBlock:
     """One reception report block (RFC 3550 Section 6.4.1)."""
 
@@ -92,7 +92,7 @@ class ReportBlock:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class SenderReport:
     """RTCP Sender Report (RFC 3550 Section 6.4.1)."""
 
@@ -153,7 +153,7 @@ class SenderReport:
         return 28 + 24 * len(self.blocks)
 
 
-@dataclass
+@dataclass(slots=True)
 class ReceiverReport:
     """RTCP Receiver Report (RFC 3550 Section 6.4.2)."""
 

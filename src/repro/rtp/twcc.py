@@ -30,7 +30,7 @@ _STATUS_SMALL_DELTA = 1
 _STATUS_LARGE_DELTA = 2
 
 
-@dataclass
+@dataclass(slots=True)
 class TwccFeedback:
     """A transport-wide feedback message.
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.video.frames import EncodedFrame, FrameType, SourceFrame
+from repro.util.rng import BatchedNormal
 from repro.util.units import bits_to_bytes, bytes_to_bits
 
 
@@ -67,7 +68,10 @@ class EncoderModel:
             raise ValueError(f"idr_ratio must be >= 1, got {idr_ratio}")
         if min_bitrate <= 0 or max_bitrate < min_bitrate:
             raise ValueError("invalid bitrate clamp")
-        self._rng = rng
+        # Size noise and latency jitter are both plain normal draws on
+        # this stream, so one block-refilled buffer serves both with
+        # values bit-identical to the scalar calls it replaced.
+        self._normal = BatchedNormal(rng)
         self.fps = fps
         self.gop_length = gop_length
         self.idr_ratio = idr_ratio
@@ -108,7 +112,7 @@ class EncoderModel:
         budget_bits = self._target_bitrate / self.fps
         scale = self.idr_ratio if frame_type is FrameType.IDR else self._p_scale
         noise = float(
-            np.exp(self._rng.normal(-0.5 * self.size_noise_std**2, self.size_noise_std))
+            np.exp(self._normal.normal(-0.5 * self.size_noise_std**2, self.size_noise_std))
         )
         # Rate control: shave the next frame when we recently overspent.
         correction = float(np.clip(1.0 - self._bit_debt / (4.0 * budget_bits), 0.6, 1.2))
@@ -118,7 +122,7 @@ class EncoderModel:
         # Debt decays so a single large IDR doesn't starve a whole GoP.
         self._bit_debt *= 0.95
         latency = self.encode_latency + abs(
-            float(self._rng.normal(0.0, self.encode_latency_jitter))
+            self._normal.normal(0.0, self.encode_latency_jitter)
         )
         self._frames_encoded += 1
         return EncodedFrame(

@@ -23,6 +23,7 @@ from repro.cellular import (
     path_loss_db,
     rsrp_dbm,
 )
+from repro.cellular.propagation import antenna_gain_db_array, path_loss_db_array
 from repro.flight.trajectory import Position, paper_flight_trajectory
 from repro.net.simulator import EventLoop
 from repro.util.rng import RngStreams
@@ -123,6 +124,56 @@ class TestPropagation:
         ground = process.sample(0.0, 0.0)
         air = process.sample(0.0, 120.0)
         assert np.std(air) < np.std(ground)
+
+
+class TestVectorizedPropagation:
+    """The array kernels behind the channel's precomputed geometry
+    must agree with the scalar reference functions they replaced."""
+
+    def _grid(self):
+        layout = grid_layout(num_sites=6, area_radius=1500, rng=rng("vec"))
+        # Span ground and air, below and above the breakpoint.
+        positions = [
+            Position(30.0, -20.0, 1.5),
+            Position(250.0, 400.0, 40.0),
+            Position(-900.0, 1200.0, 120.0),
+            Position(2500.0, -1800.0, 80.0),
+        ]
+        return layout, positions
+
+    def test_path_loss_array_matches_scalar(self):
+        config = PropagationConfig.urban()
+        layout, positions = self._grid()
+        distances = np.array(
+            [[p.distance_to(c.position()) for c in layout.cells] for p in positions]
+        )
+        altitudes = np.array([[p.altitude] for p in positions])
+        grid = path_loss_db_array(distances, altitudes, config)
+        assert grid.shape == (len(positions), len(layout))
+        for i, p in enumerate(positions):
+            for j, cell in enumerate(layout.cells):
+                scalar = path_loss_db(p.distance_to(cell.position()), p.altitude, config)
+                assert grid[i, j] == pytest.approx(scalar, rel=1e-12, abs=1e-9)
+
+    def test_antenna_gain_array_matches_scalar(self):
+        config = PropagationConfig()
+        layout, positions = self._grid()
+        horizontal = np.array(
+            [
+                [p.horizontal_distance_to(c.position()) for c in layout.cells]
+                for p in positions
+            ]
+        )
+        dz = np.array(
+            [[p.altitude - c.height for c in layout.cells] for p in positions]
+        )
+        cell_ids = np.array([c.cell_id for c in layout.cells], dtype=float)
+        downtilts = np.array([c.downtilt_deg for c in layout.cells])
+        grid = antenna_gain_db_array(horizontal, dz, cell_ids, downtilts, config)
+        for i, p in enumerate(positions):
+            for j, cell in enumerate(layout.cells):
+                scalar = antenna_gain_db(p, cell, config)
+                assert grid[i, j] == pytest.approx(scalar, rel=1e-12, abs=1e-9)
 
 
 class TestHetSampler:

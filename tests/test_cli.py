@@ -124,6 +124,67 @@ class TestRunnerFlags:
         assert "executed" in out
 
 
+class TestProfile:
+    def test_defaults_target_headline_session(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.target == "session"
+        assert args.cc == "gcc"
+        assert args.duration == 60.0
+        assert args.engine == "auto"
+        assert args.sort == "cumulative"
+        assert args.out == "profiles"
+
+    def test_invalid_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "--engine", "perf"])
+
+    def test_session_profile_writes_report(self, capsys, tmp_path):
+        code = main(
+            [
+                "profile",
+                "--duration", "5",
+                "--seed", "2",
+                "--engine", "cprofile",
+                "--top", "10",
+                "--out", str(tmp_path / "prof"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wall time" in out
+        written = sorted(p.name for p in (tmp_path / "prof").iterdir())
+        assert written == [
+            "session-gcc-urban-air-P1-s2.json",
+            "session-gcc-urban-air-P1-s2.txt",
+        ]
+
+    def test_profile_json_summary_schema(self, tmp_path):
+        import json
+
+        assert main(
+            [
+                "profile",
+                "--duration", "5",
+                "--engine", "cprofile",
+                "--out", str(tmp_path),
+            ]
+        ) == 0
+        (json_path,) = tmp_path.glob("*.json")
+        summary = json.loads(json_path.read_text())
+        assert summary["schema"] == 1
+        assert summary["engine"] == "cprofile"
+        assert summary["wall_time_s"] > 0
+        rows = summary["top"]
+        assert 0 < len(rows) <= 30
+        assert {"function", "file", "line", "calls", "tottime_s", "cumtime_s"} <= set(
+            rows[0]
+        )
+
+    def test_unknown_profile_target_errors(self, capsys):
+        assert main(["profile", "fig99"]) == 2
+        assert "unknown" in capsys.readouterr().out
+
+
 class TestTrace:
     def test_defaults_target_gcc_minute(self):
         args = build_parser().parse_args(["trace"])

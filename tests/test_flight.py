@@ -56,6 +56,29 @@ class TestWaypointTrajectory:
             WaypointTrajectory([0.0, 1.0, 2.0], [Position(0, 0, 0)])
 
 
+class TestVectorizedTrajectory:
+    """positions_at/waypoint_key back the channel's geometry cache."""
+
+    def test_positions_at_matches_scalar_position(self):
+        traj = paper_flight_trajectory()
+        times = np.arange(-2.0, traj.duration + 5.0, 0.37)  # includes clamping
+        grid = traj.positions_at(times)
+        assert grid.shape == (len(times), 3)
+        for t, (x, y, alt) in zip(times, grid):
+            p = traj.position(float(t))
+            assert x == pytest.approx(p.x, rel=1e-12, abs=1e-9)
+            assert y == pytest.approx(p.y, rel=1e-12, abs=1e-9)
+            assert alt == pytest.approx(p.altitude, rel=1e-12, abs=1e-9)
+
+    def test_waypoint_key_is_stable_and_discriminating(self):
+        a = paper_flight_trajectory()
+        b = paper_flight_trajectory()
+        c = paper_flight_trajectory(leap_length=150.0)
+        assert a.waypoint_key() == b.waypoint_key()
+        assert a.waypoint_key() != c.waypoint_key()
+        assert hash(a.waypoint_key()) == hash(b.waypoint_key())
+
+
 class TestPaperFlight:
     def test_duration_about_six_minutes(self):
         traj = paper_flight_trajectory()

@@ -188,7 +188,9 @@ class TestJitterBuffer:
         loop.call_at(0.01, lambda: buffer.push(make_packet(0, 0.0), 0.01))
         loop.run()
         assert released == [0]
-        assert buffer._pending_releases == set()
+        assert len(buffer._waiting) == 0
+        assert buffer._head_handle is None
+        assert loop.pending() == 0
 
     def test_backward_wrap_not_pushed_a_span_forward(self):
         """A reordered pre-wrap packet arriving just after the wrap

@@ -335,6 +335,93 @@ class TestSeedHygiene:
 
 
 # ----------------------------------------------------------------------
+# RPL006 — hot-path dataclass slots
+# ----------------------------------------------------------------------
+
+
+PLAIN_DATACLASS = """
+from dataclasses import dataclass
+
+@dataclass
+class Packet:
+    seq: int
+    size_bytes: int
+"""
+
+
+class TestHotPathSlots:
+    @pytest.mark.parametrize(
+        "path",
+        [
+            "src/repro/net/packet.py",
+            "src/repro/rtp/packets.py",
+            "src/repro/cc/base.py",
+        ],
+    )
+    def test_plain_dataclass_in_hot_module_fires(self, path):
+        findings = lint(PLAIN_DATACLASS, path=path)
+        assert ids_of(findings) == ["RPL006"]
+        assert "slots" in findings[0].message
+
+    def test_slots_true_is_silent(self):
+        findings = lint(
+            """
+            from dataclasses import dataclass
+
+            @dataclass(slots=True)
+            class Packet:
+                seq: int
+            """,
+            path="src/repro/net/packet.py",
+        )
+        assert findings == []
+
+    def test_manual_slots_is_silent(self):
+        findings = lint(
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Packet:
+                __slots__ = ("seq",)
+                seq: int
+            """,
+            path="src/repro/net/packet.py",
+        )
+        assert findings == []
+
+    def test_plain_class_is_silent(self):
+        findings = lint(
+            """
+            class Packet:
+                def __init__(self, seq):
+                    self.seq = seq
+            """,
+            path="src/repro/net/packet.py",
+        )
+        assert findings == []
+
+    def test_cold_modules_are_exempt(self):
+        """Analysis/experiment dataclasses are allocated a handful of
+        times per run; forcing slots there would be noise."""
+        for path in ("src/repro/analysis/metrics.py", "sim/module.py"):
+            assert lint(PLAIN_DATACLASS, path=path) == []
+
+    def test_decorator_call_without_slots_fires(self):
+        findings = lint(
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Packet:
+                seq: int
+            """,
+            path="src/repro/cc/base.py",
+        )
+        assert ids_of(findings) == ["RPL006"]
+
+
+# ----------------------------------------------------------------------
 # pragmas
 # ----------------------------------------------------------------------
 

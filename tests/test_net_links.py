@@ -33,6 +33,27 @@ class TestDatagram:
         a, b = make_datagram(), make_datagram()
         assert a.uid != b.uid
 
+    def test_uids_are_sequential(self):
+        a, b, c = make_datagram(), make_datagram(), make_datagram()
+        assert (b.uid, c.uid) == (a.uid + 1, a.uid + 2)
+
+    def test_reset_restarts_uid_sequence(self):
+        """Sessions reset the counter so a run's uids do not depend on
+        how many datagrams earlier runs in the same process created."""
+        from repro.net.packet import reset_datagram_ids
+
+        reset_datagram_ids()
+        first_pass = [make_datagram().uid for _ in range(3)]
+        reset_datagram_ids()
+        second_pass = [make_datagram().uid for _ in range(3)]
+        assert first_pass == second_pass == [1, 2, 3]
+
+    def test_datagram_is_slotted(self):
+        d = make_datagram()
+        assert not hasattr(d, "__dict__")
+        with pytest.raises(AttributeError):
+            d.unexpected_attribute = 1
+
 
 class TestCapacityLink:
     def test_serialization_time_matches_rate(self):

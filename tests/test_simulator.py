@@ -113,6 +113,119 @@ class TestEventLoop:
         assert errors and "already running" in errors[0]
 
 
+class TestEventLoopFastPath:
+    """The tuple-heap fast path and the allocation-free schedulers."""
+
+    def test_schedule_at_fires_like_call_at(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule_at(1.5, lambda: fired.append(loop.now))
+        loop.run_until(2.0)
+        assert fired == [1.5]
+
+    def test_schedule_later_is_relative(self):
+        loop = EventLoop()
+        fired = []
+        loop.call_at(1.0, lambda: loop.schedule_later(0.25, lambda: fired.append(loop.now)))
+        loop.run()
+        assert fired == [1.25]
+
+    def test_schedule_at_rejects_past_and_nan(self):
+        loop = EventLoop()
+        loop.call_at(1.0, lambda: None)
+        loop.run_until(1.0)
+        with pytest.raises(ValueError):
+            loop.schedule_at(0.5, lambda: None)
+        with pytest.raises(ValueError):
+            loop.schedule_at(float("nan"), lambda: None)
+        with pytest.raises(ValueError):
+            loop.schedule_later(-0.1, lambda: None)
+
+    def test_mixed_simultaneous_events_fire_in_scheduling_order(self):
+        """call_at and schedule_at share one order sequence."""
+        loop = EventLoop()
+        order = []
+        loop.call_at(1.0, lambda: order.append("a"))
+        loop.schedule_at(1.0, lambda: order.append("b"))
+        loop.call_at(1.0, lambda: order.append("c"))
+        loop.schedule_at(1.0, lambda: order.append("d"))
+        loop.run()
+        assert order == ["a", "b", "c", "d"]
+
+    def test_run_until_includes_boundary_event(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule_at(2.0, lambda: fired.append(loop.now))
+        loop.run_until(2.0)
+        assert fired == [2.0]
+        assert loop.now == 2.0
+
+    def test_cancel_after_fire_keeps_pending_exact(self):
+        """A handle cancelled after its callback ran must not decrement
+        the live counter a second time (lazy deletion bookkeeping)."""
+        loop = EventLoop()
+        handle = loop.call_at(1.0, lambda: None)
+        loop.schedule_at(2.0, lambda: None)
+        loop.run_until(1.5)
+        assert loop.pending() == 1
+        handle.cancel()  # event already fired: must be a no-op
+        assert loop.pending() == 1
+        handle.cancel()  # idempotent either way
+        assert loop.pending() == 1
+        loop.run_until(2.0)
+        assert loop.pending() == 0
+
+    def test_pending_tracks_schedule_at_events(self):
+        loop = EventLoop()
+        for k in range(5):
+            loop.schedule_at(float(k + 1), lambda: None)
+        assert loop.pending() == 5
+        loop.run_until(3.0)
+        assert loop.pending() == 2
+
+    def test_cancelled_entry_skipped_when_popped(self):
+        """Lazy deletion: the cancelled entry stays heap-resident and
+        is dropped on pop without firing or disturbing neighbours."""
+        loop = EventLoop()
+        fired = []
+        loop.call_at(1.0, lambda: fired.append("keep-1"))
+        victim = loop.call_at(1.0, lambda: fired.append("victim"))
+        loop.call_at(1.0, lambda: fired.append("keep-2"))
+        victim.cancel()
+        loop.run()
+        assert fired == ["keep-1", "keep-2"]
+
+    def test_randomized_schedule_fires_in_deterministic_order(self):
+        """Property check: any mix of call_at / schedule_at / cancels
+        fires exactly the surviving events in (time, insertion) order."""
+        import numpy as np
+
+        rng = np.random.default_rng(1234)
+        loop = EventLoop()
+        fired = []
+        expected = []
+        handles = []
+        for i in range(500):
+            when = float(rng.integers(0, 50)) * 0.125
+            tag = i
+            if rng.random() < 0.5:
+                handles.append((loop.call_at(when, lambda t=tag: fired.append(t)), when, tag))
+            else:
+                loop.schedule_at(when, lambda t=tag: fired.append(t))
+            expected.append((when, i, tag))
+        cancelled = set()
+        for handle, _, tag in handles:
+            if rng.random() < 0.3:
+                handle.cancel()
+                cancelled.add(tag)
+        loop.run()
+        survivors = [
+            tag for when, i, tag in sorted(expected) if tag not in cancelled
+        ]
+        assert fired == survivors
+        assert loop.pending() == 0
+
+
 class TestPeriodicTimer:
     def test_fires_at_fixed_period(self):
         loop = EventLoop()
@@ -153,3 +266,31 @@ class TestPeriodicTimer:
     def test_zero_period_rejected(self):
         with pytest.raises(ValueError):
             PeriodicTimer(EventLoop(), 0.0, lambda: None)
+
+    def test_no_drift_over_long_run(self):
+        """A 30 FPS timer over a 600 s flight must fire exactly
+        600 * 30 = 18000 times. The cumulative ``previous + period``
+        re-arm loses a tick to accumulated float error; the anchored
+        ``first + k * period`` form does not."""
+        loop = EventLoop()
+        ticks = 0
+
+        def tick():
+            nonlocal ticks
+            ticks += 1
+
+        PeriodicTimer(loop, 1.0 / 30.0, tick)
+        loop.run_until(600.0)
+        assert ticks == 600 * 30
+
+    def test_ticks_are_anchored_not_cumulative(self):
+        """Every tick time is exactly anchor + k * period (one rounded
+        multiply-add from the anchor, never a running sum)."""
+        loop = EventLoop()
+        times = []
+        period = 0.1  # not exactly representable in binary
+        PeriodicTimer(loop, period, lambda: times.append(loop.now))
+        loop.run_until(10.0)
+        anchor = period  # first tick (loop started at t=0)
+        assert times == [anchor + k * period for k in range(len(times))]
+        assert len(times) == 100
