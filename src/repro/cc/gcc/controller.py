@@ -163,6 +163,9 @@ class GccController(CongestionController):
                     "gcc.rate_decrease",
                     from_bps=previous_target,
                     to_bps=self._target_bitrate,
+                    # Which estimator bound the new target: the
+                    # delay-based AIMD or the loss-based cap.
+                    reason="delay" if delay_rate <= loss_rate else "loss",
                 )
         self._record(
             now,

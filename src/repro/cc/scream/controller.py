@@ -189,6 +189,7 @@ class ScreamController(CongestionController):
                         "scream.rate_decrease",
                         from_bps=previous_target,
                         to_bps=self._target_bitrate,
+                        reason="loss" if loss_detected else "qdelay",
                     )
 
     def _note_acked(self, arrival: float, size_bytes: int) -> None:

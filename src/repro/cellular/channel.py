@@ -40,6 +40,7 @@ from repro.flight.trajectory import Position, WaypointTrajectory
 from repro.net.path import NetworkPath
 from repro.net.simulator import EventLoop
 from repro.obs import NULL_RECORDER, NullRecorder
+from repro.obs.detect import EwmaZScore
 from repro.util.rng import RngStreams
 
 #: UE measurement period (100 ms, standard LTE).
@@ -247,6 +248,13 @@ class CellularChannel:
         self.cells_seen: set[int] = set()
         self._last_rssi_time = -1.0
         self._started = False
+        #: Streaming low-side detector over uplink capacity: marks
+        #: capacity-dip episodes as trace spans for root-cause
+        #: attribution (fed at the 10 Hz measurement rate).
+        self.capacity_dip = EwmaZScore(
+            obs, "channel.capacity_dip", direction=-1.0, warmup=50,
+            min_delta=3e6,
+        )
 
     # ------------------------------------------------------------------
     # wiring
@@ -344,6 +352,7 @@ class CellularChannel:
             self.obs.gauge("channel/uplink_bps", uplink)
             self.obs.gauge("channel/downlink_bps", downlink)
             self.obs.observe("channel/sinr_db", sinr, buckets=SINR_BUCKETS)
+            self.capacity_dip.update(now, uplink)
         self.samples.append(
             CapacitySample(
                 time=now,

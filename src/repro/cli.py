@@ -10,6 +10,9 @@ Entry points a downstream user needs:
 * ``repro trace`` — fly one instrumented run (or load JSONL exports)
   and print the merged sim-time timeline of cc / handover / jitter-
   buffer records;
+* ``repro diagnose`` — detect SLO violations (RP latency, stalls,
+  bitrate, FPS) in a live run or exported trace and print ranked
+  root-cause attributions (handover, loss burst, capacity dip, ...);
 * ``repro profile`` — profile one session or figure campaign and write
   a ranked hot-spot report plus a JSON summary;
 * ``repro lint`` — the repo's invariant linter.
@@ -22,6 +25,7 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import json
 import sys
 from pathlib import Path
 from typing import Callable
@@ -33,10 +37,13 @@ from repro.experiments import ExperimentSettings
 from repro.metrics import VideoSummary, network_summary
 from repro.obs import (
     Recorder,
+    diagnose,
     filter_records,
+    iter_jsonl_lines,
     merge_traces,
     read_jsonl,
     render_timeline,
+    validate_diagnosis,
     write_jsonl,
 )
 from repro.runner import (
@@ -250,12 +257,63 @@ def cmd_trace(args: argparse.Namespace) -> int:
     records = filter_records(
         recorder.trace, components=components, t0=args.t0, t1=args.t1
     )
-    print(render_timeline(records))
-    if args.metrics:
-        print()
-        print(recorder.registry.render())
+    if args.format == "json":
+        # One JSONL line per record — byte-compatible with --out files
+        # and read_jsonl, so downstream tools (repro diagnose --input,
+        # jq pipelines) consume either path identically.
+        for line in iter_jsonl_lines(
+            records, recorder.registry if args.metrics else None
+        ):
+            print(line)
+    else:
+        print(render_timeline(records))
+        if args.metrics:
+            print()
+            print(recorder.registry.render())
     if args.out:
         path = write_jsonl(args.out, recorder)
+        print(f"\nwrote {path}", file=sys.stderr)
+    return 0
+
+
+def cmd_diagnose(args: argparse.Namespace) -> int:
+    """Detect SLO violations and print ranked root-cause attributions."""
+    if args.input:
+        traces = []
+        for path in args.input:
+            trace, _registry = read_jsonl(path)
+            traces.append(trace)
+        trace = merge_traces(*traces)
+    else:
+        config = _scenario_from(args)
+        print(
+            f"Diagnosing {config.label()} "
+            f"({config.duration:.0f} s simulated)...",
+            file=sys.stderr,
+        )
+        recorder = Recorder()
+        run_session(config, recorder=recorder)
+        trace = recorder.trace
+    diagnosis = diagnose(
+        trace, warmup=args.warmup, lag_horizon=args.lag_horizon
+    )
+    payload = diagnosis.to_dict()
+    if args.format == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(diagnosis.render(args.format))
+    if args.json_out:
+        errors = validate_diagnosis(payload)
+        if errors:
+            for error in errors:
+                print(f"schema error: {error}", file=sys.stderr)
+            return 1
+        path = Path(args.json_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
         print(f"\nwrote {path}", file=sys.stderr)
     return 0
 
@@ -400,7 +458,60 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the metric registry after the timeline",
     )
+    trace_parser.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json"],
+        help="timeline rendering: aligned text table (default) or the "
+        "JSONL export format (one record per line)",
+    )
     trace_parser.set_defaults(func=cmd_trace)
+
+    diagnose_parser = sub.add_parser(
+        "diagnose",
+        help="detect SLO violations and attribute their root causes",
+        description="Evaluate the paper's remote-piloting SLOs (playback "
+        "latency < 300 ms, zero stalls, bitrate, FPS) over a traced run "
+        "— or a previously exported JSONL trace — and rank the causally "
+        "relevant trace events (handover executions, loss bursts, "
+        "capacity dips, CC rate cuts, ...) behind each violation.",
+    )
+    _add_scenario_arguments(diagnose_parser)
+    diagnose_parser.set_defaults(cc="gcc", duration=60.0)
+    diagnose_parser.add_argument(
+        "--input",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="JSONL trace export(s) to diagnose instead of running a session",
+    )
+    diagnose_parser.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "markdown", "json"],
+        help="report rendering (default text)",
+    )
+    diagnose_parser.add_argument(
+        "--json-out",
+        default=None,
+        metavar="FILE",
+        help="also write the machine-readable diagnosis JSON "
+        "(schema-validated) to FILE",
+    )
+    diagnose_parser.add_argument(
+        "--warmup",
+        type=float,
+        default=5.0,
+        help="ignore violations before this sim time (default 5 s)",
+    )
+    diagnose_parser.add_argument(
+        "--lag-horizon",
+        type=float,
+        default=2.0,
+        help="max seconds between a cause ending and a violation "
+        "starting (default 2 s)",
+    )
+    diagnose_parser.set_defaults(func=cmd_diagnose)
 
     profile_parser = sub.add_parser(
         "profile",

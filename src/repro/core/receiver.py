@@ -17,6 +17,7 @@ from repro.net.packet import Datagram, IP_UDP_OVERHEAD_BYTES
 from repro.net.path import NetworkPath
 from repro.net.simulator import EventLoop, PeriodicTimer
 from repro.obs import NULL_RECORDER, NullRecorder
+from repro.obs.detect import EwmaZScore, WindowedStats
 from repro.util.units import to_ms
 from repro.rtp.ccfb import CcfbRecorder
 from repro.rtp.jitter_buffer import JitterBuffer
@@ -27,6 +28,8 @@ from repro.rtp.twcc import TwccRecorder
 
 #: Interval between RFC 3550 receiver reports.
 RECEIVER_REPORT_INTERVAL = 1.0
+#: Sampling stride of the streaming OWD anomaly detector, seconds.
+OWD_SAMPLE_INTERVAL = 0.05
 from repro.video.decoder import DecoderModel
 from repro.video.player import Player
 
@@ -64,7 +67,22 @@ class VideoReceiver:
         self.controller = controller
         self.downlink = downlink
         self.decoder = decoder if decoder is not None else DecoderModel()
-        self.player = Player(loop, fps=fps)
+        self.player = Player(loop, fps=fps, obs=obs)
+        #: Per-second delivery bins (bytes/packets -> goodput) and a
+        #: streaming OWD-inflation detector (bufferbloat evidence for
+        #: the attribution engine).
+        self._window = WindowedStats(
+            obs, "receiver.window",
+            sums=("bytes", "packets"), maxes=("owd_max_ms",),
+        )
+        self._owd_anomaly = EwmaZScore(
+            obs, "receiver.owd_anomaly", min_delta=50.0,
+        )
+        #: Next sim time at which the OWD anomaly detector samples.
+        #: OWD inflation episodes last hundreds of milliseconds, so a
+        #: 50 ms stride loses no detection power while cutting the
+        #: per-packet traced cost to one float compare.
+        self._owd_sample_at = 0.0
         self.assembler = FrameAssembler()
         self.jitter_buffer = JitterBuffer(
             loop,
@@ -111,6 +129,11 @@ class VideoReceiver:
         if self._rr_timer is not None:
             self._rr_timer.stop()
         self.jitter_buffer.flush()
+        if self.obs.enabled:
+            now = self._loop.now
+            self.player.finish(now)
+            self._window.finish(now)
+            self._owd_anomaly.finish(now)
 
     def _send_receiver_report(self) -> None:
         if self.accountant.expected == 0:
@@ -153,9 +176,14 @@ class VideoReceiver:
         if self._ccfb is not None:
             self._ccfb.on_packet(packet.sequence, now)
         if self.obs.enabled:
+            owd_ms = to_ms(now - datagram.sent_at)
             self.obs.count("receiver/packets")
             self.obs.count("receiver/bytes", packet.wire_size)
-            self.obs.observe("receiver/owd_ms", to_ms(now - datagram.sent_at))
+            self.obs.observe("receiver/owd_ms", owd_ms)
+            self._window.add(now, (float(packet.wire_size), 1.0), (owd_ms,))
+            if now >= self._owd_sample_at:
+                self._owd_anomaly.update(now, owd_ms)
+                self._owd_sample_at = now + OWD_SAMPLE_INTERVAL
         self.jitter_buffer.push(packet, now)
 
     def _on_packet_released(self, packet: RtpPacket, when: float) -> None:

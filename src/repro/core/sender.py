@@ -20,6 +20,7 @@ from repro.net.packet import Datagram, IP_UDP_OVERHEAD_BYTES
 from repro.net.path import NetworkPath
 from repro.net.simulator import EventHandle, EventLoop, PeriodicTimer
 from repro.obs import NULL_RECORDER, NullRecorder
+from repro.obs.detect import EwmaZScore
 from repro.util.units import bytes_to_bits, to_ms
 from repro.rtp.packetizer import Packetizer
 from repro.rtp.packets import RtpPacket, timestamp_for
@@ -86,6 +87,11 @@ class VideoSender:
         #: (time, rtt) samples from RFC 3550 LSR/DLSR round trips —
         #: available for every workload, including static runs.
         self.rtt_samples: list[tuple[float, float]] = []
+        #: Streaming detector for self-induced send-queue growth
+        #: (queue-bloat evidence for the attribution engine).
+        self._queue_anomaly = EwmaZScore(
+            obs, "sender.queue_anomaly", min_delta=50.0,
+        )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -117,6 +123,8 @@ class VideoSender:
         if self._pacer_handle is not None:
             self._pacer_handle.cancel()
             self._pacer_handle = None
+        if self.obs.enabled:
+            self._queue_anomaly.finish(self._loop.now)
 
     def _call_later(self, delay: float, callback) -> None:
         """Schedule ``callback``, tracking the handle for teardown."""
@@ -192,6 +200,11 @@ class VideoSender:
         for packet in self.packetizer.packetize(encoded, now):
             self._queue.append((packet, now))
             self._queued_bytes += packet.wire_size
+        if self.obs.enabled:
+            # Queue growth is a frame-timescale signal; sampling the
+            # anomaly detector here (~fps Hz) instead of per sent
+            # packet keeps the traced hot path cheap.
+            self._queue_anomaly.update(now, to_ms(self.queue_delay))
         self._report_queue_state(now)
         self._pump()
 

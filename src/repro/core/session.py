@@ -36,7 +36,7 @@ from repro.net.loss import GilbertElliottLoss
 from repro.net.packet import reset_datagram_ids
 from repro.net.path import NetworkPath
 from repro.net.simulator import EventLoop
-from repro.obs import NULL_RECORDER, NullRecorder, Recorder
+from repro.obs import NULL_RECORDER, NullRecorder, Recorder, diagnose
 from repro.util.rng import RngStreams
 from repro.video.encoder import EncoderModel
 from repro.video.player import PlaybackRecord
@@ -152,6 +152,24 @@ def run_session(
     loop = EventLoop()
     if isinstance(obs, Recorder):
         obs.bind(loop)
+        # The diagnosis layer self-configures from the trace alone, so
+        # the operating point travels inside it: SLO thresholds
+        # (target bitrate, source fps) resolve identically whether the
+        # trace is consumed live or re-imported from JSONL.
+        obs.event(
+            "session.config",
+            t=0.0,
+            label=config.label(),
+            cc=config.cc.value,
+            seed=config.seed,
+            fps=config.fps,
+            duration=config.duration,
+            target_bps=(
+                config.effective_static_bitrate
+                if config.cc is CcAlgorithm.STATIC
+                else config.min_bitrate
+            ),
+        )
     streams = RngStreams(config.seed)
     profile = get_profile(config.operator, config.environment.value)
     layout = profile.build_layout(streams.derive("layout"))
@@ -185,6 +203,8 @@ def run_session(
         ),
         buffer_bytes=config.uplink_buffer_bytes,
         rng=streams.derive("jitter-up"),
+        obs=obs,
+        name="uplink",
     )
     downlink = NetworkPath(
         loop,
@@ -197,6 +217,8 @@ def run_session(
         ),
         buffer_bytes=config.downlink_buffer_bytes,
         rng=streams.derive("jitter-down"),
+        obs=obs,
+        name="downlink",
     )
     channel.attach_path(uplink)
     channel.attach_path(downlink)
@@ -229,6 +251,10 @@ def run_session(
     loop.run_until(config.duration)
     sender.stop()
     receiver.stop()
+    if obs.enabled:
+        uplink.finish_obs()
+        downlink.finish_obs()
+        channel.capacity_dip.finish(loop.now)
 
     extra: dict = {}
     if isinstance(controller, ScreamController):
@@ -244,6 +270,11 @@ def run_session(
         # campaign caches serve it without re-simulating and the
         # parent-side runner can merge registries across processes.
         extra["metrics"] = obs.registry.snapshot()
+        # SLO violations + root-cause attributions, computed once per
+        # run (post-loop, so zero in-loop cost) and shipped as plain
+        # data: campaign runners merge the embedded summary without
+        # re-running detection.
+        extra["diagnosis"] = diagnose(obs.trace, obs.registry).to_dict()
 
     return SessionResult(
         config=config,

@@ -70,8 +70,12 @@ def run_matrix(
     ``runner``) to parallelize and cache the underlying sessions; the
     grouped result is identical for any worker count. With
     ``obs=True`` every session runs instrumented and ships its metric
-    snapshot in ``result.extra["metrics"]`` (the runner additionally
-    merges them into ``runner.metrics``).
+    snapshot in ``result.extra["metrics"]`` plus its SLO diagnosis in
+    ``result.extra["diagnosis"]``; the runner additionally merges them
+    into ``runner.metrics`` and ``runner.diagnosis``, so campaign-wide
+    violation counts and primary-cause tallies (e.g. the fraction of
+    latency violations attributable to handover, Fig. 9) are available
+    without reprocessing individual sessions.
     """
     engine = _resolve_runner(runner, workers, cache, progress)
     units = [

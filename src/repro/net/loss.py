@@ -114,6 +114,15 @@ class GilbertElliottLoss(LossModel):
         return cls(p_gb, p_bg, rng)
 
     @property
+    def in_bad_state(self) -> bool:
+        """Whether the chain currently sits in the bursty bad state.
+
+        Exposed so tests and the loss-burst tracer can assert burst
+        boundaries without reaching into private state.
+        """
+        return self._in_bad_state
+
+    @property
     def stationary_loss_rate(self) -> float:
         """Long-run fraction of packets dropped by this process."""
         total = self.p_good_to_bad + self.p_bad_to_good

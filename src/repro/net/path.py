@@ -16,6 +16,7 @@ from repro.net.links import CapacityLink, DelayLine, RateFn
 from repro.net.loss import LossModel, NoLoss
 from repro.net.packet import Datagram
 from repro.net.simulator import EventLoop
+from repro.obs import NULL_RECORDER, NullRecorder
 
 ReceiveFn = Callable[[Datagram], None]
 
@@ -44,6 +45,12 @@ class NetworkPath:
         Jitter noise generator; required whenever ``jitter_std > 0``.
         Derive it from the scenario's :class:`repro.util.rng.RngStreams`
         so two paths never share a stream.
+    obs:
+        Trace recorder; consecutive loss-gate drops are recorded as
+        ``loss.burst`` spans (the Gilbert-Elliott bad-state episodes
+        the attribution engine matches against stalls).
+    name:
+        Path label stamped on trace records (e.g. ``"uplink"``).
     """
 
     def __init__(
@@ -57,12 +64,19 @@ class NetworkPath:
         loss_model: LossModel | None = None,
         buffer_bytes: int = 3_000_000,
         rng: np.random.Generator | None = None,
+        obs: NullRecorder = NULL_RECORDER,
+        name: str = "",
     ) -> None:
         self._loop = loop
         self._receive = receive
         self.loss_model = loss_model if loss_model is not None else NoLoss()
         self.lost_packets = 0
         self.sent_packets = 0
+        self.obs = obs
+        self.name = name
+        self._burst_packets = 0
+        self._burst_t0 = 0.0
+        self._burst_t1 = 0.0
         if jitter_std > 0 and rng is None:
             raise ValueError(
                 "rng is required when jitter_std > 0; derive one from the "
@@ -91,8 +105,32 @@ class NetworkPath:
     def _after_radio(self, datagram: Datagram) -> None:
         if self.loss_model.should_drop():
             self.lost_packets += 1
+            if self.obs.enabled:
+                if self._burst_packets == 0:
+                    self._burst_t0 = self._loop.now
+                self._burst_packets += 1
+                self._burst_t1 = self._loop.now
             return
+        if self.obs.enabled and self._burst_packets:
+            self._close_burst()
         self.delay_line.send(datagram)
+
+    def _close_burst(self) -> None:
+        self.obs.span_at(
+            "loss.burst",
+            self._burst_t0,
+            self._burst_t1,
+            packets=self._burst_packets,
+            path=self.name,
+        )
+        self.obs.count("net/loss_bursts", **({"path": self.name}
+                                             if self.name else {}))
+        self._burst_packets = 0
+
+    def finish_obs(self) -> None:
+        """Flush a loss burst still open at session teardown."""
+        if self.obs.enabled and self._burst_packets:
+            self._close_burst()
 
     def _on_delivered(self, datagram: Datagram) -> None:
         datagram.received_at = self._loop.now

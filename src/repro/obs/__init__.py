@@ -12,10 +12,36 @@ Public surface:
   instrumented site;
 * JSONL export/import (:func:`write_jsonl` / :func:`read_jsonl`) and
   the text timeline (:func:`merge_traces` / :func:`filter_records` /
-  :func:`render_timeline`) behind the ``repro trace`` CLI.
+  :func:`render_timeline`) behind the ``repro trace`` CLI;
+* the diagnosis layer (:mod:`repro.obs.slo` / ``detect`` /
+  ``attribute`` / ``report``): a declarative :class:`SloRegistry` of
+  the paper's RP requirements, sliding-window :class:`Violation`
+  detection over per-second trace bins, ranked root-cause
+  :class:`Attribution` against handovers / loss bursts / capacity
+  dips / CC rate cuts, and :func:`diagnose` tying it together behind
+  ``result.extra["diagnosis"]`` and the ``repro diagnose`` CLI.
 """
 
-from repro.obs.export import read_jsonl, trace_to_dicts, write_jsonl
+from repro.obs.attribute import (
+    Attribution,
+    Cause,
+    RankedCause,
+    attribute,
+    causes_from_trace,
+)
+from repro.obs.detect import (
+    EwmaZScore,
+    Violation,
+    WindowedStats,
+    evaluate_slos,
+    samples_from_trace,
+)
+from repro.obs.export import (
+    iter_jsonl_lines,
+    read_jsonl,
+    trace_to_dicts,
+    write_jsonl,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -33,26 +59,51 @@ from repro.obs.recorder import (
     TraceSpan,
     component_of,
 )
+from repro.obs.report import (
+    Diagnosis,
+    DiagnosisSummary,
+    diagnose,
+    validate_diagnosis,
+)
+from repro.obs.slo import Slo, SloRegistry, rp_slos
 from repro.obs.timeline import filter_records, merge_traces, render_timeline
 
 __all__ = [
     "DEFAULT_BUCKETS",
     "NULL_RECORDER",
+    "Attribution",
+    "Cause",
     "Counter",
+    "Diagnosis",
+    "DiagnosisSummary",
+    "EwmaZScore",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NullRecorder",
+    "RankedCause",
     "Recorder",
+    "Slo",
+    "SloRegistry",
     "TraceEvent",
     "TraceRecord",
     "TraceSpan",
+    "Violation",
+    "WindowedStats",
+    "attribute",
+    "causes_from_trace",
     "component_of",
+    "diagnose",
+    "evaluate_slos",
     "filter_records",
     "format_key",
+    "iter_jsonl_lines",
     "merge_traces",
     "read_jsonl",
     "render_timeline",
+    "rp_slos",
+    "samples_from_trace",
     "trace_to_dicts",
+    "validate_diagnosis",
     "write_jsonl",
 ]

@@ -42,10 +42,15 @@ def trace_to_dicts(trace: Iterable[TraceRecord]) -> list[dict]:
 
 
 def record_from_dict(data: dict) -> TraceRecord:
-    """Rebuild one trace record from its dict rendering."""
+    """Rebuild one trace record from its dict rendering.
+
+    A span line missing ``t1`` (or carrying ``null``) — a truncated
+    export whose end event was never written — loads as an *open*
+    span rather than failing the whole import.
+    """
     if data["type"] == "span":
         return TraceSpan(
-            name=data["name"], t0=data["t0"], t1=data["t1"],
+            name=data["name"], t0=data["t0"], t1=data.get("t1"),
             labels=dict(data.get("labels", {})),
             depth=int(data.get("depth", 0)),
         )
@@ -58,16 +63,30 @@ def record_from_dict(data: dict) -> TraceRecord:
     raise ValueError(f"unknown trace record type {data['type']!r}")
 
 
+def iter_jsonl_lines(
+    trace: Iterable[TraceRecord],
+    registry: MetricsRegistry | None = None,
+) -> Iterable[str]:
+    """Yield the JSONL line rendering of a trace (+ metric snapshot).
+
+    The single serialization path shared by :func:`write_jsonl` and
+    ``repro trace --format json``, so files and CLI output are always
+    byte-compatible.
+    """
+    for line in trace_to_dicts(trace):
+        yield json.dumps(line, sort_keys=True)
+    if registry is not None:
+        for record in registry.snapshot():
+            yield json.dumps({"type": "metric", **record}, sort_keys=True)
+
+
 def write_jsonl(path: str | Path, recorder: Recorder) -> Path:
     """Write the recorder's trace + metric snapshot to ``path``."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     with path.open("w", encoding="utf-8") as handle:
-        for line in trace_to_dicts(recorder.trace):
-            handle.write(json.dumps(line, sort_keys=True) + "\n")
-        for record in recorder.registry.snapshot():
-            payload = {"type": "metric", **record}
-            handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        for line in iter_jsonl_lines(recorder.trace, recorder.registry):
+            handle.write(line + "\n")
     return path
 
 

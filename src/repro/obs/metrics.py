@@ -164,6 +164,45 @@ class Histogram:
             cumulative += bucket_count
         return self.maximum
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's observations into this one.
+
+        Only histograms with identical bucket edges are mergeable:
+        per-bucket counts add positionally, so merging across
+        different edges would silently misattribute observations.
+        Such a merge raises :class:`ValueError` naming both edge sets.
+        """
+        if other.buckets != self.buckets:
+            raise ValueError(
+                f"cannot merge histogram {format_key(self.name, self.labels)}"
+                f": bucket edges differ ({self.buckets} vs {other.buckets})"
+            )
+        for index, bucket_count in enumerate(other.counts):
+            self.counts[index] += bucket_count
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    @classmethod
+    def from_record(cls, record: dict[str, Any]) -> "Histogram":
+        """Rebuild a histogram from its snapshot record."""
+        histogram = cls(record["name"], record["labels"], record["buckets"])
+        counts = list(record["counts"])
+        if len(counts) != len(histogram.counts):
+            raise ValueError(
+                f"cannot rebuild histogram "
+                f"{format_key(record['name'], record['labels'])}: "
+                f"{len(counts)} bucket counts for "
+                f"{len(histogram.counts)} buckets"
+            )
+        histogram.counts = counts
+        histogram.count = record["count"]
+        histogram.total = record["total"]
+        histogram.minimum = record["min"]
+        histogram.maximum = record["max"]
+        return histogram
+
 
 Metric = Counter | Gauge | Histogram
 
@@ -280,16 +319,7 @@ class MetricsRegistry:
                 histogram = self.histogram(
                     name, buckets=record["buckets"], **labels
                 )
-                if tuple(record["buckets"]) != histogram.buckets:
-                    raise ValueError(
-                        f"bucket mismatch merging {format_key(name, labels)}"
-                    )
-                for index, bucket_count in enumerate(record["counts"]):
-                    histogram.counts[index] += bucket_count
-                histogram.count += record["count"]
-                histogram.total += record["total"]
-                histogram.minimum = min(histogram.minimum, record["min"])
-                histogram.maximum = max(histogram.maximum, record["max"])
+                histogram.merge(Histogram.from_record(record))
             else:
                 raise ValueError(f"unknown metric kind {kind!r}")
 
@@ -313,14 +343,7 @@ class MetricsRegistry:
                     f"{record['updates']} updates)"
                 )
             else:
-                histogram = Histogram(
-                    record["name"], record["labels"], record["buckets"]
-                )
-                histogram.counts = list(record["counts"])
-                histogram.count = record["count"]
-                histogram.total = record["total"]
-                histogram.minimum = record["min"]
-                histogram.maximum = record["max"]
+                histogram = Histogram.from_record(record)
                 lines.append(
                     f"{key}: n={histogram.count} mean={histogram.mean:.3g} "
                     f"p50={histogram.quantile(0.5):.3g} "

@@ -17,6 +17,7 @@ Metric names use ``component/name`` (see :mod:`repro.obs.metrics`).
 
 from __future__ import annotations
 
+import math
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator
@@ -51,18 +52,29 @@ class TraceEvent:
 
 @dataclass
 class TraceSpan:
-    """An interval of sim time (``t0`` .. ``t1``)."""
+    """An interval of sim time (``t0`` .. ``t1``).
+
+    ``t1`` may be ``None`` for a span whose end was never recorded —
+    e.g. a truncated JSONL export or an episode cut off by session
+    teardown. Open spans render with an explicit marker and are
+    treated as extending to the end of the trace by filters.
+    """
 
     name: str
     t0: float
-    t1: float
+    t1: float | None = None
     labels: dict[str, Any] = field(default_factory=dict)
     depth: int = 0
 
     @property
+    def open(self) -> bool:
+        """Whether the span is missing its end event."""
+        return self.t1 is None
+
+    @property
     def duration(self) -> float:
-        """Span length in simulated seconds."""
-        return self.t1 - self.t0
+        """Span length in simulated seconds (NaN while open)."""
+        return math.nan if self.t1 is None else self.t1 - self.t0
 
     @property
     def component(self) -> str:

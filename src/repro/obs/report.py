@@ -1,0 +1,432 @@
+"""Session diagnosis: SLO evaluation + attribution + reporting.
+
+:func:`diagnose` is the one entry point: give it a trace (live
+recorder or JSONL import) and it returns a :class:`Diagnosis` —
+resolved SLO table, violations, ranked attributions and a mergeable
+:class:`DiagnosisSummary`. The summary is embedded in the diagnosis
+dict so :class:`repro.runner.engine.CampaignRunner` can aggregate
+violation/attribution counts across seeds and configs without
+re-running detection — e.g. the paper's Fig. 9 claim ("most latency
+violations coincide with handovers") becomes
+``summary.attribution_fraction("playback_latency", "handover")``.
+
+The module is deliberately independent of :mod:`repro.core` and
+:mod:`repro.metrics`: it consumes only trace records, so it works the
+same on a live session and on an exported JSONL file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.obs.attribute import (
+    Attribution,
+    Cause,
+    DEFAULT_LAG_HORIZON,
+    UNEXPLAINED,
+    attribute,
+    causes_from_trace,
+)
+from repro.obs.detect import (
+    Violation,
+    evaluate_slos,
+    session_config_labels,
+)
+from repro.obs.recorder import TraceRecord
+from repro.obs.slo import SloRegistry
+
+#: Version stamp on every diagnosis payload (bump on shape changes).
+SCHEMA_VERSION = 1
+
+#: Default detection warm-up (sim seconds): startup transients — codec
+#: ramp, jitter-buffer fill — are not violations.
+DEFAULT_WARMUP = 5.0
+
+
+# ----------------------------------------------------------------------
+# mergeable campaign summary
+# ----------------------------------------------------------------------
+@dataclass
+class DiagnosisSummary:
+    """Order-independent aggregate of diagnoses across sessions.
+
+    ``primary_causes`` maps ``slo -> cause kind -> count of violations
+    whose top-ranked cause has that kind`` (including the explicit
+    ``unexplained`` bucket), which is exactly the numerator of the
+    paper's "fraction of X violations attributable to Y" statements.
+    """
+
+    sessions: int = 0
+    violation_counts: dict[str, int] = field(default_factory=dict)
+    violation_seconds: dict[str, float] = field(default_factory=dict)
+    primary_causes: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    def add_session(self, attributions: Iterable[Attribution]) -> None:
+        """Fold one session's attributions into the aggregate."""
+        self.sessions += 1
+        for attribution in attributions:
+            violation = attribution.violation
+            slo = violation.slo
+            self.violation_counts[slo] = self.violation_counts.get(slo, 0) + 1
+            self.violation_seconds[slo] = (
+                self.violation_seconds.get(slo, 0.0) + violation.duration
+            )
+            per_slo = self.primary_causes.setdefault(slo, {})
+            kind = attribution.primary
+            per_slo[kind] = per_slo.get(kind, 0) + 1
+
+    def merge(self, other: "DiagnosisSummary") -> None:
+        """Fold another aggregate in (commutative and associative)."""
+        self.sessions += other.sessions
+        for slo, count in other.violation_counts.items():
+            self.violation_counts[slo] = (
+                self.violation_counts.get(slo, 0) + count
+            )
+        for slo, seconds in other.violation_seconds.items():
+            self.violation_seconds[slo] = (
+                self.violation_seconds.get(slo, 0.0) + seconds
+            )
+        for slo, kinds in other.primary_causes.items():
+            per_slo = self.primary_causes.setdefault(slo, {})
+            for kind, count in kinds.items():
+                per_slo[kind] = per_slo.get(kind, 0) + count
+
+    def attribution_fraction(self, slo: str, kind: str) -> float:
+        """Fraction of ``slo`` violations whose primary cause is ``kind``."""
+        total = self.violation_counts.get(slo, 0)
+        if total == 0:
+            return 0.0
+        return self.primary_causes.get(slo, {}).get(kind, 0) / total
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data rendering with deterministic key order."""
+        return {
+            "sessions": self.sessions,
+            "violation_counts": dict(sorted(self.violation_counts.items())),
+            "violation_seconds": {
+                slo: round(seconds, 6)
+                for slo, seconds in sorted(self.violation_seconds.items())
+            },
+            "primary_causes": {
+                slo: dict(sorted(kinds.items()))
+                for slo, kinds in sorted(self.primary_causes.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "DiagnosisSummary":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            sessions=int(data.get("sessions", 0)),
+            violation_counts={
+                str(slo): int(count)
+                for slo, count in data.get("violation_counts", {}).items()
+            },
+            violation_seconds={
+                str(slo): float(seconds)
+                for slo, seconds in data.get("violation_seconds", {}).items()
+            },
+            primary_causes={
+                str(slo): {str(k): int(v) for k, v in kinds.items()}
+                for slo, kinds in data.get("primary_causes", {}).items()
+            },
+        )
+
+    def render(self) -> str:
+        """Campaign-level text table."""
+        lines = [f"sessions diagnosed: {self.sessions}"]
+        if not self.violation_counts:
+            lines.append("no SLO violations")
+            return "\n".join(lines)
+        for slo in sorted(self.violation_counts):
+            count = self.violation_counts[slo]
+            seconds = self.violation_seconds.get(slo, 0.0)
+            lines.append(f"{slo}: {count} violations ({seconds:.1f} s)")
+            kinds = self.primary_causes.get(slo, {})
+            for kind in sorted(kinds, key=lambda k: (-kinds[k], k)):
+                fraction = kinds[kind] / count
+                lines.append(f"  {kind}: {kinds[kind]} ({fraction:.0%})")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# per-session diagnosis
+# ----------------------------------------------------------------------
+@dataclass
+class Diagnosis:
+    """Complete diagnosis of one session."""
+
+    label: str
+    duration: float
+    slos: list[dict[str, Any]] = field(default_factory=list)
+    attributions: list[Attribution] = field(default_factory=list)
+    causes: list[Cause] = field(default_factory=list)
+
+    @property
+    def violations(self) -> list[Violation]:
+        """The detected violations, in time order."""
+        return [attribution.violation for attribution in self.attributions]
+
+    def summary(self) -> DiagnosisSummary:
+        """Mergeable one-session aggregate."""
+        summary = DiagnosisSummary()
+        summary.add_session(self.attributions)
+        return summary
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data rendering (JSON-able, schema-versioned)."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "label": self.label,
+            "duration": self.duration,
+            "slos": list(self.slos),
+            "attributions": [
+                attribution.to_dict() for attribution in self.attributions
+            ],
+            "causes": [cause.to_dict() for cause in self.causes],
+            "summary": self.summary().to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Diagnosis":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            label=data.get("label", ""),
+            duration=float(data.get("duration", 0.0)),
+            slos=list(data.get("slos", [])),
+            attributions=[
+                Attribution.from_dict(item)
+                for item in data.get("attributions", [])
+            ],
+            causes=[
+                Cause.from_dict(item) for item in data.get("causes", [])
+            ],
+        )
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def render(self, fmt: str = "text") -> str:
+        """Human-readable report (``fmt``: ``"text"`` or ``"markdown"``)."""
+        if fmt == "markdown":
+            return self._render_markdown()
+        if fmt == "text":
+            return self._render_text()
+        raise ValueError(f"unknown diagnosis format {fmt!r}")
+
+    def _headline(self) -> str:
+        label = self.label or "session"
+        return (
+            f"diagnosis: {label} ({self.duration:.0f} s, "
+            f"{len(self.attributions)} violation"
+            f"{'' if len(self.attributions) == 1 else 's'}, "
+            f"{len(self.causes)} candidate causes)"
+        )
+
+    def _render_text(self) -> str:
+        lines = [self._headline()]
+        if not self.attributions:
+            lines.append("all SLOs met")
+            return "\n".join(lines)
+        for attribution in self.attributions:
+            violation = attribution.violation
+            lines.append(
+                f"[{violation.t0:8.3f} .. {violation.t1:8.3f}] "
+                f"{violation.slo}: {violation.signal} {violation.worst:.1f} "
+                f"(limit {violation.op} {violation.threshold:.1f}, "
+                f"{violation.duration:.1f} s)"
+            )
+            if attribution.causes:
+                for ranked in attribution.causes:
+                    lines.append(
+                        f"    {ranked.score:.2f} {ranked.cause.kind}: "
+                        f"{ranked.cause.detail}"
+                    )
+            else:
+                lines.append(f"    -- {UNEXPLAINED}")
+        return "\n".join(lines)
+
+    def _render_markdown(self) -> str:
+        lines = [f"# {self._headline()}", ""]
+        lines.append("## SLOs")
+        lines.append("")
+        lines.append("| SLO | signal | objective | window |")
+        lines.append("| --- | --- | --- | --- |")
+        for slo in self.slos:
+            threshold = slo.get("threshold")
+            objective = (
+                f"{slo['op']} {threshold:g}" if threshold is not None
+                else "(unresolved)"
+            )
+            lines.append(
+                f"| {slo['name']} | {slo['signal']} | {objective} "
+                f"| {slo['window']:g} s |"
+            )
+        lines.append("")
+        lines.append("## Violations")
+        lines.append("")
+        if not self.attributions:
+            lines.append("All SLOs met.")
+            return "\n".join(lines)
+        lines.append("| window (s) | SLO | worst | limit | primary cause |")
+        lines.append("| --- | --- | --- | --- | --- |")
+        for attribution in self.attributions:
+            violation = attribution.violation
+            primary = (
+                attribution.causes[0].cause.detail
+                if attribution.causes else UNEXPLAINED
+            )
+            lines.append(
+                f"| {violation.t0:.2f}–{violation.t1:.2f} "
+                f"| {violation.slo} | {violation.worst:.1f} "
+                f"| {violation.op} {violation.threshold:.1f} | {primary} |"
+            )
+        lines.append("")
+        lines.append("## Ranked causes")
+        lines.append("")
+        for attribution in self.attributions:
+            violation = attribution.violation
+            lines.append(
+                f"- **{violation.slo}** at "
+                f"{violation.t0:.2f}–{violation.t1:.2f} s:"
+            )
+            if attribution.causes:
+                for ranked in attribution.causes:
+                    lines.append(
+                        f"  - {ranked.cause.kind} "
+                        f"(score {ranked.score:.2f}): {ranked.cause.detail}"
+                    )
+            else:
+                lines.append(f"  - {UNEXPLAINED}")
+        return "\n".join(lines)
+
+
+def diagnose(
+    trace: Iterable[TraceRecord],
+    registry: Any = None,
+    *,
+    slos: SloRegistry | None = None,
+    warmup: float = DEFAULT_WARMUP,
+    lag_horizon: float = DEFAULT_LAG_HORIZON,
+) -> Diagnosis:
+    """Detect SLO violations in ``trace`` and attribute their causes.
+
+    ``registry`` (a :class:`~repro.obs.metrics.MetricsRegistry`) is
+    accepted for API symmetry with JSONL imports but detection is
+    trace-driven; it may be ``None``.
+    """
+    trace = list(trace)
+    labels = session_config_labels(trace)
+    violations, resolved = evaluate_slos(
+        trace, slos, warmup=warmup, config_labels=labels
+    )
+    causes = causes_from_trace(trace)
+    attributions = attribute(violations, causes, lag_horizon=lag_horizon)
+    return Diagnosis(
+        label=str(labels.get("label", "")),
+        duration=float(labels.get("duration", 0.0)),
+        slos=resolved,
+        attributions=attributions,
+        causes=causes,
+    )
+
+
+# ----------------------------------------------------------------------
+# schema validation (hand-rolled; no external jsonschema dependency)
+# ----------------------------------------------------------------------
+def _expect(condition: bool, message: str, errors: list[str]) -> None:
+    if not condition:
+        errors.append(message)
+
+
+def validate_diagnosis(payload: Any) -> list[str]:
+    """Check a diagnosis dict against the expected schema.
+
+    Returns a list of human-readable problems (empty = valid). Used by
+    CI to gate the exported diagnosis artifact.
+    """
+    errors: list[str] = []
+    if not isinstance(payload, dict):
+        return ["diagnosis payload must be an object"]
+    _expect(
+        payload.get("schema_version") == SCHEMA_VERSION,
+        f"schema_version must be {SCHEMA_VERSION}", errors,
+    )
+    _expect(isinstance(payload.get("label"), str), "label must be a string",
+            errors)
+    _expect(
+        isinstance(payload.get("duration"), (int, float)),
+        "duration must be a number", errors,
+    )
+    slos = payload.get("slos")
+    _expect(isinstance(slos, list), "slos must be a list", errors)
+    for i, slo in enumerate(slos if isinstance(slos, list) else []):
+        if not isinstance(slo, dict):
+            errors.append(f"slos[{i}] must be an object")
+            continue
+        for key in ("name", "signal", "op", "window"):
+            _expect(key in slo, f"slos[{i}] missing {key!r}", errors)
+    attributions = payload.get("attributions")
+    _expect(isinstance(attributions, list), "attributions must be a list",
+            errors)
+    for i, attribution in enumerate(
+        attributions if isinstance(attributions, list) else []
+    ):
+        if not isinstance(attribution, dict):
+            errors.append(f"attributions[{i}] must be an object")
+            continue
+        violation = attribution.get("violation")
+        if not isinstance(violation, dict):
+            errors.append(f"attributions[{i}].violation must be an object")
+        else:
+            for key in ("slo", "component", "t0", "t1", "threshold", "worst"):
+                _expect(
+                    key in violation,
+                    f"attributions[{i}].violation missing {key!r}", errors,
+                )
+        _expect(
+            isinstance(attribution.get("primary"), str),
+            f"attributions[{i}].primary must be a string", errors,
+        )
+        causes = attribution.get("causes")
+        if not isinstance(causes, list):
+            errors.append(f"attributions[{i}].causes must be a list")
+            continue
+        for j, ranked in enumerate(causes):
+            if not isinstance(ranked, dict):
+                errors.append(
+                    f"attributions[{i}].causes[{j}] must be an object"
+                )
+                continue
+            _expect(
+                isinstance(ranked.get("score"), (int, float)),
+                f"attributions[{i}].causes[{j}].score must be a number",
+                errors,
+            )
+            cause = ranked.get("cause")
+            if not isinstance(cause, dict):
+                errors.append(
+                    f"attributions[{i}].causes[{j}].cause must be an object"
+                )
+                continue
+            for key in ("kind", "t0", "t1", "magnitude"):
+                _expect(
+                    key in cause,
+                    f"attributions[{i}].causes[{j}].cause missing {key!r}",
+                    errors,
+                )
+    summary = payload.get("summary")
+    if not isinstance(summary, dict):
+        errors.append("summary must be an object")
+    else:
+        _expect(
+            isinstance(summary.get("sessions"), int),
+            "summary.sessions must be an integer", errors,
+        )
+        for key in ("violation_counts", "violation_seconds", "primary_causes"):
+            _expect(
+                isinstance(summary.get(key), dict),
+                f"summary.{key} must be an object", errors,
+            )
+    return errors

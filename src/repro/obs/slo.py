@@ -1,0 +1,186 @@
+"""Declarative SLO registry encoding the paper's RP requirements.
+
+The paper derives hard requirements for remote piloting (Section 3.1 /
+4.2): playback latency below ~300 ms, no stalls, the delivered bitrate
+sustaining the configured operating point, and the full 30 FPS source
+rate. An :class:`Slo` states one such requirement declaratively —
+which windowed signal it constrains, the comparison direction, the
+threshold (static, or resolved from the session's recorded config) and
+the sliding-window length — so the detector in
+:mod:`repro.obs.detect` can evaluate any registry of SLOs over the
+same per-second window samples without bespoke code per requirement.
+
+Thresholds resolve in two steps: a static ``threshold`` wins when
+set; otherwise ``config_key`` names a field of the session's
+``session.config`` trace event (e.g. ``fps`` or ``target_bps``) and
+the threshold becomes ``value * scale + offset``. That keeps one SLO
+definition correct across scenarios with different operating points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+#: RP playback-latency / stall threshold the paper derives (~300 ms).
+RP_LATENCY_THRESHOLD_MS = 300.0
+
+#: Comparison operators an SLO may use (value OP threshold must hold).
+SLO_OPS = ("<=", ">=")
+
+
+@dataclass(frozen=True)
+class Slo:
+    """One service-level objective over a windowed signal.
+
+    Parameters
+    ----------
+    name:
+        Registry key, e.g. ``"playback_latency"``.
+    signal:
+        Window-sample signal the SLO constrains (see
+        :func:`repro.obs.detect.samples_from_trace`).
+    op:
+        ``"<="`` (violation when the signal exceeds the threshold) or
+        ``">="`` (violation when it falls below).
+    threshold:
+        Static threshold in the signal's unit, or ``None`` to resolve
+        from the session config via ``config_key``.
+    config_key:
+        ``session.config`` label to derive the threshold from when
+        ``threshold`` is ``None``; the resolved threshold is
+        ``value * scale + offset``.
+    window:
+        Sliding-window length in sim seconds (aggregated from the
+        base one-second samples).
+    component:
+        Component charged with the violation in reports.
+    skip_partial:
+        Ignore partial (shorter-than-width) boundary windows — set for
+        rate-like signals whose value is meaningless over a partial
+        bin.
+    description:
+        One-line human rationale, shown in reports.
+    """
+
+    name: str
+    signal: str
+    op: str
+    threshold: float | None = None
+    config_key: str | None = None
+    scale: float = 1.0
+    offset: float = 0.0
+    window: float = 1.0
+    component: str = "player"
+    skip_partial: bool = False
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.op not in SLO_OPS:
+            raise ValueError(f"op must be one of {SLO_OPS}, got {self.op!r}")
+        if self.threshold is None and self.config_key is None:
+            raise ValueError(
+                f"SLO {self.name!r} needs a threshold or a config_key"
+            )
+        if self.window <= 0:
+            raise ValueError(f"window must be positive, got {self.window}")
+
+    def resolve_threshold(self, config_labels: dict[str, Any]) -> float | None:
+        """Concrete threshold for a session (``None`` if unresolvable)."""
+        if self.threshold is not None:
+            return self.threshold
+        base = config_labels.get(self.config_key)
+        if base is None:
+            return None
+        return float(base) * self.scale + self.offset
+
+    def violated(self, value: float, threshold: float) -> bool:
+        """Whether ``value`` breaks the objective against ``threshold``."""
+        if self.op == "<=":
+            return value > threshold
+        return value < threshold
+
+    def to_dict(self, threshold: float | None = None) -> dict[str, Any]:
+        """Plain-data rendering (with the resolved threshold, if given)."""
+        return {
+            "name": self.name,
+            "signal": self.signal,
+            "op": self.op,
+            "threshold": self.threshold if threshold is None else threshold,
+            "window": self.window,
+            "component": self.component,
+            "description": self.description,
+        }
+
+
+def rp_slos() -> tuple[Slo, ...]:
+    """The paper's remote-piloting requirements as SLOs."""
+    return (
+        Slo(
+            name="playback_latency",
+            signal="playback_latency_ms",
+            op="<=",
+            threshold=RP_LATENCY_THRESHOLD_MS,
+            component="player",
+            description="RP playback latency < 300 ms (Section 3.1)",
+        ),
+        Slo(
+            name="stall",
+            signal="interframe_gap_ms",
+            op="<=",
+            threshold=RP_LATENCY_THRESHOLD_MS,
+            component="player",
+            description="zero stalls: inter-frame gap <= 300 ms (Section 4.2.1)",
+        ),
+        Slo(
+            name="bitrate",
+            signal="goodput_bps",
+            op=">=",
+            config_key="target_bps",
+            scale=0.8,
+            component="receiver",
+            skip_partial=True,
+            description="delivered bitrate >= 80% of the configured target",
+        ),
+        Slo(
+            name="fps",
+            signal="fps",
+            op=">=",
+            config_key="fps",
+            offset=-2.0,
+            component="player",
+            skip_partial=True,
+            description="full source frame rate (one-frame counting slack)",
+        ),
+    )
+
+
+class SloRegistry:
+    """Named collection of SLOs (defaults + user-defined)."""
+
+    def __init__(self, slos: tuple[Slo, ...] | list[Slo] = ()) -> None:
+        self._slos: dict[str, Slo] = {}
+        for slo in slos:
+            self.add(slo)
+
+    @classmethod
+    def defaults(cls) -> "SloRegistry":
+        """Registry holding the paper's RP requirements."""
+        return cls(rp_slos())
+
+    def add(self, slo: Slo) -> Slo:
+        """Register ``slo``; duplicate names are an error."""
+        if slo.name in self._slos:
+            raise ValueError(f"SLO {slo.name!r} already registered")
+        self._slos[slo.name] = slo
+        return slo
+
+    def get(self, name: str) -> Slo | None:
+        """Registered SLO by name, or ``None``."""
+        return self._slos.get(name)
+
+    def __iter__(self) -> Iterator[Slo]:
+        return iter(self._slos.values())
+
+    def __len__(self) -> int:
+        return len(self._slos)

@@ -55,7 +55,9 @@ def filter_records(
         if wanted is not None and record.component not in wanted:
             continue
         if isinstance(record, TraceSpan):
-            if t0 is not None and record.t1 < t0:
+            # An open span (t1 is None) extends to the end of the
+            # trace, so only the window's upper bound can exclude it.
+            if t0 is not None and record.t1 is not None and record.t1 < t0:
                 continue
             if t1 is not None and record.t0 > t1:
                 continue
@@ -94,8 +96,9 @@ def render_timeline(records: Sequence[TraceRecord]) -> str:
     for record in records:
         indent = "  " * record.depth
         if isinstance(record, TraceSpan):
+            tag = "open" if record.open else f"+{record.duration:.3f} s"
             body = (
-                f"▶ {record.name} [+{record.duration:.3f} s]"
+                f"▶ {record.name} [{tag}]"
                 f"{_format_labels(record.labels)}"
             )
         else:

@@ -25,7 +25,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
-from repro.obs import MetricsRegistry
+from repro.obs import DiagnosisSummary, MetricsRegistry
 from repro.runner.cache import MISS, ResultCache
 from repro.runner.work import WorkUnit, execute_unit
 
@@ -120,6 +120,12 @@ class CampaignRunner:
     from instrumented sessions, cache hits included) are merged into
     :attr:`metrics`, a parent-side :class:`MetricsRegistry`, so
     campaign-wide metrics are available without re-simulating.
+    Likewise, per-session diagnoses (``extra["diagnosis"]``) fold
+    their embedded summaries into :attr:`diagnosis`, a
+    :class:`DiagnosisSummary` — violation counts and primary-cause
+    tallies across the whole campaign (e.g. the fraction of latency
+    violations attributable to handover, the paper's Fig. 9 claim)
+    without re-running detection.
     """
 
     def __init__(
@@ -138,6 +144,7 @@ class CampaignRunner:
         self.progress = progress
         self.telemetry = CampaignTelemetry()
         self.metrics = MetricsRegistry()
+        self.diagnosis = DiagnosisSummary()
         self._pool: multiprocessing.pool.Pool | None = None
 
     def run(self, units: Sequence[WorkUnit]) -> list[Any]:
@@ -221,6 +228,11 @@ class CampaignRunner:
             snapshot = extra.get("metrics")
             if snapshot:
                 self.metrics.merge_snapshot(snapshot)
+            diagnosis = extra.get("diagnosis")
+            if isinstance(diagnosis, dict) and "summary" in diagnosis:
+                self.diagnosis.merge(
+                    DiagnosisSummary.from_dict(diagnosis["summary"])
+                )
 
     def _note(self, record: RunTelemetry, done: int, total: int) -> None:
         self.telemetry.runs.append(record)

@@ -22,11 +22,15 @@ RP threshold of 300 ms) lives in :mod:`repro.metrics.video`.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable
 
 from repro.net.simulator import EventLoop
+from repro.obs import NULL_RECORDER, NullRecorder
+from repro.obs.detect import WindowedStats
+from repro.util.units import to_ms
 from repro.video.frames import DecodedFrame
 
 
@@ -77,6 +81,7 @@ class Player:
         speedup: float = 0.7,
         on_play: Callable[[PlaybackRecord], None] | None = None,
         max_queue: int = 90,
+        obs: NullRecorder = NULL_RECORDER,
     ) -> None:
         if fps <= 0:
             raise ValueError(f"fps must be positive, got {fps}")
@@ -96,6 +101,15 @@ class Player:
         self.records: list[PlaybackRecord] = []
         self.skipped_frames = 0
         self.late_frames = 0
+        self.obs = obs
+        #: Per-second playback QoE bins (frames played, worst playback
+        #: latency, worst inter-frame gap) — the signal substrate the
+        #: SLO detector in :mod:`repro.obs.detect` evaluates.
+        self._window = WindowedStats(
+            obs, "player.window",
+            sums=("frames",), maxes=("latency_ms", "gap_ms"),
+        )
+        self._last_play_time: float | None = None
 
     @property
     def queue_depth(self) -> int:
@@ -120,10 +134,18 @@ class Player:
         self._next_play_at = when
         self._loop.call_at(when, self._play_tick)
 
+    def finish(self, now: float) -> None:
+        """Flush the trailing (possibly partial) QoE window bin."""
+        if self.obs.enabled:
+            self._window.finish(now)
+
     def _play_tick(self) -> None:
         if not self._queue:
             # Underrun: go idle; the next push restarts playback.
             self._next_play_at = None
+            if self.obs.enabled:
+                self.obs.event("player.underrun", t=self._loop.now)
+                self.obs.count("player/underruns")
             return
         frame = self._queue.popleft()
         now = self._loop.now
@@ -136,6 +158,16 @@ class Player:
             complete=frame.complete,
         )
         self.records.append(record)
+        if self.obs.enabled:
+            gap_ms = (
+                to_ms(now - self._last_play_time)
+                if self._last_play_time is not None
+                else -math.inf
+            )
+            self._window.add(
+                now, (1.0,), (to_ms(now - frame.encode_time), gap_ms)
+            )
+            self._last_play_time = now
         if self._on_play is not None:
             self._on_play(record)
         interval = self.nominal_interval

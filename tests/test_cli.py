@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import FIGURES, build_parser, main
@@ -237,3 +239,110 @@ class TestTrace:
         assert "t (s)" in out
         # Metrics from both runs merged: counters sum across inputs.
         assert "sender/packets_sent" in out
+
+    def test_json_format_emits_jsonl_records(self, capsys):
+        code = main(
+            ["trace", "--duration", "15", "--seed", "1", "--format", "json"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        records = [json.loads(line) for line in out.splitlines()]
+        assert records, "expected at least one JSONL record"
+        assert {record["type"] for record in records} <= {"event", "span"}
+        assert any(record["name"] == "session.config" for record in records)
+
+    def test_json_format_with_metrics_appends_metric_lines(self, capsys):
+        code = main(
+            [
+                "trace", "--duration", "15", "--seed", "1",
+                "--format", "json", "--metrics",
+            ]
+        )
+        assert code == 0
+        types = [
+            json.loads(line)["type"]
+            for line in capsys.readouterr().out.splitlines()
+        ]
+        assert "metric" in types
+        # Trace records come first, the metric snapshot last.
+        assert types.index("metric") > types.count("metric") - 1
+
+    def test_json_format_matches_out_file(self, capsys, tmp_path):
+        out_file = tmp_path / "run.jsonl"
+        code = main(
+            [
+                "trace", "--duration", "15", "--seed", "1",
+                "--format", "json", "--metrics", "--out", str(out_file),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert printed == out_file.read_text()
+
+
+class TestDiagnose:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["diagnose"])
+        assert args.cc == "gcc"
+        assert args.duration == 60.0
+        assert args.format == "text"
+        assert args.warmup == 5.0
+        assert args.lag_horizon == 2.0
+
+    def test_acceptance_handover_ranked_first(self, capsys):
+        """The issue's end-to-end criterion: a seeded GCC session whose
+        playback-latency violation is attributed to handover, straight
+        from the CLI."""
+        code = main(["diagnose", "--cc", "gcc", "--duration", "60", "--seed", "1"])
+        assert code == 0
+        lines = capsys.readouterr().out.splitlines()
+        violation_index = next(
+            i for i, line in enumerate(lines)
+            if "playback_latency:" in line
+        )
+        # The line right below the violation is its top-ranked cause.
+        top_cause = lines[violation_index + 1]
+        assert top_cause.startswith("    ")
+        assert "handover" in top_cause
+
+    def test_json_output_validates(self, capsys, tmp_path):
+        json_out = tmp_path / "diagnosis.json"
+        code = main(
+            [
+                "diagnose", "--duration", "20", "--seed", "2",
+                "--format", "json", "--json-out", str(json_out),
+            ]
+        )
+        assert code == 0
+        from repro.obs import validate_diagnosis
+
+        printed = json.loads(capsys.readouterr().out)
+        assert validate_diagnosis(printed) == []
+        assert json.loads(json_out.read_text()) == printed
+
+    def test_markdown_format(self, capsys):
+        code = main(
+            ["diagnose", "--duration", "20", "--seed", "2", "--format", "markdown"]
+        )
+        assert code == 0
+        assert "| SLO | signal |" in capsys.readouterr().out
+
+    def test_input_roundtrip_from_trace_export(self, capsys, tmp_path):
+        trace_file = tmp_path / "run.jsonl"
+        assert main(
+            [
+                "trace", "--cc", "gcc", "--duration", "20", "--seed", "2",
+                "--out", str(trace_file),
+            ]
+        ) == 0
+        capsys.readouterr()
+        live = main(
+            ["diagnose", "--duration", "20", "--seed", "2", "--format", "json"]
+        )
+        assert live == 0
+        live_payload = json.loads(capsys.readouterr().out)
+        assert main(
+            ["diagnose", "--input", str(trace_file), "--format", "json"]
+        ) == 0
+        replayed = json.loads(capsys.readouterr().out)
+        assert replayed == live_payload

@@ -179,6 +179,37 @@ class TestSnapshotMerge:
         assert "receiver/owd_ms: n=2" in text
 
 
+class TestHistogramMerge:
+    def test_merge_sums_counts_and_tracks_extrema(self):
+        a = Histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0):
+            a.observe(value)
+        b = Histogram("h", buckets=(1.0, 10.0))
+        b.observe(50.0)
+        a.merge(b)
+        assert a.count == 3
+        assert a.minimum == 0.5 and a.maximum == 50.0
+        assert a.total == pytest.approx(55.5)
+
+    def test_mismatched_edges_raise_with_both_edge_sets(self):
+        a = Histogram("h", buckets=(1.0, 10.0))
+        b = Histogram("h", buckets=(1.0, 20.0))
+        with pytest.raises(ValueError) as excinfo:
+            a.merge(b)
+        message = str(excinfo.value)
+        assert "bucket edges differ" in message
+        assert "10.0" in message and "20.0" in message
+
+    def test_from_record_rejects_wrong_counts_length(self):
+        record = {
+            "name": "h", "labels": {}, "buckets": [1.0, 10.0],
+            "counts": [1, 2],  # needs len(buckets) + 1 entries
+            "count": 3, "total": 4.0, "min": 1.0, "max": 3.0,
+        }
+        with pytest.raises(ValueError, match="counts"):
+            Histogram.from_record(record)
+
+
 # ----------------------------------------------------------------------
 # recorders
 # ----------------------------------------------------------------------
@@ -329,6 +360,53 @@ class TestTimeline:
 
     def test_render_empty(self):
         assert "(no records)" in render_timeline([])
+
+
+class TestOpenSpans:
+    """Spans whose end was never recorded (truncated trace)."""
+
+    def test_open_span_properties(self):
+        span = TraceSpan("handover.execution", 4.0)
+        assert span.open
+        assert span.t1 is None
+        assert math.isnan(span.duration)
+        closed = TraceSpan("handover.execution", 4.0, 4.5)
+        assert not closed.open
+        assert closed.duration == pytest.approx(0.5)
+
+    def test_timeline_marks_open_spans(self):
+        text = render_timeline([
+            TraceSpan("handover.execution", 4.0, labels={"target": 2}),
+            TraceEvent("gcc.overuse", 5.0),
+        ])
+        assert "▶ handover.execution [open]" in text
+        assert "+nan" not in text
+
+    def test_filter_window_keeps_open_span(self):
+        records = [
+            TraceSpan("handover.execution", 4.0),
+            TraceEvent("gcc.overuse", 20.0),
+        ]
+        # An open span extends to the end of the trace, so it overlaps
+        # any window starting after it began.
+        window = filter_records(records, t0=10.0, t1=15.0)
+        assert [record.name for record in window] == ["handover.execution"]
+
+    def test_jsonl_line_missing_t1_loads_as_open_span(self, tmp_path):
+        path = tmp_path / "truncated.jsonl"
+        path.write_text(
+            '{"type": "span", "name": "handover.execution", "t0": 4.0}\n'
+        )
+        trace, _ = read_jsonl(path)
+        assert trace == [TraceSpan("handover.execution", 4.0)]
+
+    def test_open_span_export_roundtrip(self, tmp_path):
+        recorder = Recorder()
+        recorder.trace.append(TraceSpan("loss.burst", 2.0, labels={"packets": 3}))
+        path = write_jsonl(tmp_path / "open.jsonl", recorder)
+        trace, _ = read_jsonl(path)
+        assert trace == recorder.trace
+        assert trace[0].open
 
 
 # ----------------------------------------------------------------------
