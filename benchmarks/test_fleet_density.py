@@ -1,0 +1,44 @@
+"""Bench: fleet density — per-session QoE vs. RPAVs sharing the cells.
+
+Beyond the paper: its measurements cover one UAV with every cell to
+itself. This bench sweeps fleet size over a shared layout and pins the
+contention shape: per-session goodput and granted PRB share fall
+monotonically with density while congestion time rises, and a fleet of
+one is indistinguishable from the single-session pipeline.
+"""
+
+from repro.core.config import ScenarioConfig
+from repro.experiments import run_fleet_density
+
+
+def test_fleet_density(benchmark, settings, report, runner):
+    config = ScenarioConfig(
+        cc="gcc", environment="urban", platform="air", operator="P1"
+    )
+    result = benchmark.pedantic(
+        run_fleet_density,
+        args=(config, settings),
+        kwargs={"densities": (1, 2, 4), "spread_radius": 30.0,
+                "runner": runner},
+        rounds=1,
+        iterations=1,
+    )
+    report("fleet_density", result.render())
+    points = result.points
+
+    # A fleet of one gets every cell to itself.
+    assert points[0].mean_uplink_share == 1.0
+    assert points[0].congestion_seconds == 0.0
+    # Contention bites monotonically as the fleet grows.
+    assert points[0].goodput_bps > points[1].goodput_bps > points[2].goodput_bps
+    assert (
+        points[0].mean_uplink_share
+        >= points[1].mean_uplink_share
+        >= points[2].mean_uplink_share
+    )
+    assert points[2].congestion_seconds > points[1].congestion_seconds > 0.0
+    # The shared cells actually get shared.
+    assert points[2].peak_sessions_per_cell >= 3
+    # Degradation is contention, not collapse: the scheduler still
+    # grants every session a usable share.
+    assert points[2].mean_uplink_share > 0.15

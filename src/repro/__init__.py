@@ -24,6 +24,9 @@ from repro.core import (
     CcAlgorithm,
     SessionResult,
     run_session,
+    FleetConfig,
+    FleetResult,
+    run_fleet,
 )
 from repro.runner import CampaignRunner, ResultCache
 
@@ -36,6 +39,9 @@ __all__ = [
     "CcAlgorithm",
     "SessionResult",
     "run_session",
+    "FleetConfig",
+    "FleetResult",
+    "run_fleet",
     "CampaignRunner",
     "ResultCache",
     "__version__",

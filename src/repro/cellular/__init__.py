@@ -1,5 +1,12 @@
 """LTE cellular substrate: layout, propagation, handovers, channel."""
 
+from repro.cellular.cell import (
+    CellCapacityConfig,
+    CellContention,
+    allocate_prbs,
+    fleet_demand_bps,
+    merge_occupancy,
+)
 from repro.cellular.layout import Cell, CellLayout, grid_layout, urban_layout, rural_layout
 from repro.cellular.propagation import (
     PropagationConfig,
@@ -33,6 +40,11 @@ from repro.cellular.channel import (
 
 __all__ = [
     "Cell",
+    "CellCapacityConfig",
+    "CellContention",
+    "allocate_prbs",
+    "fleet_demand_bps",
+    "merge_occupancy",
     "CellLayout",
     "grid_layout",
     "urban_layout",

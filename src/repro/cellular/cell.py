@@ -1,0 +1,348 @@
+"""PRB/load-aware shared-cell capacity model for fleet simulation.
+
+The paper's measurement UAV had every cell to itself; a deployed RPAV
+fleet does not. This module makes cells *contended*: each cell in a
+layout owns a physical-resource-block (PRB) budget, attached sessions
+request PRBs sized by their SINR-derived spectral efficiency (a UE in
+a weak radio position needs more PRBs for the same bitrate), and a
+per-tick proportional scheduler splits the budget so per-session
+capacity shrinks as cells fill up.
+
+Three mechanisms (after the ai-ran-sim ``Cell`` exemplar):
+
+* **PRB scheduling** — :func:`allocate_prbs` is a largest-remainder
+  proportional allocator; the sum of allocated PRBs never exceeds the
+  cell budget, and a sole occupant always receives the whole budget
+  (share exactly 1.0), which keeps an N=1 fleet bit-identical to the
+  single-session path.
+* **Admission control** — a cell at ``max_sessions`` rejects new
+  attachments: it is excluded from initial cell selection and from A3
+  handover candidates of non-attached UEs.
+* **Load balancing** — crowded cells advertise a negative
+  cell-individual offset (CIO) that is added to the A3 margin, so
+  loaded cells become less attractive targets *and* shed attached UEs
+  toward emptier neighbours.
+
+Everything here is deterministic and RNG-free: contention state is a
+pure function of the attach/update call sequence, which the shared
+event loop orders deterministically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CellCapacityConfig:
+    """Per-cell resource budget and load-management knobs.
+
+    Attributes
+    ----------
+    num_prb_ul / num_prb_dl:
+        PRB budget per scheduling tick in each direction (100 PRBs =
+        one 20 MHz LTE carrier).
+    max_sessions:
+        Admission cap: attachments beyond this are rejected (the cell
+        is hidden from cell selection and A3 candidates).
+    lb_step_db / lb_max_db:
+        Load-balancing cell-individual offset: each attached session
+        beyond the first lowers the cell's advertised attractivity by
+        ``lb_step_db`` dB, clamped at ``lb_max_db``.
+    congestion_share:
+        Uplink PRB share below which a session is considered congested
+        (opens a ``cell.congestion`` trace span for attribution).
+    """
+
+    num_prb_ul: int = 100
+    num_prb_dl: int = 100
+    max_sessions: int = 8
+    lb_step_db: float = 2.0
+    lb_max_db: float = 6.0
+    congestion_share: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.num_prb_ul < 1 or self.num_prb_dl < 1:
+            raise ValueError("PRB budgets must be >= 1")
+        if self.max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+
+
+def allocate_prbs(requests: list[int], budget: int) -> list[int]:
+    """Split ``budget`` PRBs proportionally to ``requests``.
+
+    Largest-remainder (Hamilton) allocation: every requester receives
+    ``budget * request / total`` rounded down, then the leftover PRBs
+    go to the largest fractional remainders (ties broken by position,
+    so the result is deterministic). The allocation always sums to
+    exactly ``budget`` — spare capacity is redistributed under the
+    full-buffer assumption — and a single requester receives the whole
+    budget.
+    """
+    if budget < 0:
+        raise ValueError(f"budget must be >= 0, got {budget}")
+    if not requests:
+        return []
+    if any(r < 0 for r in requests):
+        raise ValueError("requests must be non-negative")
+    total = sum(requests)
+    if total <= 0:
+        return [0] * len(requests)
+    quotas = [budget * r / total for r in requests]
+    allocation = [int(q) for q in quotas]
+    leftover = budget - sum(allocation)
+    remainders = sorted(
+        range(len(requests)),
+        key=lambda i: (-(quotas[i] - allocation[i]), i),
+    )
+    for i in remainders[:leftover]:
+        allocation[i] += 1
+    return allocation
+
+
+class _UeState:
+    """Latest radio state one attached session reported."""
+
+    __slots__ = ("cell", "unc_ul_bps", "unc_dl_bps", "demand_ul_bps", "demand_dl_bps")
+
+    def __init__(self) -> None:
+        self.cell: int | None = None
+        self.unc_ul_bps = 0.0
+        self.unc_dl_bps = 0.0
+        self.demand_ul_bps: float | None = None
+        self.demand_dl_bps: float | None = None
+
+
+class CellContention:
+    """Shared-cell PRB scheduler, admission gate and CIO source.
+
+    One instance is shared by every :class:`CellularChannel` of a
+    fleet. Channels ``register`` once, ``attach`` whenever their
+    serving cell changes, ``update_rates`` each measurement tick, and
+    read back their PRB ``shares``; the handover engine consumes
+    :meth:`offsets` (load-balancing CIO added to the A3 margin) and
+    :meth:`blocked_cells` (admission control).
+    """
+
+    def __init__(
+        self, num_cells: int, config: CellCapacityConfig | None = None
+    ) -> None:
+        if num_cells < 1:
+            raise ValueError("num_cells must be >= 1")
+        self.config = config if config is not None else CellCapacityConfig()
+        self.num_cells = num_cells
+        self._ues: dict[int, _UeState] = {}
+        self._members: dict[int, list[int]] = {}
+        self._offsets = np.zeros(num_cells)
+        #: Highest concurrent attachment count ever seen per cell.
+        self.peak_attached: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        ue_id: int,
+        *,
+        demand_ul_bps: float | None = None,
+        demand_dl_bps: float | None = None,
+    ) -> None:
+        """Declare a session (before its first measurement tick).
+
+        ``demand_*_bps`` size the session's PRB requests; ``None``
+        means full-buffer (request the whole budget).
+        """
+        if ue_id in self._ues:
+            raise ValueError(f"ue {ue_id} already registered")
+        state = _UeState()
+        state.demand_ul_bps = demand_ul_bps
+        state.demand_dl_bps = demand_dl_bps
+        self._ues[ue_id] = state
+
+    def attach(self, ue_id: int, cell: int) -> None:
+        """Move ``ue_id`` onto ``cell`` (no-op if already attached)."""
+        state = self._ues[ue_id]
+        if state.cell == cell:
+            return
+        if not 0 <= cell < self.num_cells:
+            raise ValueError(f"cell {cell} out of range")
+        if state.cell is not None:
+            self._members[state.cell].remove(ue_id)
+        state.cell = cell
+        members = self._members.setdefault(cell, [])
+        members.append(ue_id)
+        members.sort()
+        self.peak_attached[cell] = max(
+            self.peak_attached.get(cell, 0), len(members)
+        )
+        self._refresh_offsets()
+
+    def attached_count(self, cell: int) -> int:
+        """Sessions currently attached to ``cell``."""
+        return len(self._members.get(cell, ()))
+
+    def _refresh_offsets(self) -> None:
+        config = self.config
+        self._offsets.fill(0.0)
+        for cell, members in self._members.items():
+            extra = len(members) - 1
+            if extra > 0:
+                self._offsets[cell] = -min(
+                    config.lb_max_db, config.lb_step_db * extra
+                )
+
+    # ------------------------------------------------------------------
+    # handover inputs
+    # ------------------------------------------------------------------
+    def offsets(self) -> np.ndarray:
+        """Per-cell CIO vector (dB) added to A3 measurements.
+
+        All zeros while no cell holds more than one session, so a
+        single-session fleet evaluates the exact same A3 margins as
+        the uncontended path.
+        """
+        return self._offsets
+
+    def blocked_cells(self, ue_id: int) -> tuple[int, ...]:
+        """Cells ``ue_id`` may not enter (admission control).
+
+        A cell is blocked when it is at ``max_sessions`` and the UE is
+        not one of them; the UE's own serving cell is never blocked.
+        """
+        cap = self.config.max_sessions
+        blocked = tuple(
+            cell
+            for cell, members in self._members.items()
+            if len(members) >= cap and ue_id not in members
+        )
+        return blocked
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def update_rates(
+        self, ue_id: int, unc_ul_bps: float, unc_dl_bps: float
+    ) -> None:
+        """Report a session's uncontended (full-budget) link rates."""
+        state = self._ues[ue_id]
+        state.unc_ul_bps = unc_ul_bps
+        state.unc_dl_bps = unc_dl_bps
+
+    @staticmethod
+    def _request(
+        demand_bps: float | None, unc_bps: float, budget: int
+    ) -> int:
+        """PRBs needed to serve ``demand_bps`` at this UE's efficiency.
+
+        The per-PRB rate is ``unc_bps / budget`` (the full-budget rate
+        spread over the budget), so a UE with poor SINR requests more
+        PRBs for the same demand. Full-buffer (``None``) or
+        unsatisfiable demands request the whole budget.
+        """
+        if demand_bps is None or unc_bps <= 0.0:
+            return budget
+        needed = math.ceil(demand_bps * budget / unc_bps)
+        return max(1, min(budget, needed))
+
+    def shares(self, ue_id: int) -> tuple[float, float]:
+        """Current (uplink, downlink) PRB share of ``ue_id`` in [0, 1].
+
+        A sole occupant's share is exactly ``1.0`` in both directions
+        (bit-identity with the uncontended path); co-attached sessions
+        split each budget proportionally to their PRB requests.
+        """
+        state = self._ues[ue_id]
+        cell = state.cell
+        if cell is None:
+            return 1.0, 1.0
+        members = self._members[cell]
+        if len(members) == 1:
+            return 1.0, 1.0
+        config = self.config
+        index = members.index(ue_id)
+        ul_requests = [
+            self._request(
+                self._ues[u].demand_ul_bps,
+                self._ues[u].unc_ul_bps,
+                config.num_prb_ul,
+            )
+            for u in members
+        ]
+        dl_requests = [
+            self._request(
+                self._ues[u].demand_dl_bps,
+                self._ues[u].unc_dl_bps,
+                config.num_prb_dl,
+            )
+            for u in members
+        ]
+        ul_alloc = allocate_prbs(ul_requests, config.num_prb_ul)
+        dl_alloc = allocate_prbs(dl_requests, config.num_prb_dl)
+        return (
+            ul_alloc[index] / config.num_prb_ul,
+            dl_alloc[index] / config.num_prb_dl,
+        )
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def cell_load(self, cell: int) -> float:
+        """Uplink PRB utilization of ``cell`` in [0, 1].
+
+        Utilization counts PRBs that serve actual demand
+        (``min(allocated, requested)``), not the full-buffer surplus,
+        so a lone low-demand UE does not read as a saturated cell.
+        """
+        members = self._members.get(cell)
+        if not members:
+            return 0.0
+        budget = self.config.num_prb_ul
+        requests = [
+            self._request(
+                self._ues[u].demand_ul_bps, self._ues[u].unc_ul_bps, budget
+            )
+            for u in members
+        ]
+        allocation = allocate_prbs(requests, budget)
+        used = sum(min(a, r) for a, r in zip(allocation, requests))
+        return used / budget
+
+    def loads(self) -> dict[int, float]:
+        """Uplink PRB utilization of every occupied cell."""
+        return {
+            cell: self.cell_load(cell)
+            for cell in sorted(self._members)
+            if self._members[cell]
+        }
+
+    def occupancy(self) -> dict[int, int]:
+        """Attached-session count of every occupied cell."""
+        return {
+            cell: len(members)
+            for cell, members in sorted(self._members.items())
+            if members
+        }
+
+
+def fleet_demand_bps(max_bitrate: float, static_bitrate: float) -> float:
+    """Uplink PRB demand hint for one video session (bits/s).
+
+    The offered load of a session is its encoder ceiling plus
+    packetization/RTP overhead — the scheduler sizes PRB requests from
+    this, not from the plan cap, so well-placed UEs leave headroom for
+    cell mates instead of hoarding the whole budget.
+    """
+    return 1.25 * max(max_bitrate, static_bitrate)
+
+
+def merge_occupancy(maps: Iterable[dict[int, int]]) -> dict[int, int]:
+    """Merge per-fleet peak-occupancy maps by per-cell maximum."""
+    merged: dict[int, int] = {}
+    for occupancy in maps:
+        for cell, count in occupancy.items():
+            merged[cell] = max(merged.get(cell, 0), count)
+    return merged

@@ -27,6 +27,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro.cellular.cell import CellContention
 from repro.cellular.handover import A3Config, HandoverEngine, HetSampler
 from repro.cellular.layout import CellLayout
 from repro.cellular.operators import OperatorProfile
@@ -124,6 +125,9 @@ class CapacitySample:
     sinr_db: float
     altitude: float
     in_handover: bool
+    #: Uplink PRB share granted by the shared-cell scheduler
+    #: (1.0 when the channel runs uncontended).
+    uplink_share: float = 1.0
 
 
 @dataclass
@@ -194,6 +198,19 @@ class CellularChannel:
         geometry is precomputed for the whole horizon in one
         vectorized pass. Runs that outlive the horizon (or pass
         ``None``) extend the precomputation in 60 s chunks.
+    contention:
+        Optional shared-cell PRB scheduler
+        (:class:`repro.cellular.cell.CellContention`). When given,
+        this channel registers as UE ``ue_id``, reports its rates
+        every tick, and its link rates are scaled by the granted PRB
+        share; the handover engine additionally sees the scheduler's
+        load-balancing offsets and admission blocks. ``None`` (the
+        default) is the uncontended single-UE paper model.
+    ue_id:
+        This channel's session id within the shared scheduler.
+    uplink_demand_bps / downlink_demand_bps:
+        Offered-load hints sizing PRB requests (``None`` =
+        full-buffer: request the whole budget).
     """
 
     def __init__(
@@ -207,6 +224,10 @@ class CellularChannel:
         config: ChannelConfig | None = None,
         horizon: float | None = None,
         obs: NullRecorder = NULL_RECORDER,
+        contention: CellContention | None = None,
+        ue_id: int = 0,
+        uplink_demand_bps: float | None = None,
+        downlink_demand_bps: float | None = None,
     ) -> None:
         self._loop = loop
         self.obs = obs
@@ -248,6 +269,20 @@ class CellularChannel:
         self.cells_seen: set[int] = set()
         self._last_rssi_time = -1.0
         self._started = False
+        self._contention = contention
+        self._ue_id = ue_id
+        self._share_ul = 1.0
+        self._congestion_t0: float | None = None
+        self._congestion_min = 1.0
+        #: Simulated seconds this session spent below the congestion
+        #: share threshold (accumulated even without a recorder).
+        self.congestion_time = 0.0
+        if contention is not None:
+            contention.register(
+                ue_id,
+                demand_ul_bps=uplink_demand_bps,
+                demand_dl_bps=downlink_demand_bps,
+            )
         #: Streaming low-side detector over uplink capacity: marks
         #: capacity-dip episodes as trace spans for root-cause
         #: attribution (fed at the 10 Hz measurement rate).
@@ -337,7 +372,16 @@ class CellularChannel:
             + self._meas_rng.normal(0.0, noise_std, size=det_row.shape)
             + frac * self.config.air_fastfade_std_db * self._fastfade
         )
-        event = self.engine.measure(now, rsrp, altitude=altitude)
+        if self._contention is None:
+            event = self.engine.measure(now, rsrp, altitude=altitude)
+        else:
+            event = self.engine.measure(
+                now,
+                rsrp,
+                altitude=altitude,
+                offsets=self._contention.offsets(),
+                blocked=self._contention.blocked_cells(self._ue_id),
+            )
         self._shadow = shadow
         if event is not None:
             self._begin_outage(event.execution_time)
@@ -345,6 +389,8 @@ class CellularChannel:
         self._update_fading(altitude)
         self._update_outliers(now, altitude)
         uplink, downlink, sinr = self._capacity(now, altitude, loss_row)
+        if self._contention is not None:
+            uplink, downlink = self._contend(now, uplink, downlink)
         self._uplink_bps = uplink
         self._downlink_bps = downlink
         serving_rsrp = self.engine.serving_rsrp()
@@ -363,6 +409,7 @@ class CellularChannel:
                 sinr_db=sinr,
                 altitude=altitude,
                 in_handover=self.engine.in_handover,
+                uplink_share=self._share_ul,
             )
         )
         if now - self._last_rssi_time >= 1.0:
@@ -396,6 +443,60 @@ class CellularChannel:
                 path.set_up(True)
 
         self._loop.call_later(het, back_up)
+
+    # ------------------------------------------------------------------
+    # shared-cell contention
+    # ------------------------------------------------------------------
+    def _contend(
+        self, now: float, uplink: float, downlink: float
+    ) -> tuple[float, float]:
+        """Scale this tick's rates by the granted PRB share.
+
+        A sole occupant is granted share 1.0 in both directions and
+        the multiplications are skipped entirely, so an uncontended
+        fleet member produces bit-identical rates to the single-
+        session path.
+        """
+        contention = self._contention
+        contention.attach(self._ue_id, self.engine.serving_cell)
+        contention.update_rates(self._ue_id, uplink, downlink)
+        share_ul, share_dl = contention.shares(self._ue_id)
+        if share_ul != 1.0:
+            uplink = max(uplink * share_ul, 1e4)
+        if share_dl != 1.0:
+            downlink = max(downlink * share_dl, 1e4)
+        self._share_ul = share_ul
+        self._track_congestion(now, share_ul)
+        return uplink, downlink
+
+    def _track_congestion(self, now: float, share: float) -> None:
+        if share < self._contention.config.congestion_share:
+            self.congestion_time += MEASUREMENT_PERIOD
+            if self._congestion_t0 is None:
+                self._congestion_t0 = now
+                self._congestion_min = share
+            else:
+                self._congestion_min = min(self._congestion_min, share)
+        elif self._congestion_t0 is not None:
+            self._close_congestion(now)
+
+    def _close_congestion(self, end: float) -> None:
+        if self.obs.enabled:
+            self.obs.span_at(
+                "cell.congestion",
+                self._congestion_t0,
+                end,
+                cell=self.engine.serving_cell,
+                min_share=float(self._congestion_min),
+            )
+            self.obs.count("channel/congestion_episodes")
+        self._congestion_t0 = None
+        self._congestion_min = 1.0
+
+    def finish_congestion(self, now: float) -> None:
+        """Close a still-open congestion span at session teardown."""
+        if self._congestion_t0 is not None:
+            self._close_congestion(now)
 
     def _update_fading(self, altitude: float) -> None:
         rho = math.exp(-MEASUREMENT_PERIOD / self.config.fading_corr_time)

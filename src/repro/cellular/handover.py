@@ -164,12 +164,29 @@ class HandoverEngine:
         return float(neighbours.max() - self._filtered[self.serving_cell])
 
     def measure(
-        self, now: float, rsrp: np.ndarray, *, altitude: float = 0.0
+        self,
+        now: float,
+        rsrp: np.ndarray,
+        *,
+        altitude: float = 0.0,
+        offsets: np.ndarray | None = None,
+        blocked: tuple[int, ...] | None = None,
     ) -> HandoverEvent | None:
-        """Process one RSRP measurement; maybe trigger a handover."""
+        """Process one RSRP measurement; maybe trigger a handover.
+
+        ``offsets`` is an optional per-cell bias vector in dB (the
+        load-balancing cell-individual offsets from
+        :class:`repro.cellular.cell.CellContention`) added to the
+        filtered RSRP for cell selection and the A3 margin; ``blocked``
+        lists cells that must not be selected (admission control).
+        Both default to the uncontended single-UE behaviour.
+        """
         if self._filtered is None:
             self._filtered = rsrp.astype(float).copy()
-            self.serving_cell = int(np.argmax(self._filtered))
+            if offsets is None and not blocked:
+                self.serving_cell = int(np.argmax(self._filtered))
+            else:
+                self.serving_cell = self._select_initial(offsets, blocked)
             return None
         alpha = self.config.l3_filter_alpha
         self._filtered = (1 - alpha) * self._filtered + alpha * rsrp
@@ -184,10 +201,29 @@ class HandoverEngine:
             self._a3_candidate = None
             self._a3_since = None
             return None
-        neighbours = self._filtered.copy()
+        if offsets is None and not blocked:
+            neighbours = self._filtered.copy()
+            serving_score = self._filtered[self.serving_cell]
+        else:
+            # Load-aware cell ranking (A3 with CIO: Mn + Ocn > Ms +
+            # Ocs + Hys): crowded cells advertise a negative CIO on
+            # both sides of the margin, full cells are unselectable.
+            neighbours = self._filtered.copy()
+            serving_score = self._filtered[self.serving_cell]
+            if offsets is not None:
+                neighbours = neighbours + offsets
+                serving_score = serving_score + offsets[self.serving_cell]
+            if blocked:
+                for cell in blocked:
+                    neighbours[cell] = -np.inf
         neighbours[self.serving_cell] = -np.inf
         best = int(np.argmax(neighbours))
-        margin = neighbours[best] - self._filtered[self.serving_cell]
+        margin = neighbours[best] - serving_score
+        if not np.isfinite(margin):
+            # Every neighbour blocked (or single-cell layout): stay.
+            self._a3_candidate = None
+            self._a3_since = None
+            return None
         if margin > self.config.hysteresis_db:
             if self._a3_candidate != best:
                 self._a3_candidate = best
@@ -206,6 +242,24 @@ class HandoverEngine:
             self._a3_candidate = None
             self._a3_since = None
         return None
+
+    def _select_initial(
+        self, offsets: np.ndarray | None, blocked: tuple[int, ...] | None
+    ) -> int:
+        """Initial cell selection under load bias and admission caps.
+
+        Falls back to the unbiased strongest cell when admission
+        control has blocked every cell (the UE has to camp somewhere).
+        """
+        scores = self._filtered.copy()
+        if offsets is not None:
+            scores = scores + offsets
+        if blocked:
+            for cell in blocked:
+                scores[cell] = -np.inf
+        if not np.isfinite(scores.max()):
+            return int(np.argmax(self._filtered))
+        return int(np.argmax(scores))
 
     def _execute(
         self, now: float, target: int, altitude: float
@@ -242,13 +296,18 @@ class HandoverEngine:
         """Handovers that return to the previous cell within ``window`` s.
 
         The paper observed such ping-pong handovers in the rural area
-        (Section 5, "Mitigating influence of HOs on RP").
+        (Section 5, "Mitigating influence of HOs on RP"). The window
+        is measured from the *completion* of the previous handover
+        (trigger time plus execution time): a multi-second HET outage
+        must not eat into the ping-pong window, or long-HET returns
+        would be undercounted.
         """
         count = 0
         for previous, current in zip(self.events, self.events[1:]):
+            completed = previous.time + previous.execution_time
             if (
                 current.target_cell == previous.source_cell
-                and current.time - previous.time <= window
+                and current.time - completed <= window
             ):
                 count += 1
         return count

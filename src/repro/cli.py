@@ -15,6 +15,8 @@ Entry points a downstream user needs:
   root-cause attributions (handover, loss burst, capacity dip, ...);
 * ``repro profile`` — profile one session or figure campaign and write
   a ranked hot-spot report plus a JSON summary;
+* ``repro fleet`` — sweep fleet density over shared, PRB-contended
+  cells and print per-session QoE vs. sessions per cell;
 * ``repro lint`` — the repo's invariant linter.
 
 Installed as the ``repro`` console script; also runnable as
@@ -361,6 +363,47 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Sweep fleet density and print per-session QoE."""
+    from repro.experiments.fleet import run_fleet_density
+
+    config = _scenario_from(args)
+    try:
+        densities = tuple(
+            int(value) for value in args.densities.split(",") if value.strip()
+        )
+    except ValueError:
+        print(f"invalid --densities {args.densities!r} (expect e.g. 1,2,4,8)")
+        return 2
+    if not densities or any(d < 1 for d in densities):
+        print(f"invalid --densities {args.densities!r} (sizes must be >= 1)")
+        return 2
+    seeds = tuple(range(1, args.seeds + 1))
+    settings = ExperimentSettings(
+        duration=args.duration, seeds=seeds, warmup=min(30.0, args.duration / 4)
+    )
+    print(
+        f"Fleet density sweep {config.label()} "
+        f"(N in {list(densities)}, {settings.duration:.0f} s x "
+        f"{len(seeds)} seeds)..."
+    )
+    with _runner_from(args) as runner:
+        result = run_fleet_density(
+            config,
+            settings,
+            densities=densities,
+            spread_radius=args.spread_radius,
+            obs=args.obs,
+            runner=runner,
+        )
+    print()
+    print(result.render())
+    if runner.telemetry.runs:
+        print()
+        print(runner.telemetry.summary())
+    return 0
+
+
 def cmd_list_figures(args: argparse.Namespace) -> int:
     """List the regenerable figures."""
     for name in sorted(FIGURES):
@@ -550,6 +593,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="profiles", help="output directory (default profiles/)"
     )
     profile_parser.set_defaults(func=cmd_profile)
+
+    fleet_parser = sub.add_parser(
+        "fleet",
+        help="sweep fleet density over shared PRB-contended cells",
+        description="Run N concurrent video sessions per fleet on one "
+        "shared cell layout (PRB scheduling, admission control, "
+        "load-balancing handover offsets) and print per-session QoE "
+        "vs. fleet density — the shared-cell contention axis the "
+        "paper's single-UAV measurements could not reach.",
+    )
+    _add_scenario_arguments(fleet_parser)
+    fleet_parser.set_defaults(cc="gcc", duration=120.0)
+    fleet_parser.add_argument(
+        "--densities",
+        default="1,2,4,8",
+        help="comma-separated fleet sizes to sweep (default 1,2,4,8)",
+    )
+    fleet_parser.add_argument(
+        "--seeds", type=int, default=2, help="fleet runs per density"
+    )
+    fleet_parser.add_argument(
+        "--spread-radius",
+        type=float,
+        default=50.0,
+        help="horizontal ring radius (m) spreading fleet trajectories "
+        "(small keeps the fleet on the same cells; default 50)",
+    )
+    fleet_parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="run instrumented and attribute latency violations to "
+        "cell congestion",
+    )
+    _add_runner_arguments(fleet_parser)
+    fleet_parser.set_defaults(func=cmd_fleet)
 
     lint_parser = sub.add_parser(
         "lint",

@@ -11,7 +11,14 @@ from repro.core.config import (
 )
 from repro.core.sender import VideoSender, SenderStats
 from repro.core.receiver import VideoReceiver, PacketLogEntry
-from repro.core.session import SessionResult, run_session, build_controller
+from repro.core.session import (
+    SessionHandles,
+    SessionResult,
+    build_controller,
+    build_session,
+    run_session,
+)
+from repro.core.fleet import FleetConfig, FleetResult, run_fleet
 
 __all__ = [
     "ScenarioConfig",
@@ -25,7 +32,12 @@ __all__ = [
     "SenderStats",
     "VideoReceiver",
     "PacketLogEntry",
+    "SessionHandles",
     "SessionResult",
     "run_session",
+    "build_session",
     "build_controller",
+    "FleetConfig",
+    "FleetResult",
+    "run_fleet",
 ]

@@ -1,0 +1,196 @@
+"""Multi-session fleet engine: N RPAVs sharing one cellular layout.
+
+The paper measured a single UAV that had every cell to itself; this
+module hosts N sender/receiver sessions on **one** event loop, over
+**one** cell layout, attached to **one** shared-cell PRB scheduler
+(:class:`repro.cellular.cell.CellContention`) — so fleet members
+compete for the same radio resources, crowded cells shed UEs through
+load-balancing offsets, and per-session QoE degrades with fleet
+density (the "what if everyone flew one of these" axis the
+measurement study could not reach).
+
+Determinism and the PR-4 bit-identity discipline:
+
+* session ``i`` runs with seed ``base.seed + i * seed_stride``, so
+  session 0 of a fleet draws exactly the random streams of the
+  single-session path;
+* the shared layout is derived from the base seed's ``"layout"``
+  stream — the same layout ``run_session(base)`` builds;
+* a fleet of N=1 leaves every scheduler share at exactly 1.0 and
+  every load-balancing offset at 0.0, making :func:`run_fleet`
+  packet-for-packet identical to :func:`repro.core.session.run_session`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.cellular.cell import CellCapacityConfig, CellContention
+from repro.cellular.operators import get_profile
+from repro.core.config import ScenarioConfig
+from repro.core.session import (
+    SessionHandles,
+    SessionResult,
+    build_session,
+    build_trajectory,
+)
+from repro.flight.trajectory import Position, WaypointTrajectory
+from repro.net.packet import reset_datagram_ids
+from repro.net.simulator import EventLoop
+from repro.obs import NULL_RECORDER, NullRecorder, Recorder, diagnose
+from repro.util.rng import RngStreams
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """One fleet run: N sessions sharing a layout and PRB budgets.
+
+    Parameters
+    ----------
+    base:
+        Scenario of session 0 (and, seed/placement aside, of every
+        session). Duration, operator, environment, CC, bitrates are
+        fleet-wide.
+    num_sessions:
+        Fleet size N.
+    seed_stride:
+        Seed spacing between sessions (session ``i`` uses
+        ``base.seed + i * seed_stride``).
+    spread_radius:
+        Horizontal radius (m) of the deterministic ring that offsets
+        the trajectories of sessions 1..N-1 around session 0's route.
+        Small radii keep the fleet inside one serving cell (maximum
+        contention); session 0 always flies the unmodified route.
+    cell_capacity:
+        Shared per-cell PRB budget / admission / load-balancing knobs.
+    """
+
+    base: ScenarioConfig
+    num_sessions: int = 2
+    seed_stride: int = 1000
+    spread_radius: float = 150.0
+    cell_capacity: CellCapacityConfig = field(default_factory=CellCapacityConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_sessions < 1:
+            raise ValueError("num_sessions must be >= 1")
+        if self.seed_stride < 1:
+            raise ValueError("seed_stride must be >= 1")
+        if self.spread_radius < 0.0:
+            raise ValueError("spread_radius must be >= 0")
+
+
+@dataclass
+class FleetResult:
+    """Artifacts of one fleet run."""
+
+    config: FleetConfig
+    #: Per-session datasets, in session order (session 0 == base seed).
+    sessions: list[SessionResult]
+    #: Final attached-session count per occupied cell.
+    occupancy: dict[int, int]
+    #: Highest concurrent attachment count ever seen per cell.
+    peak_occupancy: dict[int, int]
+    #: Simulated seconds each session spent PRB-share-congested.
+    congestion_time: list[float]
+    #: Fleet-wide merged snapshot (``metrics`` / ``diagnosis`` when a
+    #: recorder was attached) — shaped like ``SessionResult.extra`` so
+    #: campaign runners merge fleet results exactly like session ones.
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def max_sessions_per_cell(self) -> int:
+        """Peak contention actually reached anywhere in the layout."""
+        return max(self.peak_occupancy.values(), default=0)
+
+
+def _translated(
+    trajectory: WaypointTrajectory, dx: float, dy: float
+) -> WaypointTrajectory:
+    """Copy of ``trajectory`` shifted horizontally by ``(dx, dy)``."""
+    times, points = trajectory.waypoint_key()
+    return WaypointTrajectory(
+        list(times),
+        [Position(x + dx, y + dy, alt) for x, y, alt in points],
+    )
+
+
+def _ring_offset(index: int, count: int, radius: float) -> tuple[float, float]:
+    """Deterministic placement of fleet member ``index`` (1-based ring)."""
+    if index == 0 or radius == 0.0 or count <= 1:
+        return 0.0, 0.0
+    angle = 2.0 * math.pi * (index - 1) / (count - 1)
+    return radius * math.cos(angle), radius * math.sin(angle)
+
+
+def run_fleet(
+    config: FleetConfig,
+    *,
+    recorder: NullRecorder | None = None,
+) -> FleetResult:
+    """Execute one fleet run and collect every session's dataset.
+
+    All sessions share a single event loop, the base seed's cell
+    layout, and one :class:`CellContention`. An optional
+    :class:`~repro.obs.Recorder` is bound to the shared loop and sees
+    every session's spans (handover executions, capacity dips,
+    ``cell.congestion`` episodes); the fleet-wide diagnosis lands in
+    ``result.extra["diagnosis"]`` exactly like a session's would.
+    """
+    obs = recorder if recorder is not None else NULL_RECORDER
+    reset_datagram_ids()
+    loop = EventLoop()
+    if isinstance(obs, Recorder):
+        obs.bind(loop)
+    base = config.base
+    profile = get_profile(base.operator, base.environment.value)
+    layout = profile.build_layout(RngStreams(base.seed).derive("layout"))
+    contention = CellContention(len(layout), config.cell_capacity)
+
+    handles: list[SessionHandles] = []
+    for index in range(config.num_sessions):
+        session_config = base.with_overrides(
+            seed=base.seed + index * config.seed_stride
+        )
+        trajectory = build_trajectory(
+            session_config, RngStreams(session_config.seed)
+        )
+        dx, dy = _ring_offset(
+            index, config.num_sessions, config.spread_radius
+        )
+        if dx != 0.0 or dy != 0.0:
+            trajectory = _translated(trajectory, dx, dy)
+        handles.append(
+            build_session(
+                loop,
+                session_config,
+                obs=obs,
+                layout=layout,
+                trajectory=trajectory,
+                contention=contention,
+                ue_id=index,
+            )
+        )
+
+    for handle in handles:
+        handle.start()
+    loop.run_until(base.duration)
+    for handle in handles:
+        handle.stop()
+    for handle in handles:
+        handle.finish(loop.now)
+
+    sessions = [handle.collect() for handle in handles]
+    extra: dict = {}
+    if isinstance(obs, Recorder):
+        extra["metrics"] = obs.registry.snapshot()
+        extra["diagnosis"] = diagnose(obs.trace, obs.registry).to_dict()
+    return FleetResult(
+        config=config,
+        sessions=sessions,
+        occupancy=contention.occupancy(),
+        peak_occupancy=dict(contention.peak_attached),
+        congestion_time=[h.channel.congestion_time for h in handles],
+        extra=extra,
+    )

@@ -11,6 +11,12 @@ runs the event loop for the configured duration, and returns a
 :class:`SessionResult` holding every log the paper's dataset contains
 (per-packet transport log, per-frame playback records, CC state log,
 RRC handover events, 1 Hz RSSI reports, capacity samples).
+
+The assembly step is exposed separately as :func:`build_session`,
+which returns live :class:`SessionHandles` without running the loop —
+that is what lets :mod:`repro.core.fleet` host several sessions on
+one shared event loop (shared cell layout, shared PRB scheduler)
+while ``run_session`` stays the classic single-UE path.
 """
 
 from __future__ import annotations
@@ -20,8 +26,10 @@ from dataclasses import dataclass, field
 from repro.cc.base import CongestionController, StaticBitrateController
 from repro.cc.gcc import GccController
 from repro.cc.scream import ScreamController
+from repro.cellular.cell import CellContention, fleet_demand_bps
 from repro.cellular.channel import CapacitySample, CellularChannel, ChannelConfig, RssiReport
 from repro.cellular.handover import HandoverEvent
+from repro.cellular.layout import CellLayout
 from repro.cellular.operators import get_profile
 from repro.cellular.propagation import PropagationConfig
 from repro.core.config import CcAlgorithm, Environment, Platform, ScenarioConfig
@@ -133,25 +141,105 @@ def build_channel_config(config: ScenarioConfig) -> ChannelConfig:
     return channel_config
 
 
-def run_session(
+@dataclass
+class SessionHandles:
+    """Live components of one assembled (but not yet run) session.
+
+    Returned by :func:`build_session`; the owner drives the shared
+    event loop and calls :meth:`start` / :meth:`stop` /
+    :meth:`finish` / :meth:`collect` around it. ``run_session`` wraps
+    exactly this sequence for the single-session case.
+    """
+
+    config: ScenarioConfig
+    channel: CellularChannel
+    uplink: NetworkPath
+    downlink: NetworkPath
+    sender: VideoSender
+    receiver: VideoReceiver
+    controller: CongestionController
+    obs: NullRecorder
+
+    def start(self) -> None:
+        """Start channel ticks, sender pacing and receiver playback."""
+        self.channel.start()
+        self.sender.start()
+        self.receiver.start()
+
+    def stop(self) -> None:
+        """Stop the media pipeline (after the loop has drained)."""
+        self.sender.stop()
+        self.receiver.stop()
+
+    def finish(self, now: float) -> None:
+        """Close streaming detectors / open spans at teardown."""
+        if self.obs.enabled:
+            self.uplink.finish_obs()
+            self.downlink.finish_obs()
+            self.channel.capacity_dip.finish(now)
+            self.channel.finish_congestion(now)
+
+    def collect(self) -> SessionResult:
+        """Assemble the run's dataset into a :class:`SessionResult`.
+
+        The per-run metrics/diagnosis snapshot is *not* attached here
+        (a fleet diagnoses its shared recorder once); ``run_session``
+        adds it for the single-session path.
+        """
+        channel = self.channel
+        receiver = self.receiver
+        sender = self.sender
+        controller = self.controller
+        extra: dict = {}
+        if isinstance(controller, ScreamController):
+            extra["false_loss_candidates"] = controller.false_loss_candidates
+            extra["detected_losses"] = controller.detected_losses
+        if isinstance(controller, GccController):
+            extra["overuse_events"] = controller.overuse_events
+        extra["ping_pong_handovers"] = channel.engine.ping_pong_count()
+        extra["jitter_dropped_late"] = receiver.jitter_buffer.dropped_late_packets
+        extra["rtt_samples"] = list(sender.rtt_samples)
+        return SessionResult(
+            config=self.config,
+            duration=self.config.duration,
+            packet_log=receiver.packet_log,
+            playback=receiver.player.records,
+            handovers=list(channel.engine.events),
+            capacity_samples=channel.samples,
+            rssi_log=channel.rssi_log,
+            sender_stats=sender.stats,
+            cc_log=controller.log,
+            cells_seen=len(channel.cells_seen),
+            packets_sent=sender.stats.packets_sent,
+            packets_lost_radio=self.uplink.lost_packets,
+            packets_dropped_buffer=self.uplink.capacity_link.stats.dropped_overflow,
+            frames_decoded=receiver.decoder.frames_decoded,
+            extra=extra,
+        )
+
+
+def build_session(
+    loop: EventLoop,
     config: ScenarioConfig,
     *,
-    recorder: NullRecorder | None = None,
-) -> SessionResult:
-    """Execute one measurement run and collect its dataset.
+    obs: NullRecorder = NULL_RECORDER,
+    layout: CellLayout | None = None,
+    trajectory: WaypointTrajectory | None = None,
+    contention: CellContention | None = None,
+    ue_id: int = 0,
+) -> SessionHandles:
+    """Assemble one full sender/receiver session on ``loop``.
 
-    Pass a live :class:`~repro.obs.Recorder` to collect sim-time
-    traces and a metrics registry alongside the classic logs; the
-    recorder is bound to this run's event loop, its metric snapshot
-    lands in ``result.extra["metrics"]``, and the simulated outcome is
-    bit-identical to an untraced run (the recorder draws no random
-    numbers and schedules no events).
+    ``layout`` / ``trajectory`` override the config-derived defaults
+    (a fleet shares one layout and spreads trajectories);
+    ``contention`` attaches the session's channel to a shared-cell
+    PRB scheduler as UE ``ue_id``. With every override left at its
+    default this builds exactly the classic single-session pipeline —
+    :class:`~repro.util.rng.RngStreams` is stateless per label, so
+    deriving the layout stream externally or not does not perturb any
+    other stream.
     """
-    obs = recorder if recorder is not None else NULL_RECORDER
-    reset_datagram_ids()
-    loop = EventLoop()
     if isinstance(obs, Recorder):
-        obs.bind(loop)
         # The diagnosis layer self-configures from the trace alone, so
         # the operating point travels inside it: SLO thresholds
         # (target bitrate, source fps) resolve identically whether the
@@ -172,8 +260,15 @@ def run_session(
         )
     streams = RngStreams(config.seed)
     profile = get_profile(config.operator, config.environment.value)
-    layout = profile.build_layout(streams.derive("layout"))
-    trajectory = build_trajectory(config, streams)
+    if layout is None:
+        layout = profile.build_layout(streams.derive("layout"))
+    if trajectory is None:
+        trajectory = build_trajectory(config, streams)
+    uplink_demand: float | None = None
+    if contention is not None:
+        uplink_demand = fleet_demand_bps(
+            config.max_bitrate, config.effective_static_bitrate
+        )
     channel = CellularChannel(
         loop,
         layout,
@@ -183,6 +278,9 @@ def run_session(
         config=build_channel_config(config),
         horizon=config.duration,
         obs=obs,
+        contention=contention,
+        ue_id=ue_id,
+        uplink_demand_bps=uplink_demand,
     )
 
     controller = build_controller(config)
@@ -244,52 +342,53 @@ def run_session(
     )
     receiver_holder.append(receiver)
     receiver.on_receiver_report = sender.on_receiver_report
+    return SessionHandles(
+        config=config,
+        channel=channel,
+        uplink=uplink,
+        downlink=downlink,
+        sender=sender,
+        receiver=receiver,
+        controller=controller,
+        obs=obs,
+    )
 
-    channel.start()
-    sender.start()
-    receiver.start()
+
+def run_session(
+    config: ScenarioConfig,
+    *,
+    recorder: NullRecorder | None = None,
+) -> SessionResult:
+    """Execute one measurement run and collect its dataset.
+
+    Pass a live :class:`~repro.obs.Recorder` to collect sim-time
+    traces and a metrics registry alongside the classic logs; the
+    recorder is bound to this run's event loop, its metric snapshot
+    lands in ``result.extra["metrics"]``, and the simulated outcome is
+    bit-identical to an untraced run (the recorder draws no random
+    numbers and schedules no events).
+    """
+    obs = recorder if recorder is not None else NULL_RECORDER
+    reset_datagram_ids()
+    loop = EventLoop()
+    if isinstance(obs, Recorder):
+        obs.bind(loop)
+    handles = build_session(loop, config, obs=obs)
+
+    handles.start()
     loop.run_until(config.duration)
-    sender.stop()
-    receiver.stop()
-    if obs.enabled:
-        uplink.finish_obs()
-        downlink.finish_obs()
-        channel.capacity_dip.finish(loop.now)
+    handles.stop()
+    handles.finish(loop.now)
 
-    extra: dict = {}
-    if isinstance(controller, ScreamController):
-        extra["false_loss_candidates"] = controller.false_loss_candidates
-        extra["detected_losses"] = controller.detected_losses
-    if isinstance(controller, GccController):
-        extra["overuse_events"] = controller.overuse_events
-    extra["ping_pong_handovers"] = channel.engine.ping_pong_count()
-    extra["jitter_dropped_late"] = receiver.jitter_buffer.dropped_late_packets
-    extra["rtt_samples"] = list(sender.rtt_samples)
+    result = handles.collect()
     if isinstance(obs, Recorder):
         # Per-run metric snapshot travels with the result record, so
         # campaign caches serve it without re-simulating and the
         # parent-side runner can merge registries across processes.
-        extra["metrics"] = obs.registry.snapshot()
+        result.extra["metrics"] = obs.registry.snapshot()
         # SLO violations + root-cause attributions, computed once per
         # run (post-loop, so zero in-loop cost) and shipped as plain
         # data: campaign runners merge the embedded summary without
         # re-running detection.
-        extra["diagnosis"] = diagnose(obs.trace, obs.registry).to_dict()
-
-    return SessionResult(
-        config=config,
-        duration=config.duration,
-        packet_log=receiver.packet_log,
-        playback=receiver.player.records,
-        handovers=list(channel.engine.events),
-        capacity_samples=channel.samples,
-        rssi_log=channel.rssi_log,
-        sender_stats=sender.stats,
-        cc_log=controller.log,
-        cells_seen=len(channel.cells_seen),
-        packets_sent=sender.stats.packets_sent,
-        packets_lost_radio=uplink.lost_packets,
-        packets_dropped_buffer=uplink.capacity_link.stats.dropped_overflow,
-        frames_decoded=receiver.decoder.frames_decoded,
-        extra=extra,
-    )
+        result.extra["diagnosis"] = diagnose(obs.trace, obs.registry).to_dict()
+    return result

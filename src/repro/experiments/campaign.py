@@ -45,11 +45,24 @@ def _resolve_runner(
     workers: int | None,
     cache: ResultCache | None,
     progress: ProgressFn | None,
-) -> CampaignRunner:
+) -> tuple[CampaignRunner, bool]:
+    """Return ``(engine, owned)`` — the runner to use and whether this
+    call created it.
+
+    Internally-created runners must be closed by the caller when the
+    campaign ends (their pools are persistent since PR 3, so leaving
+    them open leaks worker processes); caller-supplied runners stay
+    open for reuse across campaigns.
+    """
     if runner is not None:
-        return runner
-    return CampaignRunner(
-        workers if workers is not None else 1, cache=cache, progress=progress
+        return runner, False
+    return (
+        CampaignRunner(
+            workers if workers is not None else 1,
+            cache=cache,
+            progress=progress,
+        ),
+        True,
     )
 
 
@@ -77,7 +90,7 @@ def run_matrix(
     latency violations attributable to handover, Fig. 9) are available
     without reprocessing individual sessions.
     """
-    engine = _resolve_runner(runner, workers, cache, progress)
+    engine, owned = _resolve_runner(runner, workers, cache, progress)
     units = [
         make_unit(
             WORK_SESSION,
@@ -87,7 +100,11 @@ def run_matrix(
         for base in base_configs
         for seed in settings.seeds
     ]
-    results = engine.run(units)
+    try:
+        results = engine.run(units)
+    finally:
+        if owned:
+            engine.close()
     grouped: dict[str, list[SessionResult]] = {}
     for unit, result in zip(units, results):
         key = _series_label(unit.config)
@@ -113,7 +130,14 @@ class ChannelProbeResult:
 
     @property
     def ho_frequency(self) -> float:
-        """Handovers per second across all seeds."""
+        """Handovers per second across all seeds (0.0 if no probe time).
+
+        A zero-duration probe (empty seed list, ``duration=0``) has no
+        observation window, so its frequency is defined as 0 rather
+        than raising ``ZeroDivisionError`` deep inside figure code.
+        """
+        if self.duration_total <= 0.0:
+            return 0.0
         return len(self.handovers) / self.duration_total
 
     @property
@@ -132,7 +156,7 @@ def run_channel_probe(
     progress: ProgressFn | None = None,
 ) -> ChannelProbeResult:
     """Run the cellular channel alone (no video) across seeds."""
-    engine = _resolve_runner(runner, workers, cache, progress)
+    engine, owned = _resolve_runner(runner, workers, cache, progress)
     units = [
         make_unit(
             WORK_CHANNEL_PROBE,
@@ -140,7 +164,11 @@ def run_channel_probe(
         )
         for seed in settings.seeds
     ]
-    seed_results: list[ChannelProbeSeed] = engine.run(units)
+    try:
+        seed_results: list[ChannelProbeSeed] = engine.run(units)
+    finally:
+        if owned:
+            engine.close()
     handovers: list[HandoverEvent] = []
     uplink: list[float] = []
     altitudes: list[float] = []
@@ -175,7 +203,7 @@ def run_ping_probe(
     progress: ProgressFn | None = None,
 ) -> list[PingSample]:
     """Measure echo RTTs over the cellular channel (Fig. 13 workload)."""
-    engine = _resolve_runner(runner, workers, cache, progress)
+    engine, owned = _resolve_runner(runner, workers, cache, progress)
     units = [
         make_unit(
             WORK_PING_PROBE,
@@ -185,7 +213,12 @@ def run_ping_probe(
         )
         for seed in settings.seeds
     ]
+    try:
+        seed_results = engine.run(units)
+    finally:
+        if owned:
+            engine.close()
     samples: list[PingSample] = []
-    for seed_samples in engine.run(units):
+    for seed_samples in seed_results:
         samples.extend(seed_samples)
     return samples

@@ -34,6 +34,7 @@ from repro.util.units import ms, to_mbps, to_ms
 # proximate mechanism rather than the root cause.
 HANDOVER = "handover"
 CAPACITY_DIP = "capacity_dip"
+CELL_CONGESTION = "cell_congestion"
 INTERFERENCE = "interference"
 LOSS_BURST = "loss_burst"
 BUFFERBLOAT = "bufferbloat"
@@ -47,6 +48,7 @@ UNEXPLAINED = "unexplained"
 CAUSE_PRIORS: dict[str, float] = {
     HANDOVER: 1.0,
     CAPACITY_DIP: 0.9,
+    CELL_CONGESTION: 0.88,
     INTERFERENCE: 0.85,
     LOSS_BURST: 0.8,
     BUFFERBLOAT: 0.75,
@@ -214,6 +216,19 @@ def causes_from_trace(trace: Iterable[TraceRecord]) -> list[Cause]:
                     detail=(
                         f"capacity dip (floor "
                         f"{to_mbps(float(labels.get('peak', 0.0))):.2f} Mbps)"
+                    ),
+                    source=record.name,
+                ))
+            elif record.name == "cell.congestion":
+                min_share = float(labels.get("min_share", 1.0))
+                causes.append(Cause(
+                    kind=CELL_CONGESTION,
+                    t0=t0,
+                    t1=t1,
+                    magnitude=_clamp01(1.0 - min_share),
+                    detail=(
+                        f"cell {labels.get('cell', '?')} congestion "
+                        f"(min PRB share {min_share:.2f})"
                     ),
                     source=record.name,
                 ))

@@ -18,6 +18,7 @@ from repro.runner.engine import (
 )
 from repro.runner.work import (
     WORK_CHANNEL_PROBE,
+    WORK_FLEET,
     WORK_PING_PROBE,
     WORK_SESSION,
     WorkUnit,
@@ -31,6 +32,7 @@ __all__ = [
     "CampaignTelemetry",
     "RunTelemetry",
     "WORK_CHANNEL_PROBE",
+    "WORK_FLEET",
     "WORK_PING_PROBE",
     "WORK_SESSION",
     "WorkUnit",

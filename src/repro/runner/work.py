@@ -24,8 +24,10 @@ WORK_SESSION = "session"
 WORK_CHANNEL_PROBE = "channel-probe"
 #: ICMP-like echo probes over the channel (cheap; Fig. 13).
 WORK_PING_PROBE = "ping-probe"
+#: N sessions sharing one layout + PRB scheduler (most expensive).
+WORK_FLEET = "fleet"
 
-_KINDS = (WORK_SESSION, WORK_CHANNEL_PROBE, WORK_PING_PROBE)
+_KINDS = (WORK_SESSION, WORK_CHANNEL_PROBE, WORK_PING_PROBE, WORK_FLEET)
 
 
 @dataclass(frozen=True)
@@ -95,6 +97,24 @@ def execute_unit(unit: WorkUnit) -> Any:
         return channel_probe_seed(unit.config)
     if unit.kind == WORK_PING_PROBE:
         return ping_probe_seed(unit.config, **params)
+    if unit.kind == WORK_FLEET:
+        # Fleets shard across workers exactly like seeds: one fleet
+        # (N co-located sessions on a shared loop) per work unit.
+        from repro.cellular.cell import CellCapacityConfig
+        from repro.core.fleet import FleetConfig, run_fleet
+
+        recorder = Recorder() if params.pop("obs", False) else None
+        capacity = params.pop("cell_capacity", None)
+        fleet_config = FleetConfig(
+            base=unit.config,
+            cell_capacity=(
+                CellCapacityConfig(*capacity)
+                if capacity is not None
+                else CellCapacityConfig()
+            ),
+            **params,
+        )
+        return run_fleet(fleet_config, recorder=recorder)
     raise ValueError(f"unknown work kind {unit.kind!r}")
 
 

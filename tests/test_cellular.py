@@ -274,6 +274,135 @@ class TestHandoverEngine:
         assert engine.best_neighbour_margin() == pytest.approx(-10.0)
 
 
+class TestHandoverEdgeCases:
+    """Edge cases pinned by the fleet-contention PR: degenerate
+    layouts, prohibit-window candidate state and ping-pong windows."""
+
+    def make_engine(self, num_cells=3, **a3):
+        config = A3Config(**a3) if a3 else A3Config()
+        return HandoverEngine(num_cells, rng("ho-edge"), config=config)
+
+    def test_single_cell_layout_never_triggers_a3(self):
+        engine = self.make_engine(num_cells=1)
+        for i in range(100):
+            # Wild RSRP swings on the only cell must never produce A3.
+            level = -60.0 if i % 2 else -110.0
+            assert engine.measure(i * 0.1, np.array([level])) is None
+        assert engine.events == []
+        assert engine.serving_cell == 0
+        assert not engine.a3_pending()
+
+    def test_margin_before_first_measurement_is_minus_inf(self):
+        engine = self.make_engine()
+        assert engine.filtered_rsrp is None
+        assert engine.best_neighbour_margin() == float("-inf")
+
+    def test_single_cell_margin_is_minus_inf(self):
+        engine = self.make_engine(num_cells=1)
+        engine.measure(0.0, np.array([-70.0]))
+        assert engine.best_neighbour_margin() == float("-inf")
+
+    def test_prohibit_window_resets_a3_candidate(self):
+        engine = self.make_engine(
+            num_cells=2, prohibit_time=2.0, time_to_trigger=0.2
+        )
+        engine.het_sampler = HetSampler(
+            body_median=0.02, body_sigma=0.01, outlier_prob_air=0.0,
+            outlier_prob_ground=0.0,
+        )
+        now = 0.0
+        for _ in range(3):
+            engine.measure(now, np.array([-60.0, -90.0]))
+            now += 0.1
+        # Strong neighbour -> handover 0 -> 1.
+        event = None
+        while event is None:
+            event = engine.measure(now, np.array([-90.0, -60.0]))
+            now += 0.1
+        assert event.target_cell == 1
+        # Source turns strong again immediately: the prohibit window
+        # must swallow the A3 state, not just delay its execution.
+        while now < event.time + event.execution_time + 2.0:
+            assert engine.measure(now, np.array([-60.0, -90.0])) is None
+            assert not engine.a3_pending()
+            now += 0.1
+        # After the window the condition must re-arm from scratch:
+        # a fresh TTT (0.2 s) has to elapse before the reversal fires.
+        reversal_start = now
+        reversal = None
+        while reversal is None:
+            reversal = engine.measure(now, np.array([-60.0, -90.0]))
+            now += 0.1
+        assert reversal.target_cell == 0
+        assert reversal.time - reversal_start >= engine.config.time_to_trigger
+
+    def test_ping_pong_window_runs_from_completion(self):
+        from repro.cellular.handover import HandoverEvent
+
+        engine = self.make_engine(num_cells=2)
+        # Return at t=7.5: 7.5 s after the *trigger*, but only 4.5 s
+        # after the first handover *completed* (3 s HET) -> ping-pong.
+        engine.events = [
+            HandoverEvent(0.0, source_cell=0, target_cell=1,
+                          execution_time=3.0),
+            HandoverEvent(7.5, source_cell=1, target_cell=0,
+                          execution_time=0.03),
+        ]
+        assert engine.ping_pong_count(window=5.0) == 1
+
+    def test_ping_pong_window_still_bounded(self):
+        from repro.cellular.handover import HandoverEvent
+
+        engine = self.make_engine(num_cells=2)
+        engine.events = [
+            HandoverEvent(0.0, source_cell=0, target_cell=1,
+                          execution_time=3.0),
+            HandoverEvent(8.2, source_cell=1, target_cell=0,
+                          execution_time=0.03),
+        ]
+        # 5.2 s after completion: outside the window.
+        assert engine.ping_pong_count(window=5.0) == 0
+
+    def test_ping_pong_requires_return_to_source(self):
+        from repro.cellular.handover import HandoverEvent
+
+        engine = self.make_engine(num_cells=3)
+        engine.events = [
+            HandoverEvent(0.0, source_cell=0, target_cell=1,
+                          execution_time=0.03),
+            HandoverEvent(1.0, source_cell=1, target_cell=2,
+                          execution_time=0.03),
+        ]
+        assert engine.ping_pong_count(window=5.0) == 0
+
+    def test_blocked_neighbour_is_never_selected(self):
+        engine = self.make_engine(num_cells=2, time_to_trigger=0.2)
+        engine.measure(0.0, np.array([-60.0, -90.0]), blocked=(1,))
+        for i in range(1, 50):
+            event = engine.measure(
+                i * 0.1, np.array([-90.0, -60.0]), blocked=(1,)
+            )
+            assert event is None  # only neighbour is full -> stay
+            assert not engine.a3_pending()
+        assert engine.serving_cell == 0
+
+    def test_negative_offset_sheds_crowded_serving_cell(self):
+        engine = self.make_engine(
+            num_cells=2, time_to_trigger=0.2, hysteresis_db=3.0
+        )
+        rsrp = np.array([-60.0, -62.0])  # neighbour 2 dB weaker: no A3
+        engine.measure(0.0, rsrp)
+        assert engine.serving_cell == 0
+        offsets = np.array([-6.0, 0.0])  # serving cell crowded
+        events = []
+        for i in range(1, 30):
+            event = engine.measure(i * 0.1, rsrp, offsets=offsets)
+            if event is not None:
+                events.append(event)
+        assert len(events) == 1
+        assert events[0].target_cell == 1
+
+
 class TestCellularChannel:
     def build(self, environment="urban", platform_altitude=True, seed=4):
         streams = RngStreams(seed)

@@ -50,6 +50,33 @@ class TestRunMatrix:
         assert result.duration == QUICK.duration
 
 
+class TestRunnerOwnership:
+    def test_run_matrix_closes_internal_runner(self):
+        """Regression: run_matrix used to leak the worker pool it
+        created internally (the pool is persistent since PR 3)."""
+        import multiprocessing
+
+        run_matrix(
+            [ScenarioConfig(cc="static")],
+            ExperimentSettings(duration=12.0, seeds=(1, 2), warmup=2.0),
+            workers=2,
+        )
+        for child in multiprocessing.active_children():
+            child.join(timeout=10.0)
+        assert multiprocessing.active_children() == []
+
+    def test_caller_supplied_runner_stays_open(self):
+        from repro.runner import CampaignRunner
+
+        with CampaignRunner(workers=1) as runner:
+            run_matrix([ScenarioConfig(cc="static")], QUICK, runner=runner)
+            # Reusable across campaigns: a second call must still work.
+            grouped = run_matrix(
+                [ScenarioConfig(cc="static")], QUICK, runner=runner
+            )
+        assert len(grouped) == 1
+
+
 class TestChannelProbe:
     def test_probe_collects_samples(self):
         probe = run_channel_probe(
@@ -58,6 +85,21 @@ class TestChannelProbe:
         assert len(probe.uplink_samples) > 200
         assert probe.duration_total == QUICK.duration
         assert probe.ho_frequency >= 0.0
+
+    def test_ho_frequency_zero_duration(self):
+        """Regression: an empty probe divided by zero total duration."""
+        from repro.experiments import ChannelProbeResult
+
+        empty = ChannelProbeResult(
+            label="static-urban-air-P1",
+            handovers=[],
+            duration_total=0.0,
+            uplink_samples=[],
+            altitudes=[],
+            cells_seen=0,
+            ping_pong=0,
+        )
+        assert empty.ho_frequency == 0.0
 
     def test_probe_label(self):
         probe = run_channel_probe(
