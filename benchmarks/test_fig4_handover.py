@@ -7,6 +7,7 @@ threshold with heavy outliers (up to seconds) concentrated in the air.
 
 from repro.cellular.handover import HET_SUCCESS_THRESHOLD
 from repro.experiments import fig4_handover, fig4_to_series
+from repro.util.units import to_ms
 
 
 def test_fig4_handover(benchmark, channel_settings, report, runner):
@@ -25,7 +26,7 @@ def test_fig4_handover(benchmark, channel_settings, report, runner):
     assert 0.02 < series["air_urban_ho_s"] < 0.7
 
     # HET body below the 3GPP success threshold; outliers beyond it.
-    assert series["het_median_ms"] < HET_SUCCESS_THRESHOLD * 1e3
+    assert series["het_median_ms"] < to_ms(HET_SUCCESS_THRESHOLD)
     assert series["het_max_ms"] > 100.0
     air_urban = result.het_summary("static-urban-air-P1")
     grd_urban = result.het_summary("static-urban-ground-P1")

@@ -413,14 +413,9 @@ def cmd_list_figures(args: argparse.Namespace) -> int:
 
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run the invariant linter (same engine as ``python -m repro.lint``)."""
-    from repro.lint.runner import run_cli
+    from repro.lint.runner import run_with_args
 
-    argv: list[str] = list(args.paths)
-    if args.select is not None:
-        argv += ["--select", args.select]
-    if args.list_rules:
-        argv.append("--list-rules")
-    return run_cli(argv)
+    return run_with_args(args, args._parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -631,21 +626,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint_parser = sub.add_parser(
         "lint",
-        help="check repo invariants (determinism, units, event-loop hygiene)",
-        description="AST-based invariant linter; exits non-zero on findings. "
-        "Suppress a deliberate violation with '# repro-lint: ignore[RULE]'.",
+        help="check repo invariants (determinism, units, trace schema, "
+        "RNG streams)",
+        description="Whole-program invariant linter; exits 1 on findings, "
+        "3 on internal analysis errors. Suppress a deliberate violation "
+        "with '# repro-lint: ignore[RULE]  # reason'.",
     )
-    lint_parser.add_argument(
-        "paths",
-        nargs="*",
-        default=["src", "tools", "examples"],
-        help="files or directories to lint (default: src tools examples)",
-    )
-    lint_parser.add_argument("--select", default=None, help="comma-separated rule ids")
-    lint_parser.add_argument(
-        "--list-rules", action="store_true", help="print the rule catalogue and exit"
-    )
-    lint_parser.set_defaults(func=cmd_lint)
+    from repro.lint.runner import add_lint_arguments
+
+    add_lint_arguments(lint_parser)
+    lint_parser.set_defaults(func=cmd_lint, _parser=lint_parser)
     return parser
 
 

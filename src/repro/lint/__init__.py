@@ -16,28 +16,56 @@ checks:
 * **picklability** — work handed to the multiprocessing campaign
   runner is module-level, never a closure or lambda (RPL004).
 
-Run it as ``python -m repro.lint src tools examples`` or via the
-``repro lint`` CLI subcommand. Suppress a deliberate violation with a
-same-line pragma::
+On top of the per-file rules, a whole-program engine
+(:mod:`repro.lint.project`) builds a symbol table and import/call
+graph over the full tree and runs cross-module dataflow rules
+(:mod:`repro.lint.crossrules`):
+
+* **unit dimensions** — a ``*_ms`` value must not flow into a
+  ``*_s`` parameter two packages away (RPL007);
+* **trace-schema contracts** — every emitted trace/metric name is
+  registered in the generated :mod:`repro.obs.schema`, and every name
+  a consumer string-matches is actually emitted (RPL008);
+* **RNG stream discipline** — one component per derived stream, no
+  import-time capture (RPL009);
+* **wall-clock taint** — ``time.time()`` values never reach sim-time
+  sinks (RPL010).
+
+Run it as ``python -m repro.lint`` or via the ``repro lint`` CLI
+subcommand (``--format json|sarif``, ``--changed``, ``--baseline
+write|check``). Suppress a deliberate violation with a same-line
+pragma::
 
     start = time.time()  # repro-lint: ignore[RPL001]
 
 ``# repro-lint: ignore`` (no rule list) suppresses every rule on that
-line; ``# repro-lint: skip-file`` excludes the whole file.
+line; ``# repro-lint: skip-file`` excludes the whole file. For the
+cross-module rules the pragma may sit on any line of a multi-line
+call expression.
 """
 
 from __future__ import annotations
 
 from repro.lint.findings import Finding, PragmaIndex
+from repro.lint.output import Baseline, render_json, render_sarif, render_text
+from repro.lint.project import FactsCache, ProjectIndex, build_project
 from repro.lint.rules import ALL_RULES, Rule
-from repro.lint.runner import lint_file, lint_paths, lint_source
+from repro.lint.runner import lint_file, lint_paths, lint_project, lint_source
 
 __all__ = [
     "ALL_RULES",
+    "Baseline",
+    "FactsCache",
     "Finding",
     "PragmaIndex",
+    "ProjectIndex",
     "Rule",
+    "build_project",
     "lint_file",
     "lint_paths",
+    "lint_project",
     "lint_source",
+    "render_json",
+    "render_sarif",
+    "render_text",
 ]

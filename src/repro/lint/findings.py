@@ -10,7 +10,7 @@ from __future__ import annotations
 import io
 import re
 import tokenize
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 _PRAGMA_RE = re.compile(
     r"#\s*repro-lint:\s*(?P<kind>skip-file|ignore)"
@@ -23,13 +23,23 @@ ALL = frozenset({"*"})
 
 @dataclass(frozen=True, order=True)
 class Finding:
-    """One invariant violation at a specific source location."""
+    """One invariant violation at a specific source location.
+
+    ``end_line`` extends the anchor over multi-line constructs (the
+    cross-module rules report whole call expressions); it is excluded
+    from ordering/equality so per-file and cross findings mix freely.
+    """
 
     path: str
     line: int
     col: int
     rule_id: str
     message: str
+    end_line: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.end_line < self.line:
+            object.__setattr__(self, "end_line", self.line)
 
     def render(self) -> str:
         """GCC-style one-line rendering (clickable in most editors)."""
@@ -83,3 +93,32 @@ class PragmaIndex:
         if ignored is None:
             return False
         return "*" in ignored or rule_id.upper() in ignored
+
+    def to_payload(self) -> dict[str, object]:
+        """JSON-able snapshot (stored in the analysis cache)."""
+        return {
+            "skip_file": self.skip_file,
+            "ignored": {
+                str(line): sorted(rules)
+                for line, rules in self._ignored.items()
+            },
+        }
+
+
+def range_ignored(
+    payload: dict[str, object], line: int, end_line: int, rule_id: str
+) -> bool:
+    """Whether a pragma anywhere on ``line``..``end_line`` suppresses.
+
+    Cross-module findings anchor whole (possibly multi-line) call
+    expressions, so an ``ignore[...]`` comment on *any* line of the
+    call — typically the closing-paren line where black puts trailing
+    comments — counts.
+    """
+    ignored = payload.get("ignored", {})
+    rule = rule_id.upper()
+    for candidate in range(line, end_line + 1):
+        rules = ignored.get(str(candidate))  # type: ignore[union-attr]
+        if rules and ("*" in rules or rule in rules):
+            return True
+    return False

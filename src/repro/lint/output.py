@@ -1,0 +1,196 @@
+"""Finding renderers (text/JSON/SARIF) and the findings baseline.
+
+The machine-readable formats make the linter composable: ``--format
+json`` for scripting, ``--format sarif`` for GitHub code scanning.
+The :class:`Baseline` lets CI gate on *new* findings only — the
+checked-in ``lint-baseline.json`` is expected to stay empty (the repo
+lints clean), but the mechanism allows a finding to be grandfathered
+deliberately instead of pragma'd when a rule is introduced before the
+fix lands.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.lint.findings import Finding
+
+#: Schema version of the JSON finding/baseline payloads.
+JSON_VERSION = 1
+
+
+def _finding_dict(finding: Finding) -> dict[str, Any]:
+    return {
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "end_line": finding.end_line,
+        "rule": finding.rule_id,
+        "message": finding.message,
+    }
+
+
+def finding_from_dict(payload: dict[str, Any]) -> Finding:
+    """Inverse of the JSON finding encoding (used by the cache)."""
+    return Finding(
+        path=payload["path"],
+        line=payload["line"],
+        col=payload["col"],
+        rule_id=payload["rule"],
+        message=payload["message"],
+        end_line=payload.get("end_line", 0),
+    )
+
+
+def render_text(
+    findings: Sequence[Finding], summary: dict[str, Any] | None = None
+) -> str:
+    """GCC-style one-per-line rendering plus a summary line."""
+    lines = [finding.render() for finding in findings]
+    if summary is not None:
+        checked = summary.get("files", 0)
+        if findings:
+            lines.append(f"{len(findings)} finding(s) in {checked} file(s)")
+        else:
+            lines.append(f"checked {checked} file(s): no findings")
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding], summary: dict[str, Any] | None = None
+) -> str:
+    """Stable machine-readable payload for scripting."""
+    payload: dict[str, Any] = {
+        "version": JSON_VERSION,
+        "findings": [_finding_dict(finding) for finding in findings],
+    }
+    if summary is not None:
+        payload["summary"] = summary
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    rule_info: Sequence[tuple[str, str, str]] = (),
+) -> str:
+    """Minimal SARIF 2.1.0 log (GitHub code-scanning compatible).
+
+    ``rule_info`` rows are ``(rule_id, title, description)`` and become
+    the driver's rule catalogue, so code-scanning shows titles instead
+    of bare ids.
+    """
+    rules = [
+        {
+            "id": rule_id,
+            "name": title.replace(" ", "-") or rule_id,
+            "shortDescription": {"text": title or rule_id},
+            "fullDescription": {"text": description or title or rule_id},
+        }
+        for rule_id, title, description in rule_info
+    ]
+    results = [
+        {
+            "ruleId": finding.rule_id,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                            "endLine": finding.end_line,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in findings
+    ]
+    log = {
+        "version": "2.1.0",
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.lint",
+                        "informationUri": (
+                            "https://example.invalid/repro-lint"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)
+
+
+class Baseline:
+    """Multiset of accepted finding fingerprints.
+
+    A fingerprint is ``(path, rule, message)`` — deliberately excluding
+    the line number, so unrelated edits that shift a grandfathered
+    finding up or down do not resurface it. Multiplicity is kept: two
+    identical findings with one baselined still reports one.
+    """
+
+    def __init__(self, fingerprints: Counter[tuple[str, str, str]]) -> None:
+        self.fingerprints = fingerprints
+
+    @staticmethod
+    def _fingerprint(finding: Finding) -> tuple[str, str, str]:
+        return (finding.path, finding.rule_id, finding.message)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        return cls(Counter(cls._fingerprint(f) for f in findings))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return cls(Counter())
+        counts: Counter[tuple[str, str, str]] = Counter()
+        for entry in payload.get("findings", []):
+            key = (entry["path"], entry["rule"], entry["message"])
+            counts[key] += int(entry.get("count", 1))
+        return cls(counts)
+
+    def save(self, path: str | Path) -> None:
+        entries = [
+            {"path": p, "rule": rule, "message": message, "count": count}
+            for (p, rule, message), count in sorted(
+                self.fingerprints.items()
+            )
+        ]
+        payload = {"version": JSON_VERSION, "findings": entries}
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def new_findings(self, findings: Sequence[Finding]) -> list[Finding]:
+        """Findings exceeding their baselined multiplicity."""
+        budget = Counter(self.fingerprints)
+        fresh: list[Finding] = []
+        for finding in findings:
+            key = self._fingerprint(finding)
+            if budget[key] > 0:
+                budget[key] -= 1
+            else:
+                fresh.append(finding)
+        return fresh

@@ -18,6 +18,7 @@ Metric names use ``component/name`` (see :mod:`repro.obs.metrics`).
 from __future__ import annotations
 
 import math
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator
@@ -142,15 +143,53 @@ class Recorder(NullRecorder):
     the clock, which keeps scheduled-duration spans (e.g. a handover
     whose execution time is drawn up front) expressible without
     callbacks.
+
+    With ``warn_unregistered=True`` (a debug mode — one set lookup per
+    record, so off by default) every emitted name is checked against
+    the generated :mod:`repro.obs.schema` registry, and the first use
+    of each unregistered name raises a :class:`UserWarning`. This is
+    the runtime twin of the RPL008 static check: the linter catches
+    names in code it can see, the warning catches names built
+    dynamically at run time.
     """
 
     enabled = True
 
-    def __init__(self, clock: Any | None = None) -> None:
+    def __init__(
+        self, clock: Any | None = None, *, warn_unregistered: bool = False
+    ) -> None:
         self.registry = MetricsRegistry()
         self.trace: list[TraceRecord] = []
         self._clock = clock
         self._depth = 0
+        self._known_names: frozenset[str] | None = None
+        self._warned_names: set[str] = set()
+        if warn_unregistered:
+            try:
+                from repro.obs.schema import ALL_NAMES
+            except ImportError:
+                warnings.warn(
+                    "repro.obs.schema missing; regenerate it with "
+                    "'python -m repro.lint --write-trace-schema' to "
+                    "enable unregistered-name warnings",
+                    stacklevel=2,
+                )
+            else:
+                self._known_names = ALL_NAMES
+
+    def _check_name(self, name: str) -> None:
+        if (
+            self._known_names is not None
+            and name not in self._known_names
+            and name not in self._warned_names
+        ):
+            self._warned_names.add(name)
+            warnings.warn(
+                f"trace/metric name {name!r} is not in the generated "
+                "schema registry; regenerate it with "
+                "'python -m repro.lint --write-trace-schema'",
+                stacklevel=3,
+            )
 
     def bind(self, clock: Any) -> None:
         """Attach the sim clock (any object exposing ``.now``)."""
@@ -166,6 +205,8 @@ class Recorder(NullRecorder):
     # ------------------------------------------------------------------
     def event(self, name: str, t: float | None = None, **labels: Any) -> None:
         """Record a point event at ``t`` (default: the sim clock)."""
+        if self._known_names is not None:
+            self._check_name(name)
         self.trace.append(
             TraceEvent(
                 name=name,
@@ -177,6 +218,8 @@ class Recorder(NullRecorder):
 
     def span_at(self, name: str, t0: float, t1: float, **labels: Any) -> None:
         """Record a completed span with explicit bounds."""
+        if self._known_names is not None:
+            self._check_name(name)
         self.trace.append(
             TraceSpan(name=name, t0=t0, t1=t1, labels=labels, depth=self._depth)
         )
@@ -190,6 +233,8 @@ class Recorder(NullRecorder):
         appended on entry so the trace preserves opening order; its
         ``t1`` is patched on exit.
         """
+        if self._known_names is not None:
+            self._check_name(name)
         span = TraceSpan(
             name=name, t0=self.now, t1=self.now, labels=labels,
             depth=self._depth,
@@ -207,10 +252,14 @@ class Recorder(NullRecorder):
     # ------------------------------------------------------------------
     def count(self, name: str, amount: float = 1.0, **labels: Any) -> None:
         """Increment the counter ``name{labels}``."""
+        if self._known_names is not None:
+            self._check_name(name)
         self.registry.counter(name, **labels).inc(amount)
 
     def gauge(self, name: str, value: float, **labels: Any) -> None:
         """Set the gauge ``name{labels}``."""
+        if self._known_names is not None:
+            self._check_name(name)
         self.registry.gauge(name, **labels).set(value)
 
     def observe(
@@ -221,4 +270,6 @@ class Recorder(NullRecorder):
         **labels: Any,
     ) -> None:
         """Observe ``value`` in the histogram ``name{labels}``."""
+        if self._known_names is not None:
+            self._check_name(name)
         self.registry.histogram(name, buckets=buckets, **labels).observe(value)

@@ -1,6 +1,6 @@
 """CC diagnostic on a clean constant-capacity link (no cellular)."""
 import sys
-import numpy as np
+
 from repro.net.simulator import EventLoop
 from repro.net.path import NetworkPath
 from repro.core.sender import VideoSender
@@ -12,30 +12,43 @@ from repro.util.units import mbps, to_mbps
 from repro.video.source import SourceVideo
 from repro.video.encoder import EncoderModel
 
-cc_name = sys.argv[1] if len(sys.argv)>1 else "gcc"
-capacity = mbps(float(sys.argv[2])) if len(sys.argv)>2 else 40e6
-duration = float(sys.argv[3]) if len(sys.argv)>3 else 60.0
 
-cfg = ScenarioConfig(cc=cc_name, duration=duration, seed=5)
-loop = EventLoop(); streams = RngStreams(5)
-ctrl = build_controller(cfg)
-holder=[]
-up = NetworkPath(loop, lambda t: capacity, lambda d: holder[0].on_datagram(d),
-                 base_delay=0.025, jitter_std=0.0005, rng=streams.derive("j1"))
-down = NetworkPath(loop, lambda t: capacity, lambda d: holder[0].on_feedback_delivered(d),
-                   base_delay=0.025, jitter_std=0.0005, rng=streams.derive("j2"))
-src = SourceVideo(streams.derive("src"))
-enc = EncoderModel(streams.derive("enc"), initial_bitrate=ctrl.target_bitrate(0))
-snd = VideoSender(loop, src, enc, ctrl, up)
-rcv = VideoReceiver(loop, ctrl, down, scream_ack_window=cfg.scream_ack_window)
-holder.append(rcv)
-snd.start(); rcv.start()
-loop.run_until(duration)
-log = ctrl.log
-for t in range(0, int(duration), 5):
-    entries=[e for e in log if t<=e.time<t+5]
-    if entries:
-        e=entries[-1]
-        print(f"t={t:3d} target={to_mbps(e.target_bitrate):5.2f}Mbps", {k:(round(v,2) if isinstance(v,float) else v) for k,v in e.extra.items()})
-print("extra:", getattr(ctrl,'overuse_events',None), getattr(ctrl,'false_loss_candidates',None), getattr(ctrl,'detected_losses',None))
-print("sent", snd.stats.packets_sent, "delivered", len(rcv.packet_log), "discards", snd.stats.queue_discards)
+def main(argv: list[str] | None = None) -> None:
+    argv = sys.argv[1:] if argv is None else argv
+    cc_name = argv[0] if len(argv) > 0 else "gcc"
+    capacity = mbps(float(argv[1])) if len(argv) > 1 else 40e6
+    duration = float(argv[2]) if len(argv) > 2 else 60.0
+
+    cfg = ScenarioConfig(cc=cc_name, duration=duration, seed=5)
+    loop = EventLoop()
+    streams = RngStreams(cfg.seed)
+    ctrl = build_controller(cfg)
+    holder = []
+    up = NetworkPath(loop, lambda t: capacity, lambda d: holder[0].on_datagram(d),
+                     base_delay=0.025, jitter_std=0.0005, rng=streams.derive("j1"))
+    down = NetworkPath(loop, lambda t: capacity, lambda d: holder[0].on_feedback_delivered(d),
+                       base_delay=0.025, jitter_std=0.0005, rng=streams.derive("j2"))
+    src = SourceVideo(streams.derive("src"))
+    enc = EncoderModel(streams.derive("enc"), initial_bitrate=ctrl.target_bitrate(0))
+    snd = VideoSender(loop, src, enc, ctrl, up)
+    rcv = VideoReceiver(loop, ctrl, down, scream_ack_window=cfg.scream_ack_window)
+    holder.append(rcv)
+    snd.start()
+    rcv.start()
+    loop.run_until(duration)
+    log = ctrl.log
+    for t in range(0, int(duration), 5):
+        entries = [e for e in log if t <= e.time < t + 5]
+        if entries:
+            e = entries[-1]
+            print(f"t={t:3d} target={to_mbps(e.target_bitrate):5.2f}Mbps",
+                  {k: (round(v, 2) if isinstance(v, float) else v) for k, v in e.extra.items()})
+    print("extra:", getattr(ctrl, 'overuse_events', None),
+          getattr(ctrl, 'false_loss_candidates', None),
+          getattr(ctrl, 'detected_losses', None))
+    print("sent", snd.stats.packets_sent, "delivered", len(rcv.packet_log),
+          "discards", snd.stats.queue_discards)
+
+
+if __name__ == "__main__":
+    main()
