@@ -64,6 +64,26 @@ _GEO_CHUNK_TICKS = 600
 
 
 @lru_cache(maxsize=8)
+def _tick_positions(
+    traj_key: tuple, anchor: float, start_tick: int, n_ticks: int
+) -> np.ndarray:
+    """UE positions at measurement ticks, cached per trajectory.
+
+    Split out of :func:`_tick_geometry` because the trajectory is
+    often shared across runs whose *layouts* differ: an air-platform
+    seed sweep flies the fixed paper trajectory over per-seed
+    perturbed layouts, so a batched sweep interpolates the positions
+    once and only the per-layout loss/gain passes repeat.
+    """
+    wp_times, wp_points = traj_key
+    trajectory = WaypointTrajectory(
+        list(wp_times), [Position(x, y, alt) for x, y, alt in wp_points]
+    )
+    ticks = anchor + (start_tick + np.arange(n_ticks)) * MEASUREMENT_PERIOD
+    return trajectory.positions_at(ticks)
+
+
+@lru_cache(maxsize=8)
 def _tick_geometry(
     traj_key: tuple,
     cell_key: tuple,
@@ -88,13 +108,8 @@ def _tick_geometry(
     same-seed re-runs, parallel-vs-serial equality checks, cached
     campaign replays — reuse the arrays across channel instances.
     """
-    wp_times, wp_points = traj_key
-    trajectory = WaypointTrajectory(
-        list(wp_times), [Position(x, y, alt) for x, y, alt in wp_points]
-    )
     config = PropagationConfig(*prop_key)
-    ticks = anchor + (start_tick + np.arange(n_ticks)) * MEASUREMENT_PERIOD
-    pos = trajectory.positions_at(ticks)
+    pos = _tick_positions(traj_key, anchor, start_tick, n_ticks)
     cell_ids = np.array([c[0] for c in cell_key], dtype=float)
     cx = np.array([c[1] for c in cell_key])
     cy = np.array([c[2] for c in cell_key])
@@ -531,8 +546,20 @@ class CellularChannel:
                 self.obs.count("channel/interference_outliers")
 
     def _capacity(
-        self, now: float, altitude: float, loss_row: np.ndarray
+        self,
+        now: float,
+        altitude: float,
+        loss_row: np.ndarray,
+        interference_ratio: float | None = None,
     ) -> tuple[float, float, float]:
+        """Per-tick capacity from the serving cell's link quality.
+
+        ``interference_ratio`` lets the batched executor pass a
+        neighbour-interference ratio computed once for a whole seed
+        batch (value-identical to the per-call computation below,
+        gated by the fingerprint suite); scalar callers leave it
+        ``None``.
+        """
         filtered = self.engine.filtered_rsrp
         if filtered is None:
             return self._uplink_bps, self._downlink_bps, 0.0
@@ -564,11 +591,12 @@ class CellularChannel:
         # received nearly as strongly as the serving one, raising the
         # effective interference floor; on the ground the serving cell
         # dominates and the rise is negligible.
-        serving_mw = 10.0 ** (float(filtered[serving]) / 10.0)
-        others_mw = np.power(10.0, np.delete(filtered, serving) / 10.0)
-        interference_ratio = INTERFERENCE_LOAD * float(np.sum(others_mw)) / max(
-            serving_mw, 1e-30
-        )
+        if interference_ratio is None:
+            serving_mw = 10.0 ** (float(filtered[serving]) / 10.0)
+            others_mw = np.power(10.0, np.delete(filtered, serving) / 10.0)
+            interference_ratio = INTERFERENCE_LOAD * float(np.sum(others_mw)) / max(
+                serving_mw, 1e-30
+            )
         sinr_lin = 10.0 ** (snr_db / 10.0) / (1.0 + interference_ratio)
         sinr_db_eff = 10.0 * math.log10(max(sinr_lin, 1e-6))
         uplink = (

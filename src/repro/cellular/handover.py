@@ -190,16 +190,7 @@ class HandoverEngine:
             return None
         alpha = self.config.l3_filter_alpha
         self._filtered = (1 - alpha) * self._filtered + alpha * rsrp
-        if self._in_handover_until is not None:
-            if now >= self._in_handover_until:
-                self._in_handover_until = None
-            else:
-                return None
-        if self.events and now - self.events[-1].time < (
-            self.events[-1].execution_time + self.config.prohibit_time
-        ):
-            self._a3_candidate = None
-            self._a3_since = None
+        if self._gate(now):
             return None
         if offsets is None and not blocked:
             neighbours = self._filtered.copy()
@@ -219,6 +210,40 @@ class HandoverEngine:
         neighbours[self.serving_cell] = -np.inf
         best = int(np.argmax(neighbours))
         margin = neighbours[best] - serving_score
+        return self._evaluate(now, best, float(margin), altitude)
+
+    def _gate(self, now: float) -> bool:
+        """Advance the execution/prohibit windows; ``True`` = no A3
+        evaluation this tick.
+
+        Shared between :meth:`measure` and the batched lockstep
+        executor (:mod:`repro.cellular.batch`), which computes the
+        neighbour margins for a whole seed batch in one vectorized
+        pass and must skip exactly the ticks the scalar path skips.
+        """
+        if self._in_handover_until is not None:
+            if now >= self._in_handover_until:
+                self._in_handover_until = None
+            else:
+                return True
+        if self.events and now - self.events[-1].time < (
+            self.events[-1].execution_time + self.config.prohibit_time
+        ):
+            self._a3_candidate = None
+            self._a3_since = None
+            return True
+        return False
+
+    def _evaluate(
+        self, now: float, best: int, margin: float, altitude: float
+    ) -> HandoverEvent | None:
+        """A3 hysteresis/TTT state machine on a precomputed margin.
+
+        ``best``/``margin`` must be the strongest-neighbour index and
+        its dB margin over the serving score, computed exactly as
+        :meth:`measure` does (the batched executor reproduces that
+        computation row-wise over its stacked filtered-RSRP matrix).
+        """
         if not np.isfinite(margin):
             # Every neighbour blocked (or single-cell layout): stay.
             self._a3_candidate = None

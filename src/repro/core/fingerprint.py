@@ -1,0 +1,77 @@
+"""Canonical run fingerprints for bit-identity gates.
+
+The batched execution paths (:mod:`repro.cellular.batch`,
+:mod:`repro.runner.batch`) promise *packet-for-packet* reproduction of
+the scalar simulator — not statistical agreement, equality of every
+logged float. These helpers reduce a run to a hashable tuple of
+exactly the artifacts that promise covers, so equivalence tests and
+CI gates compare one value instead of re-deriving field lists:
+
+* :func:`session_fingerprint` — the full measurement dataset of a
+  :class:`~repro.core.session.SessionResult` (per-packet transport
+  log, playback records, handovers, capacity samples, counters);
+* :func:`probe_fingerprint` — the channel-only dataset of a
+  :class:`~repro.experiments.probes.ChannelProbeSeed`.
+
+Floats are compared exactly (no tolerance): two runs either consumed
+identical random draws through identical arithmetic or they did not.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def _handover_tuples(handovers: "list[Any]") -> tuple:
+    return tuple(
+        (
+            event.time,
+            event.source_cell,
+            event.target_cell,
+            event.execution_time,
+            event.altitude,
+        )
+        for event in handovers
+    )
+
+
+def session_fingerprint(result: Any) -> tuple:
+    """Exact-equality digest of one :class:`SessionResult`."""
+    return (
+        result.packets_sent,
+        result.frames_decoded,
+        result.cells_seen,
+        result.packets_lost_radio,
+        result.packets_dropped_buffer,
+        tuple(
+            (entry.sequence, entry.sent_at, entry.received_at, entry.size_bytes)
+            for entry in result.packet_log
+        ),
+        tuple(
+            (
+                record.frame_id,
+                record.play_time,
+                record.encode_time,
+                record.ssim,
+                record.complete,
+            )
+            for record in result.playback
+        ),
+        _handover_tuples(result.handovers),
+        tuple(
+            (sample.time, sample.uplink_bps, sample.downlink_bps)
+            for sample in result.capacity_samples
+        ),
+        result.extra.get("ping_pong_handovers"),
+    )
+
+
+def probe_fingerprint(probe: Any) -> tuple:
+    """Exact-equality digest of one :class:`ChannelProbeSeed`."""
+    return (
+        tuple(probe.uplink_samples),
+        tuple(probe.altitudes),
+        _handover_tuples(probe.handovers),
+        probe.cells_seen,
+        probe.ping_pong,
+    )

@@ -227,6 +227,7 @@ def build_session(
     trajectory: WaypointTrajectory | None = None,
     contention: CellContention | None = None,
     ue_id: int = 0,
+    draws: "dict | None" = None,
 ) -> SessionHandles:
     """Assemble one full sender/receiver session on ``loop``.
 
@@ -238,6 +239,16 @@ def build_session(
     :class:`~repro.util.rng.RngStreams` is stateless per label, so
     deriving the layout stream externally or not does not perturb any
     other stream.
+
+    ``draws`` optionally maps the session's per-packet/per-frame
+    stream labels (``"jitter-up"``, ``"jitter-down"``, ``"loss-up"``,
+    ``"loss-down"``, ``"encoder"``) to pre-built draw buffers —
+    typically the preloaded wrappers of a
+    :class:`~repro.util.rng.SweepDrawPlan`, which refills all seeds
+    of a sweep in one struct-of-arrays block per stream. Each wrapper
+    serves the exact values the per-label derived stream would have
+    produced, so a run with ``draws`` is bit-identical to one
+    without.
     """
     if isinstance(obs, Recorder):
         # The diagnosis layer self-configures from the trace alone, so
@@ -290,6 +301,10 @@ def build_session(
 
     receiver_holder: list[VideoReceiver] = []
 
+    if draws is None:
+        draws = {}
+    jitter_up = draws.get("jitter-up")
+    jitter_down = draws.get("jitter-down")
     uplink = NetworkPath(
         loop,
         channel.uplink_rate,
@@ -297,10 +312,14 @@ def build_session(
         base_delay=config.base_owd,
         jitter_std=config.owd_jitter_std,
         loss_model=GilbertElliottLoss.from_rate_and_burst(
-            config.loss_rate, config.loss_mean_burst, streams.derive("loss-up")
+            config.loss_rate,
+            config.loss_mean_burst,
+            None if "loss-up" in draws else streams.derive("loss-up"),
+            uniform=draws.get("loss-up"),
         ),
         buffer_bytes=config.uplink_buffer_bytes,
-        rng=streams.derive("jitter-up"),
+        rng=None if jitter_up is not None else streams.derive("jitter-up"),
+        jitter=jitter_up,
         obs=obs,
         name="uplink",
     )
@@ -311,10 +330,14 @@ def build_session(
         base_delay=config.base_owd,
         jitter_std=config.owd_jitter_std,
         loss_model=GilbertElliottLoss.from_rate_and_burst(
-            config.loss_rate, config.loss_mean_burst, streams.derive("loss-down")
+            config.loss_rate,
+            config.loss_mean_burst,
+            None if "loss-down" in draws else streams.derive("loss-down"),
+            uniform=draws.get("loss-down"),
         ),
         buffer_bytes=config.downlink_buffer_bytes,
-        rng=streams.derive("jitter-down"),
+        rng=None if jitter_down is not None else streams.derive("jitter-down"),
+        jitter=jitter_down,
         obs=obs,
         name="downlink",
     )
@@ -323,11 +346,12 @@ def build_session(
 
     source = SourceVideo(streams.derive("source"), fps=config.fps)
     encoder = EncoderModel(
-        streams.derive("encoder"),
+        None if "encoder" in draws else streams.derive("encoder"),
         fps=config.fps,
         min_bitrate=config.min_bitrate,
         max_bitrate=config.max_bitrate,
         initial_bitrate=controller.target_bitrate(0.0),
+        normal=draws.get("encoder"),
     )
     sender = VideoSender(loop, source, encoder, controller, uplink, obs=obs)
     receiver = VideoReceiver(
@@ -358,6 +382,7 @@ def run_session(
     config: ScenarioConfig,
     *,
     recorder: NullRecorder | None = None,
+    draws: "dict | None" = None,
 ) -> SessionResult:
     """Execute one measurement run and collect its dataset.
 
@@ -366,14 +391,16 @@ def run_session(
     recorder is bound to this run's event loop, its metric snapshot
     lands in ``result.extra["metrics"]``, and the simulated outcome is
     bit-identical to an untraced run (the recorder draws no random
-    numbers and schedules no events).
+    numbers and schedules no events). ``draws`` forwards sweep-
+    preloaded draw buffers to :func:`build_session` (bit-identical
+    either way).
     """
     obs = recorder if recorder is not None else NULL_RECORDER
     reset_datagram_ids()
     loop = EventLoop()
     if isinstance(obs, Recorder):
         obs.bind(loop)
-    handles = build_session(loop, config, obs=obs)
+    handles = build_session(loop, config, obs=obs, draws=draws)
 
     handles.start()
     loop.run_until(config.duration)

@@ -18,6 +18,15 @@ for free from the on-disk result cache. ``workers=1`` without a cache
 preserves the classic serial in-process path. Results are grouped in
 submission order, so the grouped output is identical for every worker
 count.
+
+Campaign-owned runners additionally execute each scenario's seed sweep
+as one struct-of-arrays batch (:mod:`repro.runner.batch`): channel
+probes run through the lockstep batched kernel and sessions share one
+:class:`~repro.util.rng.SweepDrawPlan` refill per stream. Batched
+results are packet-for-packet identical to scalar execution (pinned by
+``tests/test_fingerprints.py``), and non-batchable units — ping
+probes, fleets, ``obs=True`` sessions — transparently fall back to
+the scalar path.
 """
 
 from __future__ import annotations
@@ -53,6 +62,13 @@ def _resolve_runner(
     campaign ends (their pools are persistent since PR 3, so leaving
     them open leaks worker processes); caller-supplied runners stay
     open for reuse across campaigns.
+
+    Owned runners enable seed-sweep batching (``batch=True``): the
+    scenario matrices built here repeat configs across seeds, which is
+    exactly the shape :mod:`repro.runner.batch` turns into
+    struct-of-arrays sweeps — bit-identical to scalar execution, so it
+    is safe as a default. A caller-supplied runner keeps whatever
+    ``batch`` setting it was constructed with.
     """
     if runner is not None:
         return runner, False
@@ -61,6 +77,7 @@ def _resolve_runner(
             workers if workers is not None else 1,
             cache=cache,
             progress=progress,
+            batch=True,
         ),
         True,
     )

@@ -179,18 +179,25 @@ class DelayLine:
         base_delay: float,
         jitter_std: float = 0.0,
         rng: np.random.Generator | None = None,
+        jitter: BatchedNormal | None = None,
     ) -> None:
         if base_delay < 0:
             raise ValueError(f"base_delay must be non-negative, got {base_delay}")
         if jitter_std < 0:
             raise ValueError(f"jitter_std must be non-negative, got {jitter_std}")
-        if jitter_std > 0 and rng is None:
+        if jitter_std > 0 and rng is None and jitter is None:
             raise ValueError("rng is required when jitter_std > 0")
         self._loop = loop
         self._deliver = deliver
         self.base_delay = base_delay
         self.jitter_std = jitter_std
-        self._jitter = BatchedNormal(rng) if rng is not None else None
+        # ``jitter`` lets a seed-sweep batch hand in a draw buffer
+        # preloaded for the whole run (one block refill per sweep,
+        # same stream, same values — see SweepDrawPlan).
+        if jitter is not None:
+            self._jitter = jitter
+        else:
+            self._jitter = BatchedNormal(rng) if rng is not None else None
         self._inflight: deque[Datagram] = deque()
         self._last_delivery = -1.0
         self.stats = LinkStats()

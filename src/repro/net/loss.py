@@ -67,10 +67,11 @@ class GilbertElliottLoss(LossModel):
         self,
         p_good_to_bad: float,
         p_bad_to_good: float,
-        rng: np.random.Generator,
+        rng: np.random.Generator | None,
         *,
         loss_in_bad: float = 1.0,
         loss_in_good: float = 0.0,
+        uniform: BatchedUniform | None = None,
     ) -> None:
         for name, value in (
             ("p_good_to_bad", p_good_to_bad),
@@ -82,14 +83,18 @@ class GilbertElliottLoss(LossModel):
                 raise ValueError(f"{name} must be in [0, 1], got {value}")
         if p_bad_to_good == 0.0 and p_good_to_bad > 0.0:
             raise ValueError("bad state would be absorbing (p_bad_to_good == 0)")
+        if rng is None and uniform is None:
+            raise ValueError("either rng or uniform is required")
         self.p_good_to_bad = p_good_to_bad
         self.p_bad_to_good = p_bad_to_good
         self.loss_in_bad = loss_in_bad
         self.loss_in_good = loss_in_good
         #: Per-packet draws come from a block-refilled buffer: one
         #: scalar Generator.random() call per packet is ~20x the cost
-        #: of a block draw, and the values are bit-identical.
-        self._uniform = BatchedUniform(rng)
+        #: of a block draw, and the values are bit-identical. A
+        #: seed-sweep batch passes ``uniform`` preloaded for the whole
+        #: run (same stream, one refill per sweep).
+        self._uniform = uniform if uniform is not None else BatchedUniform(rng)
         self._in_bad_state = False
 
     @classmethod
@@ -97,7 +102,9 @@ class GilbertElliottLoss(LossModel):
         cls,
         loss_rate: float,
         mean_burst: float,
-        rng: np.random.Generator,
+        rng: np.random.Generator | None,
+        *,
+        uniform: BatchedUniform | None = None,
     ) -> "GilbertElliottLoss":
         """Construct from a target stationary loss rate and burst length.
 
@@ -111,7 +118,7 @@ class GilbertElliottLoss(LossModel):
         p_bg = 1.0 / mean_burst
         # pi_bad = loss_rate (loss_in_bad=1) => p_gb = loss_rate*p_bg/(1-loss_rate)
         p_gb = loss_rate * p_bg / (1.0 - loss_rate) if loss_rate > 0 else 0.0
-        return cls(p_gb, p_bg, rng)
+        return cls(p_gb, p_bg, rng, uniform=uniform)
 
     @property
     def in_bad_state(self) -> bool:

@@ -13,6 +13,7 @@ from typing import Callable
 import numpy as np
 
 from repro.net.links import CapacityLink, DelayLine, RateFn
+from repro.util.rng import BatchedNormal
 from repro.net.loss import LossModel, NoLoss
 from repro.net.packet import Datagram
 from repro.net.simulator import EventLoop
@@ -42,9 +43,13 @@ class NetworkPath:
     buffer_bytes:
         Radio queue depth (drop-tail).
     rng:
-        Jitter noise generator; required whenever ``jitter_std > 0``.
-        Derive it from the scenario's :class:`repro.util.rng.RngStreams`
-        so two paths never share a stream.
+        Jitter noise generator; required whenever ``jitter_std > 0``
+        (unless ``jitter`` is given). Derive it from the scenario's
+        :class:`repro.util.rng.RngStreams` so two paths never share a
+        stream.
+    jitter:
+        Optional pre-built (typically sweep-preloaded) jitter draw
+        buffer; overrides ``rng``.
     obs:
         Trace recorder; consecutive loss-gate drops are recorded as
         ``loss.burst`` spans (the Gilbert-Elliott bad-state episodes
@@ -64,6 +69,7 @@ class NetworkPath:
         loss_model: LossModel | None = None,
         buffer_bytes: int = 3_000_000,
         rng: np.random.Generator | None = None,
+        jitter: BatchedNormal | None = None,
         obs: NullRecorder = NULL_RECORDER,
         name: str = "",
     ) -> None:
@@ -77,7 +83,7 @@ class NetworkPath:
         self._burst_packets = 0
         self._burst_t0 = 0.0
         self._burst_t1 = 0.0
-        if jitter_std > 0 and rng is None:
+        if jitter_std > 0 and rng is None and jitter is None:
             raise ValueError(
                 "rng is required when jitter_std > 0; derive one from the "
                 "scenario RngStreams (e.g. streams.derive('jitter-up'))"
@@ -88,6 +94,7 @@ class NetworkPath:
             base_delay=base_delay,
             jitter_std=jitter_std,
             rng=rng,
+            jitter=jitter,
         )
         self.capacity_link = CapacityLink(
             loop,

@@ -10,6 +10,13 @@ event loop, so results are identical for any worker count; merging is
 by submission index and therefore order-independent.
 """
 
+from repro.runner.batch import (
+    BatchPlan,
+    batch_key,
+    execute_batch,
+    plan_batches,
+    session_stream_specs,
+)
 from repro.runner.cache import CACHE_SCHEMA_VERSION, ResultCache
 from repro.runner.engine import (
     CampaignRunner,
@@ -26,8 +33,13 @@ from repro.runner.work import (
 )
 
 __all__ = [
+    "BatchPlan",
     "CACHE_SCHEMA_VERSION",
     "ResultCache",
+    "batch_key",
+    "execute_batch",
+    "plan_batches",
+    "session_stream_specs",
     "CampaignRunner",
     "CampaignTelemetry",
     "RunTelemetry",

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.obs import DiagnosisSummary, MetricsRegistry
+from repro.runner.batch import BatchPlan, execute_batch, plan_batches
 from repro.runner.cache import MISS, ResultCache
 from repro.runner.work import WorkUnit, execute_unit
 
@@ -97,6 +98,34 @@ def _execute_indexed(payload: tuple[int, WorkUnit]) -> tuple[int, Any, RunTeleme
     return index, result, record
 
 
+def _execute_batched(
+    plan: BatchPlan,
+) -> tuple[BatchPlan, list[Any], list[RunTelemetry]]:
+    """Pool entry point: run one seed-sweep batch, stamp per-unit telemetry.
+
+    The batch executes as a single struct-of-arrays task; its wall time
+    is apportioned evenly across the member units so per-unit records
+    (and ``sim_wall_ratio``) stay meaningful in campaign summaries.
+    """
+    start = time.time()  # repro-lint: ignore[RPL001] (wall-clock telemetry)
+    results = execute_batch(plan)
+    end = time.time()  # repro-lint: ignore[RPL001] (wall-clock telemetry)
+    share = (end - start) / len(plan.units)
+    worker = f"worker-{os.getpid()}"
+    records = [
+        RunTelemetry(
+            unit=unit.describe(),
+            worker=f"{worker}/batch{len(plan.units)}",
+            wall_start=start + position * share,
+            wall_end=start + (position + 1) * share,
+            sim_duration=unit.config.duration,
+            cache_hit=False,
+        )
+        for position, unit in enumerate(plan.units)
+    ]
+    return plan, results, records
+
+
 class CampaignRunner:
     """Fan campaign work units out over processes, caching results.
 
@@ -109,6 +138,14 @@ class CampaignRunner:
         A :class:`ResultCache`, or ``None`` to disable caching.
     progress:
         Optional per-unit completion callback (see :data:`ProgressFn`).
+    batch:
+        Execute cache-missed units of the same scenario-modulo-seed as
+        struct-of-arrays seed sweeps (see :mod:`repro.runner.batch`).
+        Batched results are bit-identical to the scalar path and fan
+        back into the cache per unit, so an interrupted batched
+        campaign resumes from what completed. Units the planner deems
+        non-batchable (ping probes, fleets, instrumented sessions)
+        fall back to scalar execution transparently.
 
     The worker pool is created lazily on the first parallel campaign
     and **reused across** :meth:`run` calls — repeated campaigns skip
@@ -134,6 +171,7 @@ class CampaignRunner:
         *,
         cache: ResultCache | None = None,
         progress: ProgressFn | None = None,
+        batch: bool = False,
     ) -> None:
         if workers is None:
             workers = os.cpu_count() or 1
@@ -142,6 +180,7 @@ class CampaignRunner:
         self.workers = workers
         self.cache = cache
         self.progress = progress
+        self.batch = batch
         self.telemetry = CampaignTelemetry()
         self.metrics = MetricsRegistry()
         self.diagnosis = DiagnosisSummary()
@@ -176,6 +215,23 @@ class CampaignRunner:
             self._collect_metrics(cached)
             self._note(record, done, total)
 
+        if self.batch and pending:
+            plans, pending = plan_batches(pending, self.workers)
+            for plan, batch_results, records in self._execute_batches(plans):
+                for index, result, record in zip(
+                    plan.indices, batch_results, records
+                ):
+                    # Per-unit cache writes as each batch lands: an
+                    # interrupted campaign resumes from exactly the
+                    # units that finished, batched or not.
+                    if self.cache is not None:
+                        self.cache.put(units[index], result)
+                    results[index] = result
+                    done += 1
+                    self.telemetry.executed += 1
+                    self._collect_metrics(result)
+                    self._note(record, done, total)
+
         for index, result, record in self._execute(pending):
             if self.cache is not None:
                 self.cache.put(units[index], result)
@@ -203,6 +259,24 @@ class CampaignRunner:
             self._pool = multiprocessing.Pool(processes=self.workers)
         yield from self._pool.imap_unordered(
             _execute_indexed, pending, chunksize=1
+        )
+
+    def _execute_batches(
+        self, plans: list[BatchPlan]
+    ) -> Iterable[tuple[BatchPlan, list[Any], list[RunTelemetry]]]:
+        if not plans:
+            return
+        if self.workers == 1 or len(plans) == 1:
+            for plan in plans:
+                plan, batch_results, records = _execute_batched(plan)
+                for record in records:
+                    record.worker = f"main/batch{len(plan.units)}"
+                yield plan, batch_results, records
+            return
+        if self._pool is None:
+            self._pool = multiprocessing.Pool(processes=self.workers)
+        yield from self._pool.imap_unordered(
+            _execute_batched, plans, chunksize=1
         )
 
     def close(self) -> None:

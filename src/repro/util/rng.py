@@ -11,6 +11,7 @@ another's.
 from __future__ import annotations
 
 import zlib
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -80,6 +81,13 @@ class BatchedNormal:
     consecutive draws use different ``loc``/``scale`` — at a fraction
     of the per-draw cost (the RNG-stability tests pin this equality).
 
+    ``preload`` seeds the buffer with draws that were *already taken*
+    from ``rng`` (e.g. one row of a :class:`SweepDrawPlan` block): the
+    wrapper serves the preloaded values first and refills from the
+    generator — which has advanced past them — once they run out, so
+    the served stream is bit-identical regardless of how well the
+    preload size matched the run's appetite.
+
     Do **not** mix a :class:`BatchedNormal` and direct generator calls
     (or a :class:`BatchedUniform`) on the *same* underlying stream:
     the refill prefetches draws, so interleaving would reorder the
@@ -89,12 +97,17 @@ class BatchedNormal:
 
     __slots__ = ("_rng", "_block", "_buf", "_idx")
 
-    def __init__(self, rng: np.random.Generator, block: int = _BATCH_BLOCK) -> None:
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        block: int = _BATCH_BLOCK,
+        preload: np.ndarray | None = None,
+    ) -> None:
         if block < 1:
             raise ValueError(f"block must be >= 1, got {block}")
         self._rng = rng
         self._block = block
-        self._buf: list[float] = []
+        self._buf: list[float] = [] if preload is None else list(preload)
         self._idx = 0
 
     def normal(self, loc: float = 0.0, scale: float = 1.0) -> float:
@@ -116,17 +129,23 @@ class BatchedUniform:
     results (``uniform`` is ``low + (high - low) * random()`` in C and
     reproduced here with the same double arithmetic).
 
-    The same single-stream caveat as :class:`BatchedNormal` applies.
+    The same single-stream and ``preload`` semantics as
+    :class:`BatchedNormal` apply.
     """
 
     __slots__ = ("_rng", "_block", "_buf", "_idx")
 
-    def __init__(self, rng: np.random.Generator, block: int = _BATCH_BLOCK) -> None:
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        block: int = _BATCH_BLOCK,
+        preload: np.ndarray | None = None,
+    ) -> None:
         if block < 1:
             raise ValueError(f"block must be >= 1, got {block}")
         self._rng = rng
         self._block = block
-        self._buf: list[float] = []
+        self._buf: list[float] = [] if preload is None else list(preload)
         self._idx = 0
 
     def random(self) -> float:
@@ -141,3 +160,73 @@ class BatchedUniform:
     def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
         """Equivalent of ``float(rng.uniform(low, high))``."""
         return low + (high - low) * self.random()
+
+
+#: Stream-spec kinds understood by :class:`SweepDrawPlan`.
+STREAM_NORMAL = "normal"
+STREAM_UNIFORM = "uniform"
+
+
+class StreamSpec:
+    """One derived stream a sweep wants pre-drawn: label, kind, count."""
+
+    __slots__ = ("label", "kind", "count")
+
+    def __init__(self, label: str, kind: str, count: int) -> None:
+        if kind not in (STREAM_NORMAL, STREAM_UNIFORM):
+            raise ValueError(f"unknown stream kind {kind!r}")
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        self.label = label
+        self.kind = kind
+        self.count = int(count)
+
+
+class SweepDrawPlan:
+    """Struct-of-arrays RNG refill for a whole seed sweep.
+
+    For every :class:`StreamSpec` the plan holds one ``(n_seeds,
+    count)`` float64 block whose row ``i`` is the first ``count``
+    draws of seed ``i``'s derived stream — filled with **one** numpy
+    call per ``(seed, stream)`` instead of one 512-draw refill every
+    512 scalar draws. :meth:`wrappers` hands row views out as
+    preloaded :class:`BatchedNormal` / :class:`BatchedUniform`
+    buffers, so a batched run consumes the exact same values the
+    scalar path would have drawn, and overruns fall back to the
+    (already advanced) per-seed generator.
+    """
+
+    def __init__(self, seeds: Sequence[int], specs: Sequence[StreamSpec]) -> None:
+        if not seeds:
+            raise ValueError("seeds must be non-empty")
+        self.seeds = tuple(int(s) for s in seeds)
+        self.specs = tuple(specs)
+        self._blocks: dict[str, np.ndarray] = {}
+        self._generators: dict[tuple[int, str], np.random.Generator] = {}
+        for spec in self.specs:
+            block = np.empty((len(self.seeds), spec.count), dtype=np.float64)
+            for row, seed in enumerate(self.seeds):
+                rng = RngStreams(seed).derive(spec.label)
+                if spec.kind == STREAM_NORMAL:
+                    block[row] = rng.standard_normal(spec.count)
+                else:
+                    block[row] = rng.random(spec.count)
+                self._generators[(seed, spec.label)] = rng
+            self._blocks[spec.label] = block
+
+    def block(self, label: str) -> np.ndarray:
+        """The ``(n_seeds, count)`` draw block for one stream label."""
+        return self._blocks[label]
+
+    def wrappers(self, seed: int) -> dict[str, BatchedNormal | BatchedUniform]:
+        """Preloaded per-stream draw buffers for one seed of the sweep."""
+        row = self.seeds.index(int(seed))
+        out: dict[str, BatchedNormal | BatchedUniform] = {}
+        for spec in self.specs:
+            rng = self._generators[(self.seeds[row], spec.label)]
+            preload = self._blocks[spec.label][row]
+            if spec.kind == STREAM_NORMAL:
+                out[spec.label] = BatchedNormal(rng, preload=preload)
+            else:
+                out[spec.label] = BatchedUniform(rng, preload=preload)
+        return out

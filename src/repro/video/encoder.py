@@ -50,7 +50,7 @@ class EncoderModel:
 
     def __init__(
         self,
-        rng: np.random.Generator,
+        rng: np.random.Generator | None,
         *,
         fps: float = 30.0,
         gop_length: int = 30,
@@ -61,6 +61,7 @@ class EncoderModel:
         min_bitrate: float = 2e6,
         max_bitrate: float = 25e6,
         initial_bitrate: float | None = None,
+        normal: BatchedNormal | None = None,
     ) -> None:
         if gop_length < 2:
             raise ValueError(f"gop_length must be >= 2, got {gop_length}")
@@ -68,10 +69,14 @@ class EncoderModel:
             raise ValueError(f"idr_ratio must be >= 1, got {idr_ratio}")
         if min_bitrate <= 0 or max_bitrate < min_bitrate:
             raise ValueError("invalid bitrate clamp")
+        if rng is None and normal is None:
+            raise ValueError("either rng or normal is required")
         # Size noise and latency jitter are both plain normal draws on
         # this stream, so one block-refilled buffer serves both with
-        # values bit-identical to the scalar calls it replaced.
-        self._normal = BatchedNormal(rng)
+        # values bit-identical to the scalar calls it replaced. A
+        # seed-sweep batch passes ``normal`` preloaded for the whole
+        # run (same stream, one refill per sweep).
+        self._normal = normal if normal is not None else BatchedNormal(rng)
         self.fps = fps
         self.gop_length = gop_length
         self.idr_ratio = idr_ratio

@@ -1,0 +1,108 @@
+"""Bit-identity gates: every batched/derived execution path must
+reproduce the scalar simulator packet-for-packet.
+
+Seven pinned configs span the scenario axes that exercise different
+code paths in the batched kernels — CC algorithm (per-run control
+state), environment (propagation config), platform (shared air
+trajectory vs per-seed ground routes), operator (layout), and the
+``extra`` overrides that reshape handover behaviour. For each config
+the suite pins:
+
+* batched channel probes == per-seed scalar probes;
+* batched sessions (``SweepDrawPlan`` preloads via the runner's batch
+  executor) == per-seed scalar ``run_session``;
+* an N=1 fleet == the plain session;
+* a traced (``Recorder``) session == an untraced one.
+
+Comparisons are exact float equality through
+:mod:`repro.core.fingerprint` — no tolerances. Any drift here means a
+refactor changed draw order or arithmetic, which silently invalidates
+every cached campaign result; CI runs this file as its own job.
+"""
+
+import pytest
+
+from repro.core.config import ScenarioConfig
+from repro.core.fingerprint import probe_fingerprint, session_fingerprint
+from repro.core.fleet import FleetConfig, run_fleet
+from repro.core.session import run_session
+from repro.experiments.probes import channel_probe_batch, channel_probe_seed
+from repro.obs import Recorder
+from repro.runner import WORK_SESSION, execute_batch, plan_batches
+from repro.runner.work import make_unit
+
+#: The seven pinned configs (duration/seed applied per test).
+PINNED = {
+    "static-urban-air": ScenarioConfig(
+        cc="static", environment="urban", platform="air"
+    ),
+    "gcc-urban-air": ScenarioConfig(
+        cc="gcc", environment="urban", platform="air"
+    ),
+    "scream-urban-ground": ScenarioConfig(
+        cc="scream", environment="urban", platform="ground"
+    ),
+    "static-rural-air": ScenarioConfig(
+        cc="static", environment="rural", platform="air"
+    ),
+    "gcc-rural-ground": ScenarioConfig(
+        cc="gcc", environment="rural", platform="ground"
+    ),
+    "static-urban-air-P2": ScenarioConfig(
+        cc="static", environment="urban", platform="air", operator="P2"
+    ),
+    "gcc-urban-air-mbb": ScenarioConfig(
+        cc="gcc",
+        environment="urban",
+        platform="air",
+        extra={"make_before_break": True},
+    ),
+}
+
+PROBE_SEEDS = (1, 2, 3, 4)
+SESSION_SEEDS = (1, 2)
+PROBE_DURATION = 60.0
+SESSION_DURATION = 10.0
+
+
+@pytest.mark.parametrize("name", sorted(PINNED))
+def test_probe_batch_bit_identical(name):
+    configs = [
+        PINNED[name].with_overrides(seed=seed, duration=PROBE_DURATION)
+        for seed in PROBE_SEEDS
+    ]
+    scalar = [probe_fingerprint(channel_probe_seed(c)) for c in configs]
+    batched = [probe_fingerprint(p) for p in channel_probe_batch(configs)]
+    assert batched == scalar
+
+
+@pytest.mark.parametrize("name", sorted(PINNED))
+def test_session_batch_bit_identical(name):
+    configs = [
+        PINNED[name].with_overrides(seed=seed, duration=SESSION_DURATION)
+        for seed in SESSION_SEEDS
+    ]
+    scalar = [session_fingerprint(run_session(c)) for c in configs]
+    units = [make_unit(WORK_SESSION, c) for c in configs]
+    plans, leftovers = plan_batches(list(enumerate(units)))
+    assert leftovers == [] and len(plans) == 1
+    batched = [session_fingerprint(r) for r in execute_batch(plans[0])]
+    assert batched == scalar
+
+
+def test_n1_fleet_bit_identical_to_session():
+    config = PINNED["static-urban-air"].with_overrides(
+        seed=3, duration=SESSION_DURATION
+    )
+    single = session_fingerprint(run_session(config))
+    fleet = run_fleet(FleetConfig(base=config, num_sessions=1))
+    assert session_fingerprint(fleet.sessions[0]) == single
+
+
+def test_traced_session_bit_identical_to_untraced():
+    config = PINNED["gcc-urban-air"].with_overrides(
+        seed=5, duration=SESSION_DURATION
+    )
+    untraced = session_fingerprint(run_session(config))
+    traced = session_fingerprint(run_session(config, recorder=Recorder()))
+    assert traced == untraced

@@ -219,3 +219,121 @@ class TestTelemetryAndProgress:
     def test_invalid_worker_count_rejected(self):
         with pytest.raises(ValueError):
             CampaignRunner(0)
+
+
+# ----------------------------------------------------------------------
+# seed-sweep batching (PR 8): planner + batched engine + resume
+# ----------------------------------------------------------------------
+from repro.runner import plan_batches  # noqa: E402
+from repro.runner.work import WORK_FLEET  # noqa: E402
+
+BATCH_SETTINGS = ExperimentSettings(duration=20.0, seeds=(0, 1, 2, 3, 4, 5), warmup=2.0)
+
+
+def _probe_units(config, settings):
+    return [
+        make_unit(
+            WORK_CHANNEL_PROBE,
+            config.with_overrides(seed=seed, duration=settings.duration),
+        )
+        for seed in settings.seeds
+    ]
+
+
+class TestBatchPlanner:
+    def test_groups_by_scenario_modulo_seed(self):
+        units = _probe_units(CONFIGS[0], QUICK) + _probe_units(CONFIGS[1], QUICK)
+        plans, scalar = plan_batches(list(enumerate(units)))
+        assert scalar == []
+        assert len(plans) == 2  # one sweep per scenario
+        assert sorted(i for p in plans for i in p.indices) == list(range(len(units)))
+        for plan in plans:
+            environments = {u.config.environment for u in plan.units}
+            assert len(environments) == 1
+
+    def test_non_batchable_kinds_stay_scalar(self):
+        config = ScenarioConfig(cc="static", duration=5.0)
+        units = [
+            make_unit(WORK_PING_PROBE, config.with_overrides(seed=s), rate_hz=5.0)
+            for s in (1, 2)
+        ] + [
+            make_unit(WORK_FLEET, config.with_overrides(seed=s), num_sessions=2)
+            for s in (1, 2)
+        ] + [
+            make_unit(WORK_SESSION, config.with_overrides(seed=s), obs=True)
+            for s in (1, 2)
+        ]
+        plans, scalar = plan_batches(list(enumerate(units)))
+        assert plans == []
+        assert [i for i, _ in scalar] == list(range(len(units)))
+
+    def test_singleton_and_duplicate_seeds_stay_scalar(self):
+        config = ScenarioConfig(cc="static", duration=5.0)
+        lone = [make_unit(WORK_SESSION, config.with_overrides(seed=1))]
+        plans, scalar = plan_batches(list(enumerate(lone)))
+        assert plans == [] and len(scalar) == 1
+        dupes = [
+            make_unit(WORK_SESSION, config.with_overrides(seed=s))
+            for s in (1, 2, 1)
+        ]
+        plans, scalar = plan_batches(list(enumerate(dupes)))
+        assert len(plans) == 1 and plans[0].indices == (0, 1)
+        assert [i for i, _ in scalar] == [2]
+
+    def test_worker_chunking_splits_large_sweeps(self):
+        units = _probe_units(CONFIGS[0], BATCH_SETTINGS)
+        plans, scalar = plan_batches(list(enumerate(units)), workers=3)
+        assert scalar == []
+        assert len(plans) == 3
+        assert all(len(p.units) == 2 for p in plans)
+
+
+class TestBatchedCampaign:
+    def test_batched_probe_matches_scalar_runner(self):
+        scalar = run_channel_probe(
+            CONFIGS[0], BATCH_SETTINGS, runner=CampaignRunner(1)
+        )
+        runner = CampaignRunner(1, batch=True)
+        batched = run_channel_probe(CONFIGS[0], BATCH_SETTINGS, runner=runner)
+        assert batched.uplink_samples == scalar.uplink_samples
+        assert batched.altitudes == scalar.altitudes
+        assert len(batched.handovers) == len(scalar.handovers)
+        assert batched.ping_pong == scalar.ping_pong
+        # per-unit telemetry survives batching
+        assert runner.telemetry.executed == len(BATCH_SETTINGS.seeds)
+        assert len(runner.telemetry.runs) == len(BATCH_SETTINGS.seeds)
+        assert all(
+            r.worker == f"main/batch{len(BATCH_SETTINGS.seeds)}"
+            for r in runner.telemetry.runs
+        )
+
+    def test_interrupted_campaign_resumes_incrementally(self, tmp_path):
+        """Interrupt after K of N units; the re-run executes only N-K
+        and the merged result equals an uninterrupted campaign."""
+        expected = run_channel_probe(
+            CONFIGS[0], BATCH_SETTINGS, runner=CampaignRunner(1, batch=True)
+        )
+        total = len(BATCH_SETTINGS.seeds)
+        interrupt_after = 2
+        cache = ResultCache(tmp_path)
+
+        class Interrupted(RuntimeError):
+            pass
+
+        def _abort(done, _total, _record):
+            if done >= interrupt_after:
+                raise Interrupted
+
+        first = CampaignRunner(1, cache=cache, progress=_abort, batch=True)
+        with pytest.raises(Interrupted):
+            run_channel_probe(CONFIGS[0], BATCH_SETTINGS, runner=first)
+        assert cache.stats()["entries"] == interrupt_after
+
+        resumed = CampaignRunner(1, cache=cache, batch=True)
+        merged = run_channel_probe(CONFIGS[0], BATCH_SETTINGS, runner=resumed)
+        assert resumed.telemetry.cache_hits == interrupt_after
+        assert resumed.telemetry.executed == total - interrupt_after
+        assert merged.uplink_samples == expected.uplink_samples
+        assert merged.altitudes == expected.altitudes
+        assert len(merged.handovers) == len(expected.handovers)
+        assert merged.ping_pong == expected.ping_pong

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Compare a pytest-benchmark JSON run against the committed baseline.
+"""Compare benchmark runs against the committed baseline and track trends.
 
 CI's ``bench-smoke`` job runs the representative benches with
 ``--benchmark-json=bench-current.json`` and calls::
@@ -14,12 +14,23 @@ change, or when CI runner hardware shifts) with::
     python tools/bench_compare.py benchmarks/baseline.json \
         bench-current.json --update
 
-which rewrites the baseline from the current run; commit the result.
+which rewrites the baseline from the current run — moving the old
+figures under ``"previous"`` so the before/after of each perf change
+stays in the committed record; commit the result.
 
 The committed baseline uses a minimal schema — ``{"schema": 1,
 "scale": ..., "benches": {name: seconds}}`` — extracted from the
 pytest-benchmark JSON, so refreshes don't churn machine-specific
 metadata through git history.
+
+Bench-history artifacts: ``--emit-history BENCH_<sha>.json`` writes a
+machine-readable snapshot of the current run (per-bench wall seconds,
+scale, python version, commit sha) — CI uploads one per commit. The
+``current`` argument also accepts a *directory* of such artifacts, in
+which case the tool prints a per-bench trend across the last ``--last``
+snapshots instead of comparing against the baseline::
+
+    python tools/bench_compare.py benchmarks/baseline.json bench-history/
 """
 
 from __future__ import annotations
@@ -27,19 +38,37 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import platform
 import sys
 from pathlib import Path
 
 BASELINE_SCHEMA = 1
 
+#: Schema of the per-commit ``BENCH_<sha>.json`` history artifacts.
+HISTORY_SCHEMA = 1
+
 
 def load_current(path: Path) -> dict[str, float]:
-    """Bench name -> mean seconds from a pytest-benchmark JSON file."""
+    """Bench name -> mean seconds from a benchmark JSON file.
+
+    Accepts either raw ``pytest-benchmark --benchmark-json`` output
+    (``{"benchmarks": [...]}``) or a ``BENCH_<sha>.json`` history
+    artifact (``{"schema": 1, "benches": {...}}``).
+    """
     data = json.loads(path.read_text())
-    benches: dict[str, float] = {}
-    for bench in data.get("benchmarks", []):
-        benches[bench["name"]] = float(bench["stats"]["mean"])
-    return benches
+    if "benchmarks" in data:
+        return {
+            bench["name"]: float(bench["stats"]["mean"])
+            for bench in data.get("benchmarks", [])
+        }
+    if "benches" in data:
+        if data.get("schema") != HISTORY_SCHEMA:
+            raise SystemExit(
+                f"{path}: unsupported history schema {data.get('schema')!r} "
+                f"(expected {HISTORY_SCHEMA})"
+            )
+        return {name: float(secs) for name, secs in data["benches"].items()}
+    raise SystemExit(f"{path}: neither pytest-benchmark nor BENCH_* JSON")
 
 
 def load_baseline(path: Path) -> dict[str, float]:
@@ -53,21 +82,93 @@ def load_baseline(path: Path) -> dict[str, float]:
     return {name: float(secs) for name, secs in data["benches"].items()}
 
 
-def write_baseline(path: Path, benches: dict[str, float], scale: str) -> None:
-    """Write the minimal committed-baseline rendering."""
-    payload = {
+def write_baseline(
+    path: Path, benches: dict[str, float], scale: str, note: str = ""
+) -> None:
+    """Write the minimal committed-baseline rendering.
+
+    An existing baseline's figures move under ``"previous"`` (one
+    level deep — the previous ``"previous"`` is dropped), so every
+    refresh leaves a committed before/after of the perf change.
+    ``note`` describes what the preserved figures predate.
+    """
+    payload: dict = {
         "schema": BASELINE_SCHEMA,
         "scale": scale,
         "benches": {name: round(secs, 4) for name, secs in sorted(benches.items())},
     }
+    if path.exists():
+        try:
+            old = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            old = {}
+        if old.get("benches"):
+            payload["previous"] = {
+                "benches": old["benches"],
+                "note": note
+                or "Figures before the last baseline refresh "
+                "(same machine, same scale).",
+            }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def emit_history(path: Path, benches: dict[str, float], scale: str, sha: str) -> None:
+    """Write one machine-readable ``BENCH_<sha>.json`` snapshot."""
+    payload = {
+        "schema": HISTORY_SCHEMA,
+        "sha": sha,
+        "scale": scale,
+        "python": platform.python_version(),
+        "benches": {name: round(secs, 4) for name, secs in sorted(benches.items())},
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"history snapshot written: {path} ({len(benches)} benches)")
+
+
+def print_trend(directory: Path, last: int) -> int:
+    """Per-bench wall-time trend across the newest history artifacts.
+
+    Artifacts are ordered oldest -> newest by modification time (the
+    upload time tracks commit order on CI); each bench prints one line
+    of its recent timings plus the net change across the window.
+    """
+    artifacts = sorted(
+        directory.glob("BENCH_*.json"), key=lambda p: p.stat().st_mtime
+    )[-last:]
+    if not artifacts:
+        print(f"error: no BENCH_*.json artifacts in {directory}", file=sys.stderr)
+        return 2
+    runs = []
+    for artifact in artifacts:
+        data = json.loads(artifact.read_text())
+        sha = str(data.get("sha", artifact.stem.replace("BENCH_", "")))[:9]
+        runs.append((sha, data.get("benches", {})))
+    names = sorted({name for _, benches in runs for name in benches})
+    width = max(len(name) for name in names)
+    print(f"trend across {len(runs)} snapshot(s): " + " -> ".join(s for s, _ in runs))
+    for name in names:
+        series = [benches.get(name) for _, benches in runs]
+        cells = "  ".join(
+            f"{secs:7.2f}" if secs is not None else f"{'--':>7}" for secs in series
+        )
+        measured = [secs for secs in series if secs is not None]
+        if len(measured) >= 2 and measured[0] > 0:
+            net = (measured[-1] / measured[0] - 1.0) * 100.0
+            tail = f"  {net:+6.1f}%"
+        else:
+            tail = f"  {'new':>7}"
+        print(f"{name:<{width}}  {cells}{tail}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", type=Path, help="committed baseline JSON")
     parser.add_argument(
-        "current", type=Path, help="pytest-benchmark --benchmark-json output"
+        "current",
+        type=Path,
+        help="pytest-benchmark JSON, BENCH_<sha>.json, or a directory "
+        "of BENCH_*.json artifacts (trend mode)",
     )
     parser.add_argument(
         "--max-regression",
@@ -79,21 +180,51 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--update",
         action="store_true",
-        help="rewrite the baseline from the current run instead of comparing",
+        help="rewrite the baseline from the current run instead of comparing "
+        "(old figures move under 'previous')",
     )
     parser.add_argument(
         "--scale",
         default=os.environ.get("REPRO_BENCH_SCALE", "quick"),
-        help="scale tag recorded on --update (default: REPRO_BENCH_SCALE)",
+        help="scale tag recorded on --update/--emit-history "
+        "(default: REPRO_BENCH_SCALE)",
+    )
+    parser.add_argument(
+        "--note",
+        default="",
+        help="on --update, annotate the preserved 'previous' figures "
+        "with what they predate",
+    )
+    parser.add_argument(
+        "--emit-history",
+        type=Path,
+        metavar="PATH",
+        help="also write a BENCH_<sha>.json snapshot of the current run",
+    )
+    parser.add_argument(
+        "--sha",
+        default=os.environ.get("GITHUB_SHA", "local"),
+        help="commit id stamped on --emit-history (default: GITHUB_SHA)",
+    )
+    parser.add_argument(
+        "--last",
+        type=int,
+        default=10,
+        help="snapshots to include in directory trend mode (default 10)",
     )
     args = parser.parse_args(argv)
+
+    if args.current.is_dir():
+        return print_trend(args.current, max(1, args.last))
 
     current = load_current(args.current)
     if not current:
         print(f"error: no benchmarks found in {args.current}", file=sys.stderr)
         return 2
+    if args.emit_history is not None:
+        emit_history(args.emit_history, current, args.scale, args.sha)
     if args.update:
-        write_baseline(args.baseline, current, args.scale)
+        write_baseline(args.baseline, current, args.scale, args.note)
         print(f"baseline refreshed: {args.baseline} ({len(current)} benches)")
         return 0
 
