@@ -22,6 +22,11 @@ This module restructures a whole sweep into one lockstep batch:
    stateful decision (A3 hysteresis/TTT, HET draws, prohibit timers,
    outlier episodes, pre/post-handover windows) runs the very same
    code the scalar path runs.
+3. :func:`install_fleet_plans` applies the same precomputation across
+   the *members of one fleet* instead of across seeds: each member's
+   channel keeps ticking through the event loop (full sessions need
+   the loop for pacing, GCC, handover outages), but every per-tick
+   draw is served from the precomputed planes.
 
 Bit-identity contract
 ---------------------
@@ -225,6 +230,218 @@ def build_tick_plans(
         for s in range(n_seeds)
     ]
     return plans, rsrp
+
+
+class FleetTickState:
+    """Per-tick state hoisted across the members of one fleet.
+
+    The scalar fleet pays, per member per tick, one L3-filter EWMA
+    update over the cell vector and one ``np.delete`` + ``np.power``
+    pass for the neighbour-interference ratio. Stacked over an
+    ``(n_members, n_cells)`` matrix both collapse to one numpy op per
+    tick for the whole fleet: the filter recursion is elementwise, so
+    the matrix update equals the per-member updates row for row, and
+    the power matrix feeds each member a slice-based others-sum
+    (value-identical to delete-then-power; both routes are pinned by
+    the fleet fingerprint gates).
+
+    Only these two planes hoist. Everything that *reads* them — cell
+    ranking under load-balancing offsets, admission blocks, the A3
+    state machine, PRB contention — stays per member in session order,
+    because contention state mutates within a tick as earlier members
+    attach (see :meth:`HandoverEngine.measure_prefiltered`).
+
+    Members share one instance and call :meth:`advance` idempotently
+    from their own tick callbacks; the first caller per tick does the
+    matrix work.
+    """
+
+    __slots__ = ("rsrp_planes", "f_matrix", "powered", "_alpha", "_k")
+
+    def __init__(self, rsrp_planes: np.ndarray, alpha: float) -> None:
+        self.rsrp_planes = rsrp_planes
+        self._alpha = alpha
+        self.f_matrix: np.ndarray | None = None
+        self.powered: np.ndarray | None = None
+        self._k = -1
+
+    def advance(self, k: int) -> None:
+        """Advance the hoisted planes to tick ``k`` (idempotent)."""
+        if k == self._k:
+            return
+        if k != self._k + 1:
+            raise RuntimeError(
+                f"fleet ticks must advance in lockstep: {self._k} -> {k}"
+            )
+        if self.f_matrix is None:
+            # First measurement: the filter initializes to the raw
+            # RSRP (scalar: ``rsrp.astype(float).copy()``).
+            self.f_matrix = self.rsrp_planes[:, 0, :].copy()
+        else:
+            alpha = self._alpha
+            self.f_matrix = (
+                (1 - alpha) * self.f_matrix + alpha * self.rsrp_planes[:, k, :]
+            )
+        self.powered = np.power(10.0, self.f_matrix / 10.0)
+        self._k = k
+
+
+class FleetTicker:
+    """One event-loop callback driving every fleet member's tick.
+
+    The scalar fleet keeps N independent per-channel re-arms on the
+    loop heap — N ``schedule_at``/heap-pop pairs per tick for events
+    that all fire at the same anchored instant and run in member
+    order anyway. The ticker collapses them into one event per tick
+    that calls each member's ``_tick`` in session order.
+
+    Ordering is preserved where it matters: the last member's
+    synchronous tick 0 arms the ticker (so the shared tick-1 event
+    sits after every member's tick-0 media activity, exactly where
+    the last per-channel re-arm used to), and each firing re-arms at
+    the *end* of the callback, keeping every member's same-instant
+    media completions ahead of its own next tick just as the scalar
+    scheduling does. Only the relative order of one member's tick
+    against *another* member's same-instant media events changes,
+    and no same-instant data flows across that edge: channel ticks
+    never read media state, media events never read contention
+    state. The fleet fingerprint gates pin the equality.
+
+    Each firing also precomputes the A3 neighbour ranking for the
+    whole fleet — one masked argmax over the shared filtered-RSRP
+    matrix instead of one copy + argmax per member — handed to
+    :meth:`HandoverEngine.measure_prefiltered` as a ``hint``. The
+    hint is stamped with the contention topology version: a member
+    whose predecessors attached mid-tick (new offsets/blocks) fails
+    the stamp check and falls back to the live per-member ranking.
+    The precompute is skipped outright while any cell sits at the
+    admission cap, since blocked-cell masks are per member.
+    """
+
+    __slots__ = (
+        "_channels", "_loop", "_state", "_contention", "_pending",
+        "_anchor", "_rows", "_cols", "hint_k", "hint_topo", "hint_best",
+        "hint_margin", "sums_k", "tick_serving", "others_mw",
+    )
+
+    def __init__(
+        self, channels: Sequence[CellularChannel], state: FleetTickState
+    ) -> None:
+        self._channels = list(channels)
+        self._loop = channels[0]._loop
+        self._state = state
+        self._contention = channels[0]._contention
+        self._pending = len(channels)
+        self._anchor = 0.0
+        self._rows = np.arange(len(channels))
+        self._cols = np.arange(max(len(channels[0].layout) - 1, 0))
+        self.hint_k = -1
+        self.hint_topo = -1
+        self.hint_best: np.ndarray | None = None
+        self.hint_margin: np.ndarray | None = None
+        self.sums_k = -1
+        self.tick_serving: np.ndarray | None = None
+        self.others_mw: np.ndarray | None = None
+
+    def notify_started(self, anchor: float) -> None:
+        """Register one member's synchronous tick 0; the last arms
+        the shared tick-1 event."""
+        self._anchor = anchor
+        self._pending -= 1
+        if self._pending == 0:
+            self._loop.schedule_at(anchor + MEASUREMENT_PERIOD, self._fire)
+
+    def _fire(self) -> None:
+        channels = self._channels
+        state = self._state
+        contention = self._contention
+        k = channels[0]._tick_index
+        state.advance(k)
+        rows = self._rows
+        serving = np.fromiter(
+            (ch.engine.serving_cell for ch in channels),
+            dtype=np.int64,
+            count=len(channels),
+        )
+        # Fleet-wide neighbour-interference sums: drop each member's
+        # serving column with one fancy gather and reduce along the
+        # row. The reduction runs the same pairwise kernel over the
+        # same values in the same order as the per-member slice-based
+        # sum, so the results are value-identical (fingerprint-gated);
+        # a member that hands over mid-tick fails the serving-cell
+        # check in ``_tick`` and falls back to the per-member sum.
+        cols = self._cols
+        gathered = state.powered[
+            rows[:, None], cols + (cols >= serving[:, None])
+        ]
+        self.others_mw = gathered.sum(axis=1)
+        self.tick_serving = serving
+        self.sums_k = k
+        if contention is not None and contention._at_cap.size == 0:
+            # Fleet-wide A3 ranking: mask each member's serving cell
+            # and argmax once. Row-wise this is exactly the
+            # per-member ``filtered + offsets`` ranking (the serving
+            # score is the same two-operand add the scalar path
+            # performs), valid until someone attaches.
+            neighbours = state.f_matrix + contention.offsets()
+            scores = neighbours[rows, serving]
+            neighbours[rows, serving] = -np.inf
+            best = neighbours.argmax(axis=1)
+            self.hint_best = best
+            self.hint_margin = neighbours[rows, best] - scores
+            self.hint_topo = contention._topo_version
+            self.hint_k = k
+        else:
+            self.hint_k = -1
+        for ch in channels:
+            ch._tick()
+        self._loop.schedule_at(
+            self._anchor + channels[0]._tick_index * MEASUREMENT_PERIOD,
+            self._fire,
+        )
+
+
+def install_fleet_plans(
+    channels: Sequence[CellularChannel], duration: float
+) -> None:
+    """Precompute and install per-member tick plans for a fleet run.
+
+    The same struct-of-arrays pass :func:`build_tick_plans` runs
+    across *seeds* for a campaign sweep here runs across the *members*
+    of one fleet: all channels share the layout and channel config and
+    differ only in their derived RNG streams and their translated
+    trajectories, so the AR recursions stack over an
+    ``(n_members, n_cells)`` state matrix and each member's streams
+    refill with one block draw for the whole horizon. Each member then
+    ticks through its own event-loop callback as usual (full sessions
+    need the loop for pacing, GCC, handover outages) — but the ticks
+    share a :class:`FleetTickState`, so the L3 filter recursion and
+    the interference powers also advance once per tick for the whole
+    fleet, and :meth:`CellularChannel._tick` reads precomputed rows
+    instead of drawing per tick. The branchy per-member state (A3,
+    HET, outliers, contention) stays on the exact scalar code path,
+    and the fleet fingerprint gates pin planned == per-tick draws
+    packet-for-packet.
+
+    ``duration`` must be the fleet's ``run_until`` horizon: the plans
+    cover exactly the anchored ticks that horizon fires
+    (:func:`probe_tick_times`), and a channel that ticks past its plan
+    raises rather than falling back.
+    """
+    for ch in channels:
+        if ch._started:
+            raise ValueError("fleet plans must be installed before start")
+    times = probe_tick_times(duration)
+    plans, rsrp_planes = build_tick_plans(channels, times)
+    state = FleetTickState(
+        rsrp_planes, channels[0].engine.config.l3_filter_alpha
+    )
+    ticker = FleetTicker(channels, state)
+    for row, (ch, plan) in enumerate(zip(channels, plans)):
+        ch.install_plan(plan, state=state, row=row, ticker=ticker)
+        # Outlier draws mix random() and uniform() on one stream; the
+        # block-refilled wrapper serves both bit-identically.
+        ch._outlier_rng = BatchedUniform(ch._outlier_rng)
 
 
 def run_lockstep(

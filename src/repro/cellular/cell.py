@@ -26,6 +26,18 @@ Three mechanisms (after the ai-ran-sim ``Cell`` exemplar):
 Everything here is deterministic and RNG-free: contention state is a
 pure function of the attach/update call sequence, which the shared
 event loop orders deterministically.
+
+Two implementations share this contract. :class:`CellContention` is
+the production struct-of-arrays scheduler: per-UE radio state lives in
+flat numpy arrays, membership is an ``(n_ues, n_cells)`` boolean
+plane, PRB requests (and their per-cell sums) are maintained
+incrementally, and the hot per-tick share query answers from a
+sort-free largest-remainder rank (:func:`_member_share`;
+:func:`allocate_prbs_array` is the full array-wise allocator). :class:`ScalarCellContention` is the
+original dict/loop implementation, kept verbatim as the bit-identity
+reference: the fingerprint suite pins vectorized == scalar
+packet-for-packet, and ``benchmarks/test_fleet_scale.py`` measures
+the fast path against it.
 """
 
 from __future__ import annotations
@@ -104,6 +116,440 @@ def allocate_prbs(requests: list[int], budget: int) -> list[int]:
     return allocation
 
 
+def allocate_prbs_array(requests: np.ndarray, budget: int) -> np.ndarray:
+    """Array-wise :func:`allocate_prbs`, bit-identical to the scalar one.
+
+    The quotient ``budget * request / total`` stays exactly equal to
+    the scalar Python division for any realistic PRB budget (both
+    routes convert int operands below 2**53 to float64 exactly and
+    the division is correctly rounded), truncating ``astype`` matches
+    ``int()`` for non-negative quotas, and the stable argsort on the
+    negated remainders reproduces the scalar's ``(-remainder, index)``
+    tie-break. ``tests/test_fleet.py`` asserts elementwise equality
+    against the scalar allocator under large random request vectors.
+    """
+    if budget < 0:
+        raise ValueError(f"budget must be >= 0, got {budget}")
+    req = np.asarray(requests, dtype=np.int64)
+    if req.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    if np.any(req < 0):
+        raise ValueError("requests must be non-negative")
+    total = int(req.sum())
+    if total <= 0:
+        return np.zeros(req.size, dtype=np.int64)
+    quotas = req * budget / total
+    allocation = quotas.astype(np.int64)
+    leftover = budget - int(allocation.sum())
+    order = np.argsort(-(quotas - allocation), kind="stable")
+    allocation[order[:leftover]] += 1
+    return allocation
+
+
+def _member_share(
+    requests: np.ndarray, index: int, budget: int, total: int
+) -> float:
+    """One member's largest-remainder PRB share, without the full sort.
+
+    Equals ``allocate_prbs(requests, budget)[index] / budget`` exactly:
+    the member's floor quota plus one leftover PRB iff its position in
+    the scalar allocator's ``(-remainder, index)`` ordering — the
+    count of strictly larger remainders plus earlier equal ones —
+    falls inside the leftover. Replacing the O(m log m) argsort with
+    two O(m) comparisons is what keeps the hot :meth:`shares` path
+    flat as cells fill toward large admission caps. ``total`` is the
+    incrementally maintained request sum of the cell, identical to
+    ``requests.sum()``.
+    """
+    if total <= 0:
+        return 0.0
+    quotas = requests * budget / total
+    floors = quotas.astype(np.int64)
+    mine = int(floors[index])
+    leftover = budget - int(floors.sum())
+    if leftover > 0:
+        remainders = quotas - floors
+        my_remainder = remainders[index]
+        rank = int((remainders > my_remainder).sum()) + int(
+            (remainders[:index] == my_remainder).sum()
+        )
+        if rank < leftover:
+            mine += 1
+    return mine / budget
+
+
+def _request_prbs(demand_bps: float, unc_bps: float, budget: int) -> int:
+    """PRBs needed to serve ``demand_bps`` at this UE's efficiency.
+
+    The per-PRB rate is ``unc_bps / budget`` (the full-budget rate
+    spread over the budget), so a UE with poor SINR requests more PRBs
+    for the same demand. Full-buffer (NaN demand) or unsatisfiable
+    demands request the whole budget.
+    """
+    if math.isnan(demand_bps) or unc_bps <= 0.0:
+        return budget
+    needed = math.ceil(demand_bps * budget / unc_bps)
+    return max(1, min(budget, needed))
+
+
+class CellContention:
+    """Shared-cell PRB scheduler, admission gate and CIO source.
+
+    One instance is shared by every :class:`CellularChannel` of a
+    fleet. Channels ``register`` once, ``attach`` whenever their
+    serving cell changes, ``update_rates`` each measurement tick, and
+    read back their PRB ``shares``; the handover engine consumes
+    :meth:`offsets` (load-balancing CIO added to the A3 margin) and
+    :meth:`blocked_cells` (admission control).
+
+    Struct-of-arrays layout (the fleet-scale fast path): every
+    registered UE owns a slot in flat per-UE state (serving cell,
+    uncontended rates, demands, current PRB requests), membership is
+    an ``(n_ues, n_cells)`` boolean plane with per-cell occupancy
+    counts, the load-balancing offsets refresh as one vectorized
+    expression, and :meth:`shares` answers from a per-cell allocation
+    cache keyed by a request version: the full largest-remainder
+    allocation (:func:`allocate_prbs_array`) is recomputed only when
+    a member's request or the membership actually changes, and every
+    co-member's query in between is a dict lookup plus one indexed
+    division. PRB requests and their per-cell sums are maintained
+    *incrementally* — each
+    :meth:`update_rates` rewrites only that UE's request (and bumps
+    the cell's request version only when the request moved), which
+    reproduces the scalar semantics exactly: when UE ``i`` asks for
+    its share mid-tick, co-members that already ticked contribute
+    fresh requests and the rest contribute last tick's. Admission
+    blocks are cached per UE and invalidated by a topology version
+    that bumps on every attach, so the per-tick blocked query costs a
+    dict lookup between handovers. All outputs are value-identical to
+    :class:`ScalarCellContention` (exact float equality, pinned by the
+    fleet fingerprint gates); only the ``blocked_cells`` tuple order
+    differs (ascending cell id vs. first-occupied order), which no
+    consumer depends on — blocked cells are only masked to ``-inf``.
+    """
+
+    def __init__(
+        self, num_cells: int, config: CellCapacityConfig | None = None
+    ) -> None:
+        if num_cells < 1:
+            raise ValueError("num_cells must be >= 1")
+        self.config = config if config is not None else CellCapacityConfig()
+        self.num_cells = num_cells
+        self._slots: dict[int, int] = {}
+        self._ids: list[int] = []
+        cap = 16
+        # Scalar per-UE state lives in plain Python lists (read and
+        # written one UE at a time — numpy scalar indexing would cost
+        # more than it saves); only the state the hot share query
+        # *gathers across members* is a numpy array.
+        self._cells: list[int] = []  #: serving cell per slot (-1 = none)
+        self._unc_ul: list[float] = []
+        self._unc_dl: list[float] = []
+        self._dem_ul: list[float] = []  #: NaN = full-buffer
+        self._dem_dl: list[float] = []
+        #: Current PRB requests, ``(cap, 2)`` int64 (columns: UL, DL) —
+        #: the share query fancy-indexes member rows in one gather —
+        #: plus Python mirrors for the incremental bookkeeping.
+        self._req = np.zeros((cap, 2), dtype=np.int64)
+        self._req_ul_py: list[int] = []
+        self._req_dl_py: list[int] = []
+        self._budgets = np.array(
+            [self.config.num_prb_ul, self.config.num_prb_dl], dtype=np.int64
+        )
+        self._member = np.zeros((cap, num_cells), dtype=bool)
+        self._counts = np.zeros(num_cells, dtype=np.int64)
+        self._counts_py: list[int] = [0] * num_cells
+        #: Per-cell sums of the attached members' PRB requests,
+        #: maintained incrementally (plain Python ints — the hot
+        #: :meth:`shares` path reads them without a numpy reduction).
+        self._sum_ul: list[int] = [0] * num_cells
+        self._sum_dl: list[int] = [0] * num_cells
+        self._offsets = np.zeros(num_cells)
+        #: Cells currently at the admission cap (ascending cell ids).
+        self._at_cap: np.ndarray = np.zeros(0, dtype=np.int64)
+        #: Bumped on every attach; invalidates per-UE blocked caches
+        #: and per-cell member rosters.
+        self._topo_version = 0
+        self._blocked_cache: dict[int, tuple[int, tuple[int, ...]]] = {}
+        #: Per-cell ``(sorted ue ids, aligned slots)`` rosters, built
+        #: lazily and dropped when the cell's membership changes.
+        self._rosters: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        #: Per-UE ``(topo version, member slots, own index)`` resolved
+        #: roster positions — between handovers the share query skips
+        #: the roster lookup and binary search entirely.
+        self._share_cache: dict[int, tuple[int, np.ndarray, int]] = {}
+        #: Per-cell request-state version: bumped whenever a member's
+        #: PRB request or the cell's membership changes. Shares are a
+        #: pure function of the member requests, so the per-cell
+        #: allocation cache below stays valid while the version holds.
+        self._req_version: list[int] = [0] * num_cells
+        #: Per-cell ``(request version, ul alloc, dl alloc)`` in roster
+        #: order (plain lists — the hit path indexes one element) —
+        #: one largest-remainder run serves every co-member's share
+        #: query until a request actually changes.
+        self._alloc_cache: dict[int, tuple[int, list[int], list[int]]] = {}
+        #: Highest concurrent attachment count ever seen per cell.
+        self.peak_attached: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def _grow(self) -> None:
+        cap = len(self._req) * 2
+        grown_member = np.zeros((cap, self.num_cells), dtype=bool)
+        grown_member[: len(self._member)] = self._member
+        self._member = grown_member
+        grown_req = np.zeros((cap, 2), dtype=np.int64)
+        grown_req[: len(self._req)] = self._req
+        self._req = grown_req
+
+    def register(
+        self,
+        ue_id: int,
+        *,
+        demand_ul_bps: float | None = None,
+        demand_dl_bps: float | None = None,
+    ) -> None:
+        """Declare a session (before its first measurement tick).
+
+        ``demand_*_bps`` size the session's PRB requests; ``None``
+        means full-buffer (request the whole budget).
+        """
+        if ue_id in self._slots:
+            raise ValueError(f"ue {ue_id} already registered")
+        slot = len(self._ids)
+        if slot >= len(self._req):
+            self._grow()
+        self._slots[ue_id] = slot
+        self._ids.append(ue_id)
+        self._cells.append(-1)
+        self._unc_ul.append(0.0)
+        self._unc_dl.append(0.0)
+        self._dem_ul.append(
+            math.nan if demand_ul_bps is None else demand_ul_bps
+        )
+        self._dem_dl.append(
+            math.nan if demand_dl_bps is None else demand_dl_bps
+        )
+        # Uncontended rate starts at 0 -> full-budget requests, exactly
+        # like the scalar reference before the first update_rates.
+        self._req[slot, 0] = self.config.num_prb_ul
+        self._req[slot, 1] = self.config.num_prb_dl
+        self._req_ul_py.append(self.config.num_prb_ul)
+        self._req_dl_py.append(self.config.num_prb_dl)
+
+    def attach(self, ue_id: int, cell: int) -> None:
+        """Move ``ue_id`` onto ``cell`` (no-op if already attached)."""
+        slot = self._slots[ue_id]
+        old = self._cells[slot]
+        if old == cell:
+            return
+        if not 0 <= cell < self.num_cells:
+            raise ValueError(f"cell {cell} out of range")
+        req_ul = self._req_ul_py[slot]
+        req_dl = self._req_dl_py[slot]
+        if old >= 0:
+            self._member[slot, old] = False
+            self._counts[old] -= 1
+            self._counts_py[old] -= 1
+            self._sum_ul[old] -= req_ul
+            self._sum_dl[old] -= req_dl
+            self._rosters.pop(old, None)
+            self._req_version[old] += 1
+        self._cells[slot] = cell
+        self._member[slot, cell] = True
+        self._counts[cell] += 1
+        count = self._counts_py[cell] + 1
+        self._counts_py[cell] = count
+        self._sum_ul[cell] += req_ul
+        self._sum_dl[cell] += req_dl
+        self._rosters.pop(cell, None)
+        self._req_version[cell] += 1
+        if count > self.peak_attached.get(cell, 0):
+            self.peak_attached[cell] = count
+        self._refresh_offsets()
+        self._at_cap = np.nonzero(
+            self._counts >= self.config.max_sessions
+        )[0].astype(np.int64)
+        self._topo_version += 1
+
+    def attached_count(self, cell: int) -> int:
+        """Sessions currently attached to ``cell``."""
+        if not 0 <= cell < self.num_cells:
+            return 0
+        return self._counts_py[cell]
+
+    def _refresh_offsets(self) -> None:
+        config = self.config
+        extra = self._counts - 1
+        self._offsets[:] = np.where(
+            extra > 0,
+            -np.minimum(config.lb_max_db, config.lb_step_db * extra),
+            0.0,
+        )
+
+    def _roster(self, cell: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(sorted ue ids, aligned slots)`` of one cell's members."""
+        roster = self._rosters.get(cell)
+        if roster is None:
+            slots = np.nonzero(self._member[:, cell])[0]
+            ids = np.fromiter(
+                (self._ids[s] for s in slots),
+                dtype=np.int64,
+                count=len(slots),
+            )
+            order = np.argsort(ids, kind="stable")
+            roster = (ids[order], slots[order])
+            self._rosters[cell] = roster
+        return roster
+
+    # ------------------------------------------------------------------
+    # handover inputs
+    # ------------------------------------------------------------------
+    def offsets(self) -> np.ndarray:
+        """Per-cell CIO vector (dB) added to A3 measurements.
+
+        All zeros while no cell holds more than one session, so a
+        single-session fleet evaluates the exact same A3 margins as
+        the uncontended path.
+        """
+        return self._offsets
+
+    def blocked_cells(self, ue_id: int) -> tuple[int, ...]:
+        """Cells ``ue_id`` may not enter (admission control).
+
+        A cell is blocked when it is at ``max_sessions`` and the UE is
+        not one of them; the UE's own serving cell is never blocked.
+        The result is constant between attaches, so it is cached per
+        UE against the topology version.
+        """
+        if self._at_cap.size == 0:
+            return ()
+        slot = self._slots.get(ue_id)
+        if slot is None:
+            return tuple(int(c) for c in self._at_cap)
+        cached = self._blocked_cache.get(slot)
+        if cached is not None and cached[0] == self._topo_version:
+            return cached[1]
+        own = self._cells[slot]
+        blocked = tuple(int(c) for c in self._at_cap if c != own)
+        self._blocked_cache[slot] = (self._topo_version, blocked)
+        return blocked
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def update_rates(
+        self, ue_id: int, unc_ul_bps: float, unc_dl_bps: float
+    ) -> None:
+        """Report a session's uncontended (full-budget) link rates.
+
+        Also refreshes this UE's PRB requests in place — the request
+        planes are therefore always current *for the UEs that already
+        ticked*, which is exactly the mid-tick state the scalar
+        reference rebuilds from scratch on every ``shares`` query.
+        """
+        slot = self._slots[ue_id]
+        self._unc_ul[slot] = unc_ul_bps
+        self._unc_dl[slot] = unc_dl_bps
+        config = self.config
+        req_ul = _request_prbs(
+            self._dem_ul[slot], unc_ul_bps, config.num_prb_ul
+        )
+        req_dl = _request_prbs(
+            self._dem_dl[slot], unc_dl_bps, config.num_prb_dl
+        )
+        old_ul = self._req_ul_py[slot]
+        old_dl = self._req_dl_py[slot]
+        if req_ul == old_ul and req_dl == old_dl:
+            return
+        cell = self._cells[slot]
+        if cell >= 0:
+            self._sum_ul[cell] += req_ul - old_ul
+            self._sum_dl[cell] += req_dl - old_dl
+            self._req_version[cell] += 1
+        self._req_ul_py[slot] = req_ul
+        self._req_dl_py[slot] = req_dl
+        self._req[slot, 0] = req_ul
+        self._req[slot, 1] = req_dl
+
+    def shares(self, ue_id: int) -> tuple[float, float]:
+        """Current (uplink, downlink) PRB share of ``ue_id`` in [0, 1].
+
+        A sole occupant's share is exactly ``1.0`` in both directions
+        (bit-identity with the uncontended path); co-attached sessions
+        split each budget proportionally to their PRB requests.
+        """
+        slot = self._slots[ue_id]
+        cell = self._cells[slot]
+        if cell < 0:
+            return 1.0, 1.0
+        if self._counts_py[cell] == 1:
+            return 1.0, 1.0
+        cached = self._share_cache.get(slot)
+        if cached is None or cached[0] != self._topo_version:
+            ids, member_slots = self._roster(cell)
+            cached = (
+                self._topo_version,
+                member_slots,
+                int(np.searchsorted(ids, ue_id)),
+            )
+            self._share_cache[slot] = cached
+        version = self._req_version[cell]
+        alloc = self._alloc_cache.get(cell)
+        config = self.config
+        if alloc is None or alloc[0] != version:
+            requests = self._req[cached[1]]
+            alloc = (
+                version,
+                allocate_prbs_array(
+                    requests[:, 0], config.num_prb_ul
+                ).tolist(),
+                allocate_prbs_array(
+                    requests[:, 1], config.num_prb_dl
+                ).tolist(),
+            )
+            self._alloc_cache[cell] = alloc
+        index = cached[2]
+        return (
+            alloc[1][index] / config.num_prb_ul,
+            alloc[2][index] / config.num_prb_dl,
+        )
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def cell_load(self, cell: int) -> float:
+        """Uplink PRB utilization of ``cell`` in [0, 1].
+
+        Utilization counts PRBs that serve actual demand
+        (``min(allocated, requested)``), not the full-buffer surplus,
+        so a lone low-demand UE does not read as a saturated cell.
+        """
+        if not 0 <= cell < self.num_cells or self._counts_py[cell] == 0:
+            return 0.0
+        budget = self.config.num_prb_ul
+        _, slots = self._roster(cell)
+        requests = self._req[slots, 0]
+        allocation = allocate_prbs_array(requests, budget)
+        used = int(np.minimum(allocation, requests).sum())
+        return used / budget
+
+    def loads(self) -> dict[int, float]:
+        """Uplink PRB utilization of every occupied cell."""
+        return {
+            int(cell): self.cell_load(int(cell))
+            for cell in np.nonzero(self._counts)[0]
+        }
+
+    def occupancy(self) -> dict[int, int]:
+        """Attached-session count of every occupied cell."""
+        return {
+            int(cell): int(self._counts[cell])
+            for cell in np.nonzero(self._counts)[0]
+        }
+
+
 class _UeState:
     """Latest radio state one attached session reported."""
 
@@ -117,15 +563,14 @@ class _UeState:
         self.demand_dl_bps: float | None = None
 
 
-class CellContention:
-    """Shared-cell PRB scheduler, admission gate and CIO source.
+class ScalarCellContention:
+    """Reference dict/loop implementation of :class:`CellContention`.
 
-    One instance is shared by every :class:`CellularChannel` of a
-    fleet. Channels ``register`` once, ``attach`` whenever their
-    serving cell changes, ``update_rates`` each measurement tick, and
-    read back their PRB ``shares``; the handover engine consumes
-    :meth:`offsets` (load-balancing CIO added to the A3 margin) and
-    :meth:`blocked_cells` (admission control).
+    The original (pre-vectorization) scheduler, kept verbatim: the
+    fleet fingerprint gates run every pinned fleet config against both
+    implementations and assert exact packet-log equality, and the
+    N=64 scale bench measures the fast path's speedup against a fleet
+    built on this class. Do not optimize it.
     """
 
     def __init__(
@@ -151,11 +596,7 @@ class CellContention:
         demand_ul_bps: float | None = None,
         demand_dl_bps: float | None = None,
     ) -> None:
-        """Declare a session (before its first measurement tick).
-
-        ``demand_*_bps`` size the session's PRB requests; ``None``
-        means full-buffer (request the whole budget).
-        """
+        """Declare a session (before its first measurement tick)."""
         if ue_id in self._ues:
             raise ValueError(f"ue {ue_id} already registered")
         state = _UeState()
@@ -199,20 +640,11 @@ class CellContention:
     # handover inputs
     # ------------------------------------------------------------------
     def offsets(self) -> np.ndarray:
-        """Per-cell CIO vector (dB) added to A3 measurements.
-
-        All zeros while no cell holds more than one session, so a
-        single-session fleet evaluates the exact same A3 margins as
-        the uncontended path.
-        """
+        """Per-cell CIO vector (dB) added to A3 measurements."""
         return self._offsets
 
     def blocked_cells(self, ue_id: int) -> tuple[int, ...]:
-        """Cells ``ue_id`` may not enter (admission control).
-
-        A cell is blocked when it is at ``max_sessions`` and the UE is
-        not one of them; the UE's own serving cell is never blocked.
-        """
+        """Cells ``ue_id`` may not enter (admission control)."""
         cap = self.config.max_sessions
         blocked = tuple(
             cell
@@ -236,25 +668,14 @@ class CellContention:
     def _request(
         demand_bps: float | None, unc_bps: float, budget: int
     ) -> int:
-        """PRBs needed to serve ``demand_bps`` at this UE's efficiency.
-
-        The per-PRB rate is ``unc_bps / budget`` (the full-budget rate
-        spread over the budget), so a UE with poor SINR requests more
-        PRBs for the same demand. Full-buffer (``None``) or
-        unsatisfiable demands request the whole budget.
-        """
+        """PRBs needed to serve ``demand_bps`` at this UE's efficiency."""
         if demand_bps is None or unc_bps <= 0.0:
             return budget
         needed = math.ceil(demand_bps * budget / unc_bps)
         return max(1, min(budget, needed))
 
     def shares(self, ue_id: int) -> tuple[float, float]:
-        """Current (uplink, downlink) PRB share of ``ue_id`` in [0, 1].
-
-        A sole occupant's share is exactly ``1.0`` in both directions
-        (bit-identity with the uncontended path); co-attached sessions
-        split each budget proportionally to their PRB requests.
-        """
+        """Current (uplink, downlink) PRB share of ``ue_id`` in [0, 1]."""
         state = self._ues[ue_id]
         cell = state.cell
         if cell is None:
@@ -291,12 +712,7 @@ class CellContention:
     # reporting
     # ------------------------------------------------------------------
     def cell_load(self, cell: int) -> float:
-        """Uplink PRB utilization of ``cell`` in [0, 1].
-
-        Utilization counts PRBs that serve actual demand
-        (``min(allocated, requested)``), not the full-buffer surplus,
-        so a lone low-demand UE does not read as a saturated cell.
-        """
+        """Uplink PRB utilization of ``cell`` in [0, 1]."""
         members = self._members.get(cell)
         if not members:
             return 0.0
@@ -339,10 +755,29 @@ def fleet_demand_bps(max_bitrate: float, static_bitrate: float) -> float:
     return 1.25 * max(max_bitrate, static_bitrate)
 
 
-def merge_occupancy(maps: Iterable[dict[int, int]]) -> dict[int, int]:
-    """Merge per-fleet peak-occupancy maps by per-cell maximum."""
+def normalize_cell_map(mapping: dict) -> dict[int, int]:
+    """Coerce a cell-id-keyed count map back to ``int`` keys/values.
+
+    A :class:`~repro.core.fleet.FleetResult`'s occupancy/peak maps
+    survive the pickle result cache unchanged, but any JSON round-trip
+    (report exports, history artifacts, hand-rolled caches) stringifies
+    the int cell ids — ``{"3": 2}`` instead of ``{3: 2}`` — which then
+    silently double-counts cells in :func:`merge_occupancy` merges.
+    Normalizing on load makes the maps shape-stable either way.
+    """
+    return {int(cell): int(count) for cell, count in mapping.items()}
+
+
+def merge_occupancy(maps: Iterable[dict]) -> dict[int, int]:
+    """Merge per-fleet peak-occupancy maps by per-cell maximum.
+
+    Keys are coerced through :func:`normalize_cell_map`, so maps that
+    went through a JSON round-trip (string cell ids) merge correctly
+    with native ones.
+    """
     merged: dict[int, int] = {}
     for occupancy in maps:
         for cell, count in occupancy.items():
-            merged[cell] = max(merged.get(cell, 0), count)
+            cell = int(cell)
+            merged[cell] = max(merged.get(cell, 0), int(count))
     return merged

@@ -86,6 +86,7 @@ def _tick_positions(
 @lru_cache(maxsize=8)
 def _tick_geometry(
     traj_key: tuple,
+    offset: tuple,
     cell_key: tuple,
     prop_key: tuple,
     anchor: float,
@@ -103,13 +104,24 @@ def _tick_geometry(
     fading are added per tick at run time) and ``loss[k, i]`` is the
     3-D path loss that also feeds the uplink budget.
 
-    Keyed on value tuples (waypoints, cell parameters, propagation
-    config), so repeated runs over the same trajectory and layout —
-    same-seed re-runs, parallel-vs-serial equality checks, cached
-    campaign replays — reuse the arrays across channel instances.
+    Keyed on value tuples (waypoints, ground-plane offset, cell
+    parameters, propagation config), so repeated runs over the same
+    trajectory and layout — same-seed re-runs, parallel-vs-serial
+    equality checks, cached campaign replays — reuse the arrays across
+    channel instances. ``offset`` is the translated-trajectory shift
+    (see :class:`~repro.flight.trajectory.TranslatedTrajectory`):
+    every member of a fleet ring shares the base position table in
+    :func:`_tick_positions` and only the loss/gain pass below runs per
+    member.
     """
     config = PropagationConfig(*prop_key)
     pos = _tick_positions(traj_key, anchor, start_tick, n_ticks)
+    if offset != (0.0, 0.0):
+        # _tick_positions rows are lru-cached and shared; copy before
+        # shifting, and shift only the ground plane (altitude stays).
+        pos = pos.copy()
+        pos[:, 0] += offset[0]
+        pos[:, 1] += offset[1]
     cell_ids = np.array([c[0] for c in cell_key], dtype=float)
     cx = np.array([c[1] for c in cell_key])
     cy = np.array([c[2] for c in cell_key])
@@ -128,7 +140,7 @@ def _tick_geometry(
     return rsrp_det, loss, altitudes
 
 
-@dataclass
+@dataclass(slots=True)
 class CapacitySample:
     """One 100 ms snapshot of the channel state (for traces/analysis)."""
 
@@ -145,7 +157,7 @@ class CapacitySample:
     uplink_share: float = 1.0
 
 
-@dataclass
+@dataclass(slots=True)
 class RssiReport:
     """Coarse 1 Hz signal report, as the paper's LTE dongles logged."""
 
@@ -279,6 +291,18 @@ class CellularChannel:
         self._outlier_until: float | None = None
         self._post_ho_until: float | None = None
         self._paths: list[NetworkPath] = []
+        #: Precomputed per-tick stochastic planes (a
+        #: :class:`repro.cellular.batch.TickPlan`); ``None`` means the
+        #: per-tick draw path.
+        self._plan = None
+        #: Shared :class:`repro.cellular.batch.FleetTickState` hoisting
+        #: the L3 filter and interference powers across a fleet's
+        #: members (``None`` outside fleet-fast runs), plus this
+        #: member's row in its stacked planes.
+        self._plan_state = None
+        self._plan_row = 0
+        #: Shared fleet tick driver (``None`` -> self re-arm).
+        self._fleet_ticker = None
         self.samples: list[CapacitySample] = []
         self.rssi_log: list[RssiReport] = []
         self.cells_seen: set[int] = set()
@@ -286,6 +310,10 @@ class CellularChannel:
         self._started = False
         self._contention = contention
         self._ue_id = ue_id
+        #: Mirror of this UE's attached cell — ``attach`` is a no-op
+        #: when the serving cell is unchanged, so the call is skipped
+        #: entirely on the (overwhelmingly common) steady-state tick.
+        self._attached_cell = -1
         self._share_ul = 1.0
         self._congestion_t0: float | None = None
         self._congestion_min = 1.0
@@ -321,6 +349,39 @@ class CellularChannel:
         """Instantaneous downlink capacity in bits/s."""
         return self._downlink_bps
 
+    def install_plan(
+        self, plan, *, state=None, row: int = 0, ticker=None
+    ) -> None:
+        """Install precomputed per-tick stochastic planes.
+
+        ``plan`` is a :class:`repro.cellular.batch.TickPlan` covering
+        this channel's whole horizon, built with one block RNG refill
+        per stream (see :func:`repro.cellular.batch.build_tick_plans`).
+        A planned channel skips the per-tick shadowing/fast-fading/
+        measurement/fading draws in :meth:`_tick` and reads the
+        precomputed rows instead — bit-identical values, consumed from
+        the same derived streams. Must be installed before
+        :meth:`start`; ticking past the plan's horizon raises (the
+        block refills already consumed the generators, so a scalar
+        fallback could not be bit-identical).
+
+        ``state``/``row`` additionally enroll the channel in a shared
+        :class:`repro.cellular.batch.FleetTickState`: the L3 filter
+        recursion and the interference powers are then advanced once
+        per tick for the whole fleet and this member reads row ``row``
+        (see :func:`repro.cellular.batch.install_fleet_plans`).
+        ``ticker`` hands tick scheduling to a shared
+        :class:`repro.cellular.batch.FleetTicker`: after the
+        synchronous tick 0 this channel stops re-arming itself and
+        the ticker drives every member with one loop event per tick.
+        """
+        if self._started:
+            raise RuntimeError("cannot install a plan on a started channel")
+        self._plan = plan
+        self._plan_state = state
+        self._plan_row = row
+        self._fleet_ticker = ticker
+
     def start(self) -> None:
         """Begin the 10 Hz measurement/update loop."""
         if self._started:
@@ -340,8 +401,10 @@ class CellularChannel:
 
     def _extend_geometry(self, k: int) -> None:
         if self._geo_keys is None:
+            traj_key, offset = self.trajectory.geometry_key()
             self._geo_keys = (
-                self.trajectory.waypoint_key(),
+                traj_key,
+                offset,
                 tuple(
                     (c.cell_id, c.x, c.y, c.height, c.tx_power_dbm, c.downtilt_deg)
                     for c in self.layout.cells
@@ -369,26 +432,83 @@ class CellularChannel:
     # ------------------------------------------------------------------
     def _tick(self) -> None:
         now = self._loop.now
-        det_row, loss_row, altitude = self._geometry_row(self._tick_index)
-        shadow = self._shadowing.sample(now, altitude)
-        frac = min(altitude / 40.0, 1.0)
-        noise_std = self.config.meas_noise_ground_db + frac * (
-            self.config.meas_noise_air_db - self.config.meas_noise_ground_db
-        )
-        rho = math.exp(
-            -MEASUREMENT_PERIOD / self.config.air_fastfade_corr_time
-        )
-        self._fastfade = rho * self._fastfade + math.sqrt(
-            1 - rho * rho
-        ) * self._fastfade_rng.normal(0.0, 1.0, size=self._fastfade.shape)
-        rsrp = (
-            det_row
-            + shadow
-            + self._meas_rng.normal(0.0, noise_std, size=det_row.shape)
-            + frac * self.config.air_fastfade_std_db * self._fastfade
-        )
+        plan = self._plan
+        state = None
+        if plan is None:
+            det_row, loss_row, altitude = self._geometry_row(self._tick_index)
+            shadow = self._shadowing.sample(now, altitude)
+            frac = min(altitude / 40.0, 1.0)
+            noise_std = self.config.meas_noise_ground_db + frac * (
+                self.config.meas_noise_air_db - self.config.meas_noise_ground_db
+            )
+            rho = math.exp(
+                -MEASUREMENT_PERIOD / self.config.air_fastfade_corr_time
+            )
+            self._fastfade = rho * self._fastfade + math.sqrt(
+                1 - rho * rho
+            ) * self._fastfade_rng.normal(0.0, 1.0, size=self._fastfade.shape)
+            rsrp = (
+                det_row
+                + shadow
+                + self._meas_rng.normal(0.0, noise_std, size=det_row.shape)
+                + frac * self.config.air_fastfade_std_db * self._fastfade
+            )
+        else:
+            # Planned tick: every stochastic plane was precomputed by
+            # build_tick_plans with one block refill per stream —
+            # bit-identical values, no per-tick draws. The outlier
+            # stream below stays live (its draws are altitude-gated and
+            # cannot be counted ahead of time).
+            k = self._tick_index
+            if k >= len(plan.rsrp):
+                raise RuntimeError(
+                    "tick plan exhausted: channel ticked past its planned "
+                    "horizon (the block refills already consumed the RNG "
+                    "streams, so a scalar fallback cannot be bit-identical)"
+                )
+            altitude = plan.altitudes[k]
+            loss_row = plan.loss[k]
+            self._shadow = plan.shadow_db[k]
+            self._fastfade = plan.fastfade[k]
+            self._fading_db = plan.fading[k]
+            state = self._plan_state
+            if state is not None:
+                # Fleet-fast: the L3 filter recursion and the
+                # interference powers advance once per tick for every
+                # member (one matrix op each); this member only reads
+                # its rows below.
+                state.advance(k)
+            else:
+                rsrp = plan.rsrp[k]
         if self._contention is None:
             event = self.engine.measure(now, rsrp, altitude=altitude)
+        elif state is not None:
+            ticker = self._fleet_ticker
+            if (
+                ticker is not None
+                and ticker.hint_k == self._tick_index
+                and ticker.hint_topo == self._contention._topo_version
+            ):
+                # The fleet-wide masked argmax from this tick's
+                # precompute is still valid (nobody attached since);
+                # skip the per-member ranking entirely.
+                event = self.engine.measure_prefiltered(
+                    now,
+                    state.f_matrix[self._plan_row],
+                    altitude=altitude,
+                    hint=(
+                        int(ticker.hint_best[self._plan_row]),
+                        float(ticker.hint_margin[self._plan_row]),
+                    ),
+                )
+            else:
+                event = self.engine.measure_prefiltered(
+                    now,
+                    state.f_matrix[self._plan_row],
+                    altitude=altitude,
+                    offsets=self._contention.offsets(),
+                    blocked=self._contention.blocked_cells(self._ue_id),
+                )
         else:
             event = self.engine.measure(
                 now,
@@ -397,13 +517,42 @@ class CellularChannel:
                 offsets=self._contention.offsets(),
                 blocked=self._contention.blocked_cells(self._ue_id),
             )
-        self._shadow = shadow
+        if plan is None:
+            self._shadow = shadow
         if event is not None:
             self._begin_outage(event.execution_time)
         self.cells_seen.add(self.engine.serving_cell)
-        self._update_fading(altitude)
+        if plan is None:
+            self._update_fading(altitude)
         self._update_outliers(now, altitude)
-        uplink, downlink, sinr = self._capacity(now, altitude, loss_row)
+        if state is None:
+            uplink, downlink, sinr = self._capacity(now, altitude, loss_row)
+        else:
+            # Neighbour interference from the hoisted power matrix: a
+            # slice-based others-sum replacing np.delete + np.power per
+            # member (value-identical; same pattern as run_lockstep,
+            # guarded by the fleet fingerprint gates). The ticker
+            # precomputes the sums fleet-wide; a member whose serving
+            # cell moved this tick recomputes its own.
+            sc = self.engine.serving_cell
+            ticker = self._fleet_ticker
+            if (
+                ticker is not None
+                and ticker.sums_k == self._tick_index
+                and ticker.tick_serving[self._plan_row] == sc
+            ):
+                others_sum = float(ticker.others_mw[self._plan_row])
+            else:
+                prow = state.powered[self._plan_row]
+                others = np.empty(len(prow) - 1)
+                others[:sc] = prow[:sc]
+                others[sc:] = prow[sc + 1:]
+                others_sum = float(others.sum())
+            serving_mw = 10.0 ** (float(self.engine._filtered[sc]) / 10.0)
+            ratio = INTERFERENCE_LOAD * others_sum / max(serving_mw, 1e-30)
+            uplink, downlink, sinr = self._capacity(
+                now, altitude, loss_row, interference_ratio=ratio
+            )
         if self._contention is not None:
             uplink, downlink = self._contend(now, uplink, downlink)
         self._uplink_bps = uplink
@@ -437,6 +586,13 @@ class CellularChannel:
                 )
             )
         self._tick_index += 1
+        if self._fleet_ticker is not None:
+            # The shared FleetTicker drives all subsequent ticks with
+            # one loop event for the whole fleet; the last member's
+            # synchronous tick 0 arms it.
+            if self._tick_index == 1:
+                self._fleet_ticker.notify_started(self._anchor)
+            return
         # Anchored re-arm (cf. PeriodicTimer): tick k fires at exactly
         # anchor + k * period, so tick times line up with the
         # precomputed geometry rows and never accumulate float drift.
@@ -473,7 +629,10 @@ class CellularChannel:
         session path.
         """
         contention = self._contention
-        contention.attach(self._ue_id, self.engine.serving_cell)
+        cell = self.engine.serving_cell
+        if cell != self._attached_cell:
+            contention.attach(self._ue_id, cell)
+            self._attached_cell = cell
         contention.update_rates(self._ue_id, uplink, downlink)
         share_ul, share_dl = contention.shares(self._ue_id)
         if share_ul != 1.0:

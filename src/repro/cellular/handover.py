@@ -212,6 +212,60 @@ class HandoverEngine:
         margin = neighbours[best] - serving_score
         return self._evaluate(now, best, float(margin), altitude)
 
+    def measure_prefiltered(
+        self,
+        now: float,
+        filtered: np.ndarray,
+        *,
+        altitude: float,
+        offsets: np.ndarray | None = None,
+        blocked: tuple[int, ...] = (),
+        hint: tuple[int, float] | None = None,
+    ) -> HandoverEvent | None:
+        """:meth:`measure` with the L3 filter already applied.
+
+        The batched fleet path advances the EWMA filter for *all*
+        members in one ``(n_members, n_cells)`` matrix op per tick
+        (see :class:`repro.cellular.batch.FleetTickState`) and hands
+        each engine its row here. ``filtered`` must be exactly the
+        value :meth:`measure` would have computed — the matrix
+        recursion is elementwise-identical to the per-member one, and
+        the fleet fingerprint gates pin the equality. Everything
+        after the filter update (first-measurement camping, the
+        gate, the CIO-biased neighbour ranking, the A3 state machine)
+        is evaluated per member against live contention state, since
+        offsets and admission blocks mutate *within* a tick as
+        earlier members attach.
+
+        ``hint`` short-circuits the neighbour ranking with a
+        ``(best, margin)`` pair the fleet ticker precomputed for the
+        whole fleet in one masked argmax — valid only while no member
+        has attached since the precompute (the caller checks the
+        contention topology version) and no cell is blocked, in which
+        case it is value-identical to the per-member ranking below.
+        """
+        if self._filtered is None:
+            self._filtered = filtered
+            self.serving_cell = self._select_initial(offsets, blocked)
+            return None
+        self._filtered = filtered
+        if self._gate(now):
+            return None
+        if hint is not None:
+            best, margin = hint
+            return self._evaluate(now, best, margin, altitude)
+        neighbours = filtered + offsets
+        serving_score = (
+            filtered[self.serving_cell] + offsets[self.serving_cell]
+        )
+        if blocked:
+            for cell in blocked:
+                neighbours[cell] = -np.inf
+        neighbours[self.serving_cell] = -np.inf
+        best = int(np.argmax(neighbours))
+        margin = neighbours[best] - serving_score
+        return self._evaluate(now, best, float(margin), altitude)
+
     def _gate(self, now: float) -> bool:
         """Advance the execution/prohibit windows; ``True`` = no A3
         evaluation this tick.

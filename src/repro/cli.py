@@ -324,9 +324,17 @@ def cmd_profile(args: argparse.Namespace) -> int:
     """Profile one workload and write report + JSON summary."""
     from repro.profiling import profile_callable
 
-    if args.target == "session":
+    if args.target == "session" and args.fleet > 0:
+        from repro.core.fleet import FleetConfig, run_fleet
+
+        fleet_config = FleetConfig(
+            base=_scenario_from(args), num_sessions=args.fleet
+        )
+        workload: Callable[[], object] = lambda: run_fleet(fleet_config)
+        label = f"fleet{args.fleet}-{fleet_config.base.label()}"
+    elif args.target == "session":
         config = _scenario_from(args)
-        workload: Callable[[], object] = lambda: run_session(config)
+        workload = lambda: run_session(config)
         label = f"session-{config.label()}"
     elif args.target in FIGURES:
         import repro.experiments as experiments
@@ -568,6 +576,15 @@ def build_parser() -> argparse.ArgumentParser:
     profile_parser.set_defaults(cc="gcc", duration=60.0)
     profile_parser.add_argument(
         "--seeds", type=int, default=1, help="seeds per figure campaign"
+    )
+    profile_parser.add_argument(
+        "--fleet",
+        type=int,
+        default=0,
+        metavar="N",
+        help="profile an N-session shared-cell fleet run instead of a "
+        "single session (session target only; runs the vectorized "
+        "fleet fast path)",
     )
     profile_parser.add_argument(
         "--engine",

@@ -26,7 +26,13 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from repro.cellular.cell import CellCapacityConfig, CellContention
+from repro.cellular.batch import install_fleet_plans
+from repro.cellular.cell import (
+    CellCapacityConfig,
+    CellContention,
+    ScalarCellContention,
+    normalize_cell_map,
+)
 from repro.cellular.operators import get_profile
 from repro.core.config import ScenarioConfig
 from repro.core.session import (
@@ -35,7 +41,7 @@ from repro.core.session import (
     build_session,
     build_trajectory,
 )
-from repro.flight.trajectory import Position, WaypointTrajectory
+from repro.flight.trajectory import TranslatedTrajectory
 from repro.net.packet import reset_datagram_ids
 from repro.net.simulator import EventLoop
 from repro.obs import NULL_RECORDER, NullRecorder, Recorder, diagnose
@@ -99,21 +105,17 @@ class FleetResult:
     #: campaign runners merge fleet results exactly like session ones.
     extra: dict = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # Cell-id maps may arrive from a JSON round-trip (report
+        # exports, history artifacts) with stringified int keys;
+        # normalize on construction so merges never double-count.
+        self.occupancy = normalize_cell_map(self.occupancy)
+        self.peak_occupancy = normalize_cell_map(self.peak_occupancy)
+
     @property
     def max_sessions_per_cell(self) -> int:
         """Peak contention actually reached anywhere in the layout."""
         return max(self.peak_occupancy.values(), default=0)
-
-
-def _translated(
-    trajectory: WaypointTrajectory, dx: float, dy: float
-) -> WaypointTrajectory:
-    """Copy of ``trajectory`` shifted horizontally by ``(dx, dy)``."""
-    times, points = trajectory.waypoint_key()
-    return WaypointTrajectory(
-        list(times),
-        [Position(x + dx, y + dy, alt) for x, y, alt in points],
-    )
 
 
 def _ring_offset(index: int, count: int, radius: float) -> tuple[float, float]:
@@ -128,6 +130,7 @@ def run_fleet(
     config: FleetConfig,
     *,
     recorder: NullRecorder | None = None,
+    fast: bool = True,
 ) -> FleetResult:
     """Execute one fleet run and collect every session's dataset.
 
@@ -137,6 +140,23 @@ def run_fleet(
     every session's spans (handover executions, capacity dips,
     ``cell.congestion`` episodes); the fleet-wide diagnosis lands in
     ``result.extra["diagnosis"]`` exactly like a session's would.
+
+    ``fast`` selects the fleet-scale fast path (the default): the
+    vectorized struct-of-arrays :class:`CellContention` plus
+    whole-horizon tick plans shared across members
+    (:func:`~repro.cellular.batch.install_fleet_plans` — one block RNG
+    refill per stream instead of per-tick draws, translated-trajectory
+    geometry shared through the base-position cache). ``fast=False``
+    runs the reference path — the dict/loop
+    :class:`ScalarCellContention` and per-tick draws — which the
+    fingerprint suite pins packet-for-packet equal to the fast path
+    and ``benchmarks/test_fleet_scale.py`` uses as the speedup
+    baseline. Ring members fly
+    :class:`~repro.flight.trajectory.TranslatedTrajectory` copies of
+    the base route in either mode (the translation applies after
+    interpolation), and member 0 always flies the unmodified route, so
+    an N=1 fleet stays bit-identical to
+    :func:`repro.core.session.run_session` on both arms.
     """
     obs = recorder if recorder is not None else NULL_RECORDER
     reset_datagram_ids()
@@ -146,7 +166,8 @@ def run_fleet(
     base = config.base
     profile = get_profile(base.operator, base.environment.value)
     layout = profile.build_layout(RngStreams(base.seed).derive("layout"))
-    contention = CellContention(len(layout), config.cell_capacity)
+    contention_cls = CellContention if fast else ScalarCellContention
+    contention = contention_cls(len(layout), config.cell_capacity)
 
     handles: list[SessionHandles] = []
     for index in range(config.num_sessions):
@@ -160,7 +181,7 @@ def run_fleet(
             index, config.num_sessions, config.spread_radius
         )
         if dx != 0.0 or dy != 0.0:
-            trajectory = _translated(trajectory, dx, dy)
+            trajectory = TranslatedTrajectory(trajectory, dx, dy)
         handles.append(
             build_session(
                 loop,
@@ -173,6 +194,10 @@ def run_fleet(
             )
         )
 
+    if fast:
+        install_fleet_plans(
+            [handle.channel for handle in handles], base.duration
+        )
     for handle in handles:
         handle.start()
     loop.run_until(base.duration)

@@ -211,10 +211,16 @@ def run_fleet_density(
 
     One :data:`WORK_FLEET` unit per (density, seed) pair — fleets fan
     out over worker processes exactly like seeded sessions do, and
-    repeat runs are served from the result cache. With ``obs=True``
-    every fleet runs under a shared recorder and the per-density
-    points carry the fraction of latency violations the diagnosis
-    layer pins on ``cell_congestion``.
+    repeat runs are served from the result cache. On a batching
+    runner (``CampaignRunner(batch=True)``) the planner additionally
+    groups each density's seed sweep into per-worker fleet batches
+    with per-unit cache fan-back, so an interrupted sweep resumes
+    from the fleets that completed; each fleet itself runs the
+    vectorized fast path (SoA contention + member-stacked tick
+    plans). With ``obs=True`` every fleet runs under a shared
+    recorder (scalar-scheduled, as instrumented sessions are) and the
+    per-density points carry the fraction of latency violations the
+    diagnosis layer pins on ``cell_congestion``.
     """
     engine, owned = _resolve_runner(runner, workers, cache, progress)
     units = [

@@ -82,6 +82,17 @@ class WaypointTrajectory:
             tuple((p.x, p.y, p.altitude) for p in self._points),
         )
 
+    def geometry_key(self) -> tuple:
+        """``(base waypoint key, (dx, dy))`` for offset-aware caches.
+
+        The channel's geometry cache keys on this pair so translated
+        copies of one base path (fleet ring formations) share the
+        interpolated base positions and differ only in the cheap
+        ground-plane shift — a plain trajectory is its own base with a
+        zero offset.
+        """
+        return (self.waypoint_key(), (0.0, 0.0))
+
     def position(self, t: float) -> Position:
         """Interpolated position at time ``t`` (clamped to the ends)."""
         if t <= self._times[0]:
@@ -103,6 +114,51 @@ class WaypointTrajectory:
             altitude=p0.altitude + frac * dz,
             speed=speed,
         )
+
+
+class TranslatedTrajectory(WaypointTrajectory):
+    """A base trajectory rigidly shifted in the ground plane.
+
+    Fleet ring formations fly translated copies of one shared base
+    path. The shift is applied *after* interpolation (``lerp(x) + dx``
+    rather than interpolating pre-shifted waypoints): linear
+    interpolation is only translation-equivariant in exact arithmetic,
+    and applying the offset post-interpolation is what lets every ring
+    member reuse one cached base-position table — the geometry cache
+    keys on ``(base waypoint key, offset)`` and recomputes only the
+    per-member loss/gain pass. Altitude is untouched.
+    """
+
+    def __init__(
+        self, base: WaypointTrajectory, dx: float, dy: float
+    ) -> None:
+        super().__init__(
+            list(base._times),
+            [
+                Position(p.x + dx, p.y + dy, p.altitude, p.speed)
+                for p in base._points
+            ],
+        )
+        self._base = base
+        self._offset = (float(dx), float(dy))
+
+    def geometry_key(self) -> tuple:
+        return (self._base.waypoint_key(), self._offset)
+
+    def position(self, t: float) -> Position:
+        dx, dy = self._offset
+        p = self._base.position(t)
+        if dx == 0.0 and dy == 0.0:
+            return p
+        return Position(p.x + dx, p.y + dy, p.altitude, p.speed)
+
+    def positions_at(self, times: np.ndarray) -> np.ndarray:
+        dx, dy = self._offset
+        pos = self._base.positions_at(times)
+        if dx != 0.0 or dy != 0.0:
+            pos[:, 0] += dx
+            pos[:, 1] += dy
+        return pos
 
 
 #: Climb/descend rate of the DJI-M600-class platform (m/s).

@@ -16,7 +16,15 @@ The planner is deliberately conservative about what may batch:
 * :data:`~repro.runner.work.WORK_SESSION` units — batchable unless
   instrumented (``obs=True`` runs carry a live recorder whose trace
   is part of the payload; they take the scalar path);
-* everything else (ping probes, fleets) — scalar.
+* :data:`~repro.runner.work.WORK_FLEET` units — batchable unless
+  instrumented. A fleet batch groups a density sweep's fleets into
+  per-worker tasks: each fleet still executes whole (its members are
+  already vectorized internally — SoA contention plus member-stacked
+  tick plans, see :func:`repro.cellular.batch.install_fleet_plans`),
+  and results fan back into the per-unit cache as each batch lands,
+  so an interrupted density sweep resumes from the fleets that
+  finished;
+* everything else (ping probes) — scalar.
 
 Two units land in the same batch only when their canonical
 fingerprints are identical *except for the seed* — the same material
@@ -36,6 +44,7 @@ from typing import Any
 from repro.core.config import ScenarioConfig
 from repro.runner.work import (
     WORK_CHANNEL_PROBE,
+    WORK_FLEET,
     WORK_SESSION,
     WorkUnit,
     execute_unit,
@@ -81,7 +90,7 @@ def batch_key(unit: WorkUnit) -> str | None:
     removed — the exact cache-key material, so two units share a key
     iff they are the same cached computation modulo seed.
     """
-    if unit.kind == WORK_SESSION:
+    if unit.kind in (WORK_SESSION, WORK_FLEET):
         if dict(unit.params).get("obs"):
             return None
     elif unit.kind != WORK_CHANNEL_PROBE:
@@ -192,5 +201,8 @@ def execute_batch(plan: BatchPlan) -> "list[Any]":
             run_session(config, draws=sweep.wrappers(config.seed))
             for config in configs
         ]
-    # Planner never schedules other kinds; stay safe if a caller does.
+    # WORK_FLEET (and any future kind a caller schedules directly):
+    # each unit executes whole in this worker task — a fleet is
+    # already vectorized internally, so batching buys the sweep-level
+    # sharding and per-unit cache fan-back, not a shared draw plan.
     return [execute_unit(unit) for unit in plan.units]

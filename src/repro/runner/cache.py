@@ -25,7 +25,9 @@ if TYPE_CHECKING:  # pragma: no cover — avoid a runtime import cycle
     from repro.runner.work import WorkUnit
 
 #: Bump when ScenarioConfig fields or result dataclasses change shape.
-CACHE_SCHEMA_VERSION = 1
+#: v2: fleet ring members translate trajectories post-interpolation
+#: (TranslatedTrajectory), which moves N>=2 fleet results by an ulp.
+CACHE_SCHEMA_VERSION = 2
 
 #: Default cache root, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"

@@ -86,7 +86,7 @@ class EncoderModel:
         self.min_bitrate = min_bitrate
         self.max_bitrate = max_bitrate
         self._target_bitrate = float(
-            np.clip(initial_bitrate or min_bitrate, min_bitrate, max_bitrate)
+            min(max(initial_bitrate or min_bitrate, min_bitrate), max_bitrate)
         )
         self._frames_encoded = 0
         self._bit_debt = 0.0  # positive = we overspent recently
@@ -104,7 +104,7 @@ class EncoderModel:
     def set_target_bitrate(self, bitrate: float) -> None:
         """Update the target; applied from the next encoded frame."""
         self._target_bitrate = float(
-            np.clip(bitrate, self.min_bitrate, self.max_bitrate)
+            min(max(bitrate, self.min_bitrate), self.max_bitrate)
         )
 
     def encode(self, frame: SourceFrame) -> EncodedFrame:
@@ -120,7 +120,7 @@ class EncoderModel:
             np.exp(self._normal.normal(-0.5 * self.size_noise_std**2, self.size_noise_std))
         )
         # Rate control: shave the next frame when we recently overspent.
-        correction = float(np.clip(1.0 - self._bit_debt / (4.0 * budget_bits), 0.6, 1.2))
+        correction = min(max(1.0 - self._bit_debt / (4.0 * budget_bits), 0.6), 1.2)
         size_bits = budget_bits * scale * frame.complexity * noise * correction
         size_bytes = max(200, int(bits_to_bytes(size_bits)))
         self._bit_debt += bytes_to_bits(size_bytes) - budget_bits

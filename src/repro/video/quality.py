@@ -54,7 +54,7 @@ class RateDistortionModel:
         ssim = 1.0 - self.floor_gap * float(
             np.exp(-self.steepness * effective**self.shape)
         )
-        return float(np.clip(ssim, 0.0, 1.0))
+        return min(max(ssim, 0.0), 1.0)
 
 
 @dataclass
@@ -83,4 +83,4 @@ class ArtifactModel:
 
     def apply(self, clean_ssim: float, damage: float) -> float:
         """Final SSIM of a frame with reference/own damage ``damage``."""
-        return float(np.clip(clean_ssim * (1.0 - damage), 0.0, 1.0))
+        return min(max(clean_ssim * (1.0 - damage), 0.0), 1.0)

@@ -77,7 +77,7 @@ class SourceVideo:
         )
         complexity = 1.0 + self._state + self._cut_boost
         self._cut_boost *= 0.5
-        complexity = float(np.clip(complexity, self._min, self._max))
+        complexity = min(max(complexity, self._min), self._max)
         frame = SourceFrame(
             frame_id=self._next_id,
             capture_time=capture_time,

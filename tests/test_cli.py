@@ -186,6 +186,26 @@ class TestProfile:
         assert main(["profile", "fig99"]) == 2
         assert "unknown" in capsys.readouterr().out
 
+    def test_fleet_profile_writes_report(self, capsys, tmp_path):
+        code = main(
+            [
+                "profile",
+                "--fleet", "2",
+                "--cc", "static",
+                "--duration", "5",
+                "--seed", "3",
+                "--engine", "cprofile",
+                "--out", str(tmp_path / "prof"),
+            ]
+        )
+        assert code == 0
+        assert "wall time" in capsys.readouterr().out
+        written = sorted(p.name for p in (tmp_path / "prof").iterdir())
+        assert written == [
+            "fleet2-static-urban-air-P1-s3.json",
+            "fleet2-static-urban-air-P1-s3.txt",
+        ]
+
 
 class TestTrace:
     def test_defaults_target_gcc_minute(self):

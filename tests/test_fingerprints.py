@@ -12,7 +12,11 @@ the suite pins:
 * batched sessions (``SweepDrawPlan`` preloads via the runner's batch
   executor) == per-seed scalar ``run_session``;
 * an N=1 fleet == the plain session;
-* a traced (``Recorder``) session == an untraced one.
+* a traced (``Recorder``) session == an untraced one;
+* the vectorized fleet fast path (struct-of-arrays contention +
+  member-stacked tick plans + the shared fleet ticker) == the scalar
+  reference contention, across pinned fleet configs that exercise
+  handovers under load balancing, admission caps, and ground routes.
 
 Comparisons are exact float equality through
 :mod:`repro.core.fingerprint` — no tolerances. Any drift here means a
@@ -22,6 +26,7 @@ every cached campaign result; CI runs this file as its own job.
 
 import pytest
 
+from repro.cellular.cell import CellCapacityConfig
 from repro.core.config import ScenarioConfig
 from repro.core.fingerprint import probe_fingerprint, session_fingerprint
 from repro.core.fleet import FleetConfig, run_fleet
@@ -88,6 +93,49 @@ def test_session_batch_bit_identical(name):
     assert leftovers == [] and len(plans) == 1
     batched = [session_fingerprint(r) for r in execute_batch(plans[0])]
     assert batched == scalar
+
+
+#: Pinned fleet configs for the fast == scalar contention gate. Axes:
+#: load-balancing CIO churn under GCC, admission caps small enough to
+#: block cells mid-run (forcing the ticker's per-member fallback), and
+#: per-seed ground routes (no shared trajectory cache).
+FLEET_PINNED = {
+    "gcc-urban-air-n4": dict(
+        base=ScenarioConfig(cc="gcc", environment="urban", platform="air"),
+        num_sessions=4,
+        spread_radius=50.0,
+    ),
+    "static-rural-air-n6-cap2": dict(
+        base=ScenarioConfig(cc="static", environment="rural", platform="air"),
+        num_sessions=6,
+        spread_radius=30.0,
+        cell_capacity=CellCapacityConfig(max_sessions=2),
+    ),
+    "scream-urban-ground-n3": dict(
+        base=ScenarioConfig(
+            cc="scream", environment="urban", platform="ground"
+        ),
+        num_sessions=3,
+        spread_radius=80.0,
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(FLEET_PINNED))
+def test_fleet_fast_bit_identical_to_scalar(name):
+    spec = dict(FLEET_PINNED[name])
+    spec["base"] = spec["base"].with_overrides(
+        seed=3, duration=SESSION_DURATION
+    )
+    config = FleetConfig(**spec)
+    fast = run_fleet(config, fast=True)
+    scalar = run_fleet(config, fast=False)
+    assert [session_fingerprint(s) for s in fast.sessions] == [
+        session_fingerprint(s) for s in scalar.sessions
+    ]
+    assert fast.occupancy == scalar.occupancy
+    assert fast.peak_occupancy == scalar.peak_occupancy
+    assert fast.congestion_time == scalar.congestion_time
 
 
 def test_n1_fleet_bit_identical_to_session():

@@ -9,12 +9,15 @@ import pytest
 from repro.cellular.cell import (
     CellCapacityConfig,
     CellContention,
+    _member_share,
     allocate_prbs,
+    allocate_prbs_array,
     fleet_demand_bps,
     merge_occupancy,
+    normalize_cell_map,
 )
 from repro.core.config import ScenarioConfig
-from repro.core.fleet import FleetConfig, run_fleet
+from repro.core.fleet import FleetConfig, FleetResult, _ring_offset, run_fleet
 from repro.core.session import run_session
 from repro.experiments import ExperimentSettings
 from repro.experiments.fleet import fleet_unit, run_fleet_density
@@ -64,6 +67,73 @@ class TestAllocatePrbs:
             allocate_prbs([-1], 100)
         with pytest.raises(ValueError):
             allocate_prbs([1], -5)
+
+    def test_zero_budget(self):
+        assert allocate_prbs([5, 7], 0) == [0, 0]
+        assert allocate_prbs_array(np.array([5, 7]), 0).tolist() == [0, 0]
+
+    def test_sum_exactly_budget_under_large_n(self):
+        rng = np.random.default_rng(11)
+        for n in (50, 257, 1000):
+            requests = rng.integers(0, 100, size=n).tolist()
+            if sum(requests) == 0:
+                continue
+            allocation = allocate_prbs(requests, 100)
+            assert sum(allocation) == 100
+            assert all(a >= 0 for a in allocation)
+
+    def test_array_allocator_matches_scalar_elementwise(self):
+        # Promised in the allocate_prbs_array docstring: bit-identical
+        # allocations under large random request vectors, including
+        # remainder ties.
+        rng = np.random.default_rng(42)
+        for _ in range(25):
+            n = int(rng.integers(1, 300))
+            budget = int(rng.integers(1, 200))
+            requests = rng.integers(0, 8, size=n)
+            array = allocate_prbs_array(requests, budget)
+            scalar = allocate_prbs(requests.tolist(), budget)
+            assert array.tolist() == scalar
+
+    def test_member_share_matches_full_allocation(self):
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            n = int(rng.integers(2, 40))
+            budget = int(rng.integers(1, 150))
+            requests = rng.integers(0, 6, size=n).astype(np.int64)
+            total = int(requests.sum())
+            if total == 0:
+                assert _member_share(requests, 0, budget, total) == 0.0
+                continue
+            full = allocate_prbs(requests.tolist(), budget)
+            for index in range(n):
+                share = _member_share(requests, index, budget, total)
+                assert share == full[index] / budget
+
+
+# ----------------------------------------------------------------------
+# fleet ring placement
+# ----------------------------------------------------------------------
+class TestRingOffset:
+    def test_member_zero_flies_the_base_route(self):
+        assert _ring_offset(0, 8, 50.0) == (0.0, 0.0)
+
+    def test_degenerate_rings_collapse_to_origin(self):
+        # N=1 (count <= 1) and radius 0 both place everyone on the
+        # base route — the N=1 bit-identity to run_session depends on
+        # no TranslatedTrajectory wrapper being installed.
+        assert _ring_offset(1, 1, 50.0) == (0.0, 0.0)
+        assert _ring_offset(3, 8, 0.0) == (0.0, 0.0)
+
+    def test_two_member_ring_places_satellite_east(self):
+        # N=2: the single satellite sits at angle 0 (dx=radius, dy=0),
+        # not at a divide-by-zero.
+        assert _ring_offset(1, 2, 50.0) == (50.0, 0.0)
+
+    def test_ring_members_sit_on_the_circle(self):
+        for index in range(1, 8):
+            dx, dy = _ring_offset(index, 8, 25.0)
+            assert math.hypot(dx, dy) == pytest.approx(25.0)
 
 
 # ----------------------------------------------------------------------
@@ -154,6 +224,38 @@ class TestCellContention:
     def test_merge_occupancy_takes_per_cell_max(self):
         merged = merge_occupancy([{0: 1, 1: 3}, {0: 2}, {}])
         assert merged == {0: 2, 1: 3}
+
+    def test_merge_occupancy_handles_json_string_keys(self):
+        # A map that went through json.dumps/loads carries string cell
+        # ids; merging it with a native map must not double-count.
+        merged = merge_occupancy([{"3": 2, "0": 1}, {3: 5}])
+        assert merged == {3: 5, 0: 1}
+
+    def test_normalize_cell_map_round_trip(self):
+        import json
+
+        native = {3: 2, 11: 4}
+        round_tripped = json.loads(json.dumps(native))
+        assert round_tripped != native  # keys stringified
+        assert normalize_cell_map(round_tripped) == native
+
+    def test_fleet_result_normalizes_json_keys_on_load(self):
+        # Regression: FleetResult occupancy/peak maps rebuilt from a
+        # JSON artifact must come back with int cell ids.
+        import json
+
+        config = FleetConfig(base=BASE, num_sessions=2)
+        result = FleetResult(
+            config=config,
+            sessions=[],
+            occupancy=json.loads(json.dumps({7: 2})),
+            peak_occupancy=json.loads(json.dumps({7: 3, 9: 1})),
+            congestion_time=[0.0, 0.0],
+        )
+        assert result.occupancy == {7: 2}
+        assert result.peak_occupancy == {7: 3, 9: 1}
+        assert result.max_sessions_per_cell == 3
+        assert merge_occupancy([result.peak_occupancy, {9: 4}]) == {7: 3, 9: 4}
 
     def test_fleet_demand_includes_overhead(self):
         assert fleet_demand_bps(4e6, 2e6) == pytest.approx(5e6)

@@ -257,15 +257,36 @@ class TestBatchPlanner:
             make_unit(WORK_PING_PROBE, config.with_overrides(seed=s), rate_hz=5.0)
             for s in (1, 2)
         ] + [
-            make_unit(WORK_FLEET, config.with_overrides(seed=s), num_sessions=2)
-            for s in (1, 2)
-        ] + [
             make_unit(WORK_SESSION, config.with_overrides(seed=s), obs=True)
             for s in (1, 2)
         ]
         plans, scalar = plan_batches(list(enumerate(units)))
         assert plans == []
         assert [i for i, _ in scalar] == list(range(len(units)))
+
+    def test_fleet_units_batch_unless_instrumented(self):
+        # Density sweeps plan their fleet units into per-worker
+        # batches (executed whole, with per-unit cache fan-back);
+        # instrumented fleets keep the scalar path like instrumented
+        # sessions do.
+        config = ScenarioConfig(cc="static", duration=5.0)
+        units = [
+            make_unit(WORK_FLEET, config.with_overrides(seed=s), num_sessions=2)
+            for s in (1, 2, 3)
+        ]
+        plans, scalar = plan_batches(list(enumerate(units)))
+        assert scalar == []
+        assert len(plans) == 1 and plans[0].indices == (0, 1, 2)
+        traced = [
+            make_unit(
+                WORK_FLEET, config.with_overrides(seed=s), num_sessions=2,
+                obs=True,
+            )
+            for s in (1, 2)
+        ]
+        plans, scalar = plan_batches(list(enumerate(traced)))
+        assert plans == []
+        assert [i for i, _ in scalar] == [0, 1]
 
     def test_singleton_and_duplicate_seeds_stay_scalar(self):
         config = ScenarioConfig(cc="static", duration=5.0)
