@@ -319,21 +319,37 @@ class FleetTicker:
     """
 
     __slots__ = (
-        "_channels", "_loop", "_state", "_contention", "_pending",
-        "_anchor", "_rows", "_cols", "hint_k", "hint_topo", "hint_best",
-        "hint_margin", "sums_k", "tick_serving", "others_mw",
+        "_channels", "_plan_channels", "_plane", "_loop", "_state",
+        "_contention", "_pending", "_anchor", "_rows", "_cols", "hint_k",
+        "hint_topo", "hint_best", "hint_margin", "sums_k", "tick_serving",
+        "others_mw",
     )
 
     def __init__(
-        self, channels: Sequence[CellularChannel], state: FleetTickState
+        self,
+        channels: Sequence[CellularChannel],
+        state: FleetTickState | None,
+        *,
+        plan_channels: Sequence[CellularChannel] | None = None,
+        plane=None,
     ) -> None:
         self._channels = list(channels)
+        #: Members whose rows back the hoisted planes — the whole
+        #: fleet unless trace-sampled members were excluded from
+        #: planning. Hint/interference precompute covers these only;
+        #: ``_tick`` is still driven for every member in session order.
+        self._plan_channels = (
+            self._channels if plan_channels is None else list(plan_channels)
+        )
+        #: Optional :class:`~repro.obs.metrics.FleetMetricsPlane` fed
+        #: once per tick, after every member's ``_tick``.
+        self._plane = plane
         self._loop = channels[0]._loop
         self._state = state
         self._contention = channels[0]._contention
         self._pending = len(channels)
         self._anchor = 0.0
-        self._rows = np.arange(len(channels))
+        self._rows = np.arange(len(self._plan_channels))
         self._cols = np.arange(max(len(channels[0].layout) - 1, 0))
         self.hint_k = -1
         self.hint_topo = -1
@@ -356,45 +372,57 @@ class FleetTicker:
         state = self._state
         contention = self._contention
         k = channels[0]._tick_index
-        state.advance(k)
-        rows = self._rows
-        serving = np.fromiter(
-            (ch.engine.serving_cell for ch in channels),
-            dtype=np.int64,
-            count=len(channels),
-        )
-        # Fleet-wide neighbour-interference sums: drop each member's
-        # serving column with one fancy gather and reduce along the
-        # row. The reduction runs the same pairwise kernel over the
-        # same values in the same order as the per-member slice-based
-        # sum, so the results are value-identical (fingerprint-gated);
-        # a member that hands over mid-tick fails the serving-cell
-        # check in ``_tick`` and falls back to the per-member sum.
-        cols = self._cols
-        gathered = state.powered[
-            rows[:, None], cols + (cols >= serving[:, None])
-        ]
-        self.others_mw = gathered.sum(axis=1)
-        self.tick_serving = serving
-        self.sums_k = k
-        if contention is not None and contention._at_cap.size == 0:
-            # Fleet-wide A3 ranking: mask each member's serving cell
-            # and argmax once. Row-wise this is exactly the
-            # per-member ``filtered + offsets`` ranking (the serving
-            # score is the same two-operand add the scalar path
-            # performs), valid until someone attaches.
-            neighbours = state.f_matrix + contention.offsets()
-            scores = neighbours[rows, serving]
-            neighbours[rows, serving] = -np.inf
-            best = neighbours.argmax(axis=1)
-            self.hint_best = best
-            self.hint_margin = neighbours[rows, best] - scores
-            self.hint_topo = contention._topo_version
-            self.hint_k = k
-        else:
+        if state is None:
+            # No planned members (every member trace-sampled): the
+            # ticker still drives the lockstep ticks and feeds the
+            # plane, but there are no hoisted planes to advance and
+            # nobody reads hints.
+            self.sums_k = -1
             self.hint_k = -1
+        else:
+            state.advance(k)
+            rows = self._rows
+            plan_channels = self._plan_channels
+            serving = np.fromiter(
+                (ch.engine.serving_cell for ch in plan_channels),
+                dtype=np.int64,
+                count=len(plan_channels),
+            )
+            # Fleet-wide neighbour-interference sums: drop each
+            # member's serving column with one fancy gather and reduce
+            # along the row. The reduction runs the same pairwise
+            # kernel over the same values in the same order as the
+            # per-member slice-based sum, so the results are
+            # value-identical (fingerprint-gated); a member that hands
+            # over mid-tick fails the serving-cell check in ``_tick``
+            # and falls back to the per-member sum.
+            cols = self._cols
+            gathered = state.powered[
+                rows[:, None], cols + (cols >= serving[:, None])
+            ]
+            self.others_mw = gathered.sum(axis=1)
+            self.tick_serving = serving
+            self.sums_k = k
+            if contention is not None and contention._at_cap.size == 0:
+                # Fleet-wide A3 ranking: mask each member's serving
+                # cell and argmax once. Row-wise this is exactly the
+                # per-member ``filtered + offsets`` ranking (the
+                # serving score is the same two-operand add the scalar
+                # path performs), valid until someone attaches.
+                neighbours = state.f_matrix + contention.offsets()
+                scores = neighbours[rows, serving]
+                neighbours[rows, serving] = -np.inf
+                best = neighbours.argmax(axis=1)
+                self.hint_best = best
+                self.hint_margin = neighbours[rows, best] - scores
+                self.hint_topo = contention._topo_version
+                self.hint_k = k
+            else:
+                self.hint_k = -1
         for ch in channels:
             ch._tick()
+        if self._plane is not None:
+            self._plane.observe_channels(channels)
         self._loop.schedule_at(
             self._anchor + channels[0]._tick_index * MEASUREMENT_PERIOD,
             self._fire,
@@ -402,8 +430,12 @@ class FleetTicker:
 
 
 def install_fleet_plans(
-    channels: Sequence[CellularChannel], duration: float
-) -> None:
+    channels: Sequence[CellularChannel],
+    duration: float,
+    *,
+    exclude: Sequence[int] = (),
+    plane=None,
+) -> FleetTicker | None:
     """Precompute and install per-member tick plans for a fleet run.
 
     The same struct-of-arrays pass :func:`build_tick_plans` runs
@@ -427,21 +459,46 @@ def install_fleet_plans(
     cover exactly the anchored ticks that horizon fires
     (:func:`probe_tick_times`), and a channel that ticks past its plan
     raises rather than falling back.
+
+    ``exclude`` lists member indices (``FleetConfig.trace_members``)
+    left on per-tick scalar draws: the shared ticker still fires their
+    ``_tick`` in session order — so cross-member contention mutation
+    order is unchanged — but they take the plan-``None`` branch at
+    every draw site, which is exactly the reference scalar code path a
+    diagnose-quality :class:`~repro.obs.recorder.Recorder` expects to
+    observe. ``plane`` attaches a
+    :class:`~repro.obs.metrics.FleetMetricsPlane` that the ticker
+    feeds once per tick. Returns the ticker (``None`` when nothing
+    was installed: no planned members and no plane).
     """
     for ch in channels:
         if ch._started:
             raise ValueError("fleet plans must be installed before start")
-    times = probe_tick_times(duration)
-    plans, rsrp_planes = build_tick_plans(channels, times)
-    state = FleetTickState(
-        rsrp_planes, channels[0].engine.config.l3_filter_alpha
-    )
-    ticker = FleetTicker(channels, state)
-    for row, (ch, plan) in enumerate(zip(channels, plans)):
-        ch.install_plan(plan, state=state, row=row, ticker=ticker)
+    excluded = set(exclude)
+    planned = [ch for i, ch in enumerate(channels) if i not in excluded]
+    if not planned and plane is None:
+        return None
+    if planned:
+        times = probe_tick_times(duration)
+        plans, rsrp_planes = build_tick_plans(planned, times)
+        state = FleetTickState(
+            rsrp_planes, channels[0].engine.config.l3_filter_alpha
+        )
+    else:
+        plans, state = [], None
+    ticker = FleetTicker(channels, state, plan_channels=planned, plane=plane)
+    plan_iter = iter(plans)
+    row = 0
+    for i, ch in enumerate(channels):
+        if i in excluded:
+            ch.install_plan(None, ticker=ticker)
+            continue
+        ch.install_plan(next(plan_iter), state=state, row=row, ticker=ticker)
+        row += 1
         # Outlier draws mix random() and uniform() on one stream; the
         # block-refilled wrapper serves both bit-identically.
         ch._outlier_rng = BatchedUniform(ch._outlier_rng)
+    return ticker
 
 
 def run_lockstep(

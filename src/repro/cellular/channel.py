@@ -288,6 +288,7 @@ class CellularChannel:
         self._geo_keys: tuple | None = None
         self._uplink_bps = 1e6
         self._downlink_bps = 10e6
+        self._sinr_db = 0.0
         self._outlier_until: float | None = None
         self._post_ho_until: float | None = None
         self._paths: list[NetworkPath] = []
@@ -557,6 +558,7 @@ class CellularChannel:
             uplink, downlink = self._contend(now, uplink, downlink)
         self._uplink_bps = uplink
         self._downlink_bps = downlink
+        self._sinr_db = sinr
         serving_rsrp = self.engine.serving_rsrp()
         if self.obs.enabled:
             self.obs.gauge("channel/uplink_bps", uplink)

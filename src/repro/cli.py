@@ -9,7 +9,10 @@ Entry points a downstream user needs:
   print its text rendering;
 * ``repro trace`` — fly one instrumented run (or load JSONL exports)
   and print the merged sim-time timeline of cc / handover / jitter-
-  buffer records;
+  buffer records; ``--follow`` tails a growing JSONL export live;
+* ``repro watch`` — live text dashboard over a running campaign's
+  ``--status-file`` (per-worker activity, ETA, cache counters, cell
+  occupancy);
 * ``repro diagnose`` — detect SLO violations (RP latency, stalls,
   bitrate, FPS) in a live run or exported trace and print ranked
   root-cause attributions (handover, loss burst, capacity dip, ...);
@@ -29,6 +32,7 @@ import argparse
 import inspect
 import json
 import sys
+import time
 from pathlib import Path
 from typing import Callable
 
@@ -39,11 +43,14 @@ from repro.experiments import ExperimentSettings
 from repro.metrics import VideoSummary, network_summary
 from repro.obs import (
     Recorder,
+    TraceFollower,
     diagnose,
     filter_records,
     iter_jsonl_lines,
     merge_traces,
     read_jsonl,
+    read_status,
+    render_status,
     render_timeline,
     validate_diagnosis,
     write_jsonl,
@@ -128,6 +135,19 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         default=DEFAULT_CACHE_DIR,
         help=f"result-cache directory (default {DEFAULT_CACHE_DIR!r})",
     )
+    parser.add_argument(
+        "--status-file",
+        default=None,
+        metavar="FILE",
+        help="write live campaign status (atomic JSON) to FILE; watch "
+        "it from another terminal with 'repro watch --status FILE'",
+    )
+    parser.add_argument(
+        "--status-interval",
+        type=float,
+        default=1.0,
+        help="seconds between status-file refreshes (default 1)",
+    )
 
 
 def _print_progress(done: int, total: int, record: RunTelemetry) -> None:
@@ -141,7 +161,13 @@ def _print_progress(done: int, total: int, record: RunTelemetry) -> None:
 def _runner_from(args: argparse.Namespace) -> CampaignRunner:
     workers = args.workers if args.workers != 0 else None
     cache = None if args.no_cache else ResultCache(Path(args.cache_dir))
-    return CampaignRunner(workers, cache=cache, progress=_print_progress)
+    return CampaignRunner(
+        workers,
+        cache=cache,
+        progress=_print_progress,
+        status_path=getattr(args, "status_file", None),
+        status_interval=getattr(args, "status_interval", 1.0),
+    )
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -230,8 +256,44 @@ def cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _follow_trace(args: argparse.Namespace) -> int:
+    """Tail a growing JSONL trace export (``repro trace --follow``)."""
+    follower = TraceFollower(args.follow)
+    components = None
+    if args.component:
+        components = [
+            name.strip()
+            for entry in args.component
+            for name in entry.split(",")
+            if name.strip()
+        ]
+    # Wall-clock by design: --follow observes a file another process
+    # is writing, never the simulation itself.
+    idle_since = time.monotonic()  # repro-lint: ignore[RPL001]  # live tail
+    while True:
+        records = follower.poll()
+        if records:
+            idle_since = time.monotonic()  # repro-lint: ignore[RPL001]  # live tail
+            shown = filter_records(
+                records, components=components, t0=args.t0, t1=args.t1
+            )
+            if shown:
+                if args.format == "json":
+                    for line in iter_jsonl_lines(shown):
+                        print(line, flush=True)
+                else:
+                    print(render_timeline(shown), flush=True)
+        elif args.idle_timeout is not None:
+            idle = time.monotonic() - idle_since  # repro-lint: ignore[RPL001]  # live tail
+            if idle >= args.idle_timeout:
+                return 0
+        time.sleep(args.poll)
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """Print a sim-time timeline from a traced run or JSONL exports."""
+    if args.follow:
+        return _follow_trace(args)
     recorder = Recorder()
     if args.input:
         traces = []
@@ -412,6 +474,20 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_watch(args: argparse.Namespace) -> int:
+    """Render the live dashboard over a campaign's status file."""
+    # The watcher is pure wall-clock territory — it reads a status
+    # file some other process refreshes; nothing here touches sim time.
+    while True:
+        status = read_status(args.status)
+        print(render_status(status), flush=True)
+        if args.once:
+            return 0 if status is not None else 1
+        if status is not None and status.get("finished"):
+            return 0
+        time.sleep(args.interval)
+
+
 def cmd_list_figures(args: argparse.Namespace) -> int:
     """List the regenerable figures."""
     for name in sorted(FIGURES):
@@ -481,6 +557,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="FILE",
         help="JSONL trace export(s) to merge instead of running a session",
+    )
+    trace_parser.add_argument(
+        "--follow",
+        default=None,
+        metavar="FILE",
+        help="tail a growing JSONL export live, printing records as the "
+        "writer appends them (tolerates the in-progress last line)",
+    )
+    trace_parser.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        help="seconds between --follow polls (default 0.5)",
+    )
+    trace_parser.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop --follow after this long without new records "
+        "(default: follow forever)",
     )
     trace_parser.add_argument(
         "--out", default=None, metavar="FILE",
@@ -634,12 +731,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fleet_parser.add_argument(
         "--obs",
-        action="store_true",
-        help="run instrumented and attribute latency violations to "
-        "cell congestion",
+        nargs="?",
+        const="trace",
+        default="off",
+        choices=["off", "metrics", "trace"],
+        help="observability level: 'metrics' keeps the vectorized fast "
+        "path and adds per-member goodput/PRB/SINR histograms; 'trace' "
+        "(the bare-flag default) runs fully instrumented and attributes "
+        "latency violations to cell congestion",
     )
     _add_runner_arguments(fleet_parser)
     fleet_parser.set_defaults(func=cmd_fleet)
+
+    watch_parser = sub.add_parser(
+        "watch",
+        help="live dashboard over a running campaign's status file",
+        description="Render the live campaign dashboard (progress bar, "
+        "per-worker activity, ETA, cache counters, per-cell occupancy) "
+        "from the atomic JSON status file another repro process writes "
+        "when launched with --status-file. Exits when the campaign "
+        "finishes, or immediately with --once.",
+    )
+    watch_parser.add_argument(
+        "--status",
+        default="campaign_status.json",
+        metavar="FILE",
+        help="status file to watch (default campaign_status.json)",
+    )
+    watch_parser.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="seconds between refreshes (default 1)",
+    )
+    watch_parser.add_argument(
+        "--once",
+        action="store_true",
+        help="render one snapshot and exit (exit 1 if no status yet)",
+    )
+    watch_parser.set_defaults(func=cmd_watch)
 
     lint_parser = sub.add_parser(
         "lint",

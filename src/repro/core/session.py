@@ -21,6 +21,7 @@ while ``run_session`` stays the classic single-UE path.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.cc.base import CongestionController, StaticBitrateController
@@ -44,7 +45,14 @@ from repro.net.loss import GilbertElliottLoss
 from repro.net.packet import reset_datagram_ids
 from repro.net.path import NetworkPath
 from repro.net.simulator import EventLoop
-from repro.obs import NULL_RECORDER, NullRecorder, Recorder, diagnose
+from repro.obs import (
+    NULL_RECORDER,
+    MetricsRecorder,
+    NullRecorder,
+    ObsLevel,
+    Recorder,
+    diagnose,
+)
 from repro.util.rng import RngStreams
 from repro.video.encoder import EncoderModel
 from repro.video.player import PlaybackRecord
@@ -382,20 +390,40 @@ def run_session(
     config: ScenarioConfig,
     *,
     recorder: NullRecorder | None = None,
+    obs: "ObsLevel | str | bool | None" = None,
     draws: "dict | None" = None,
 ) -> SessionResult:
     """Execute one measurement run and collect its dataset.
 
-    Pass a live :class:`~repro.obs.Recorder` to collect sim-time
-    traces and a metrics registry alongside the classic logs; the
-    recorder is bound to this run's event loop, its metric snapshot
-    lands in ``result.extra["metrics"]``, and the simulated outcome is
-    bit-identical to an untraced run (the recorder draws no random
-    numbers and schedules no events). ``draws`` forwards sweep-
-    preloaded draw buffers to :func:`build_session` (bit-identical
-    either way).
+    ``obs`` selects the observability tier (an
+    :class:`~repro.obs.ObsLevel` or its string/bool spellings):
+    ``metrics`` instruments the run with a
+    :class:`~repro.obs.MetricsRecorder` — counters/gauges/histograms
+    in ``result.extra["metrics"]``, no trace, no diagnosis pass, and
+    the unit stays batchable in the campaign planner — while
+    ``trace`` attaches a full :class:`~repro.obs.Recorder` (trace +
+    metrics + the ``diagnosis`` extra). Either way the simulated
+    outcome is bit-identical to an untraced run (recorders draw no
+    random numbers and schedule no events), and the run's
+    recording-time share lands in ``result.extra["obs_overhead"]``.
+    Passing a ``recorder`` instance explicitly keeps its historical
+    meaning and wins over ``obs``. ``draws`` forwards sweep-preloaded
+    draw buffers to :func:`build_session` (bit-identical either way).
     """
-    obs = recorder if recorder is not None else NULL_RECORDER
+    level = ObsLevel.coerce(obs)
+    if recorder is not None:
+        obs = recorder
+    elif level is ObsLevel.TRACE:
+        obs = Recorder(measure_overhead=True)
+    elif level is ObsLevel.METRICS:
+        obs = MetricsRecorder(measure_overhead=True)
+    else:
+        obs = NULL_RECORDER
+    if obs.enabled:
+        # Wall-clock self-accounting only (obs.overhead); never
+        # reaches sim state.
+        timer = time.perf_counter  # repro-lint: ignore[RPL001]  # overhead self-metric
+        wall_start = timer()
     reset_datagram_ids()
     loop = EventLoop()
     if isinstance(obs, Recorder):
@@ -409,13 +437,43 @@ def run_session(
 
     result = handles.collect()
     if isinstance(obs, Recorder):
+        wall_s = timer() - wall_start
+        if obs._timer is not None:
+            # Overhead self-accounting rides only on recorders built
+            # with measure_overhead=True (the ObsLevel tiers above) —
+            # an explicitly passed legacy recorder keeps its exact
+            # historical trace and extras.
+            # Wall-clock and therefore run-dependent: the share stays
+            # out of the registry (whose snapshots must merge
+            # identically whatever the worker count) and travels via
+            # ``extra`` and the trace event only.
+            recording_s = obs.overhead_s
+            share = recording_s / wall_s if wall_s > 0.0 else 0.0
+            if obs.level is ObsLevel.TRACE:
+                # The self-metric also lands on the trace, so exported
+                # JSONL carries the run's recording cost with it.
+                obs.event(
+                    "obs.overhead",
+                    t=config.duration,
+                    recording_s=recording_s,
+                    wall_s=wall_s,
+                    share=share,
+                )
+            result.extra["obs_overhead"] = {
+                "recording_s": recording_s,
+                "wall_s": wall_s,
+                "share": share,
+            }
         # Per-run metric snapshot travels with the result record, so
         # campaign caches serve it without re-simulating and the
         # parent-side runner can merge registries across processes.
         result.extra["metrics"] = obs.registry.snapshot()
-        # SLO violations + root-cause attributions, computed once per
-        # run (post-loop, so zero in-loop cost) and shipped as plain
-        # data: campaign runners merge the embedded summary without
-        # re-running detection.
-        result.extra["diagnosis"] = diagnose(obs.trace, obs.registry).to_dict()
+        if obs.level is ObsLevel.TRACE:
+            # SLO violations + root-cause attributions, computed once
+            # per run (post-loop, so zero in-loop cost) and shipped as
+            # plain data: campaign runners merge the embedded summary
+            # without re-running detection.
+            result.extra["diagnosis"] = diagnose(
+                obs.trace, obs.registry
+            ).to_dict()
     return result

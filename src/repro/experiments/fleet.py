@@ -29,7 +29,7 @@ from repro.core.fleet import FleetResult
 from repro.experiments.campaign import _resolve_runner
 from repro.experiments.settings import ExperimentSettings
 from repro.metrics.video import VideoSummary
-from repro.obs import DiagnosisSummary
+from repro.obs import DiagnosisSummary, ObsLevel
 from repro.obs.attribute import CELL_CONGESTION
 from repro.runner import WORK_FLEET, CampaignRunner, ResultCache
 from repro.runner.engine import ProgressFn
@@ -49,12 +49,17 @@ def fleet_unit(
     seed_stride: int = 1000,
     spread_radius: float = DEFAULT_SPREAD_RADIUS,
     cell_capacity: CellCapacityConfig | None = None,
-    obs: bool = False,
+    obs: bool | str | ObsLevel = False,
+    trace_members: tuple[int, ...] = (),
 ) -> WorkUnit:
     """Build one :data:`WORK_FLEET` campaign unit.
 
     The capacity config is flattened to a plain tuple so the unit's
-    cache fingerprint stays JSON-able and stable.
+    cache fingerprint stays JSON-able and stable; ``obs`` accepts the
+    full :class:`ObsLevel` spectrum (``True`` means ``trace`` for
+    backward compatibility) and lands in the params — and therefore
+    the fingerprint — as the level's string value, so traced, metered
+    and dark runs never share cache entries.
     """
     params: dict = {
         "num_sessions": num_sessions,
@@ -63,8 +68,11 @@ def fleet_unit(
     }
     if cell_capacity is not None:
         params["cell_capacity"] = dataclasses.astuple(cell_capacity)
-    if obs:
-        params["obs"] = True
+    level = ObsLevel.coerce(obs)
+    if level is not ObsLevel.OFF:
+        params["obs"] = level.value
+    if trace_members:
+        params["trace_members"] = tuple(int(m) for m in trace_members)
     return make_unit(WORK_FLEET, config, **params)
 
 
@@ -201,7 +209,7 @@ def run_fleet_density(
     densities: tuple[int, ...] = DEFAULT_DENSITIES,
     spread_radius: float = DEFAULT_SPREAD_RADIUS,
     cell_capacity: CellCapacityConfig | None = None,
-    obs: bool = False,
+    obs: bool | str | ObsLevel = False,
     workers: int | None = None,
     cache: ResultCache | None = None,
     runner: CampaignRunner | None = None,
@@ -217,11 +225,14 @@ def run_fleet_density(
     with per-unit cache fan-back, so an interrupted sweep resumes
     from the fleets that completed; each fleet itself runs the
     vectorized fast path (SoA contention + member-stacked tick
-    plans). With ``obs=True`` every fleet runs under a shared
-    recorder (scalar-scheduled, as instrumented sessions are) and the
-    per-density points carry the fraction of latency violations the
-    diagnosis layer pins on ``cell_congestion``.
+    plans). ``obs="metrics"`` keeps that fast path *and* the batching
+    planner while adding the vectorized fleet metrics plane;
+    ``obs="trace"`` (or ``True``) runs every fleet under a shared
+    recorder (scalar-scheduled, batching excluded) and the
+    per-density points additionally carry the fraction of latency
+    violations the diagnosis layer pins on ``cell_congestion``.
     """
+    level = ObsLevel.coerce(obs)
     engine, owned = _resolve_runner(runner, workers, cache, progress)
     units = [
         fleet_unit(
@@ -229,7 +240,7 @@ def run_fleet_density(
             num_sessions=density,
             spread_radius=spread_radius,
             cell_capacity=cell_capacity,
-            obs=obs,
+            obs=level,
         )
         for density in densities
         for seed in settings.seeds
@@ -243,8 +254,11 @@ def run_fleet_density(
     for unit, result in zip(units, results):
         num_sessions = dict(unit.params)["num_sessions"]
         per_density[num_sessions].append(result)
+    instrumented = level is ObsLevel.TRACE
     points = [
-        _aggregate_point(density, per_density[density], settings.warmup, obs)
+        _aggregate_point(
+            density, per_density[density], settings.warmup, instrumented
+        )
         for density in densities
     ]
     label = (

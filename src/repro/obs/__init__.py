@@ -37,14 +37,25 @@ from repro.obs.detect import (
     samples_from_trace,
 )
 from repro.obs.export import (
+    TraceFollower,
     iter_jsonl_lines,
     read_jsonl,
+    record_from_dict,
     trace_to_dicts,
     write_jsonl,
 )
+from repro.obs.live import (
+    CampaignStatusWriter,
+    read_status,
+    render_status,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    RATE_BUCKETS,
+    SHARE_BUCKETS,
+    SINR_DB_BUCKETS,
     Counter,
+    FleetMetricsPlane,
     Gauge,
     Histogram,
     MetricsRegistry,
@@ -52,7 +63,9 @@ from repro.obs.metrics import (
 )
 from repro.obs.recorder import (
     NULL_RECORDER,
+    MetricsRecorder,
     NullRecorder,
+    ObsLevel,
     Recorder,
     TraceEvent,
     TraceRecord,
@@ -71,21 +84,29 @@ from repro.obs.timeline import filter_records, merge_traces, render_timeline
 __all__ = [
     "DEFAULT_BUCKETS",
     "NULL_RECORDER",
+    "RATE_BUCKETS",
+    "SHARE_BUCKETS",
+    "SINR_DB_BUCKETS",
     "Attribution",
+    "CampaignStatusWriter",
     "Cause",
     "Counter",
     "Diagnosis",
     "DiagnosisSummary",
     "EwmaZScore",
+    "FleetMetricsPlane",
     "Gauge",
     "Histogram",
+    "MetricsRecorder",
     "MetricsRegistry",
     "NullRecorder",
+    "ObsLevel",
     "RankedCause",
     "Recorder",
     "Slo",
     "SloRegistry",
     "TraceEvent",
+    "TraceFollower",
     "TraceRecord",
     "TraceSpan",
     "Violation",
@@ -100,6 +121,9 @@ __all__ = [
     "iter_jsonl_lines",
     "merge_traces",
     "read_jsonl",
+    "read_status",
+    "record_from_dict",
+    "render_status",
     "render_timeline",
     "rp_slos",
     "samples_from_trace",

@@ -91,17 +91,29 @@ def write_jsonl(path: str | Path, recorder: Recorder) -> Path:
 
 
 def read_jsonl(path: str | Path) -> tuple[list[TraceRecord], MetricsRegistry]:
-    """Load a JSONL export back into (trace records, registry)."""
+    """Load a JSONL export back into (trace records, registry).
+
+    Tolerates a **trailing partial line**: a file still being written
+    (``repro trace --follow``) or truncated by a crash ends, at worst,
+    with one incomplete record that has no newline terminator yet —
+    that tail is skipped rather than failing the whole import. Invalid
+    JSON on an *interior* (newline-terminated) line still raises: that
+    is corruption, not an in-progress write.
+    """
     trace: list[TraceRecord] = []
     snapshot: list[dict] = []
     with Path(path).open("r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
+            terminated = line.endswith("\n")
             line = line.strip()
             if not line:
                 continue
             try:
                 data = json.loads(line)
             except json.JSONDecodeError as error:
+                if not terminated:
+                    # In-progress tail of a growing/truncated file.
+                    break
                 raise ValueError(
                     f"{path}:{line_number}: invalid JSON ({error})"
                 ) from error
@@ -112,3 +124,59 @@ def read_jsonl(path: str | Path) -> tuple[list[TraceRecord], MetricsRegistry]:
             else:
                 trace.append(record_from_dict(data))
     return trace, MetricsRegistry.from_snapshot(snapshot)
+
+
+class TraceFollower:
+    """Incremental reader of a growing trace JSONL file.
+
+    Backs ``repro trace --follow``: each :meth:`poll` returns the
+    trace records appended since the previous poll, reading from the
+    remembered byte offset. A trailing partial line (the writer is
+    mid-record) is buffered, not parsed — it completes on a later
+    poll once its newline arrives. A file that does not exist yet
+    simply yields nothing. Metric lines are accumulated separately in
+    :attr:`registry_snapshot` (the dashboard renders records, the
+    snapshot arrives at export end).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.registry_snapshot: list[dict] = []
+        self._offset = 0
+        self._tail = ""
+
+    def poll(self) -> list[TraceRecord]:
+        """Read and parse whatever was appended since the last poll."""
+        try:
+            with self.path.open("r", encoding="utf-8") as handle:
+                handle.seek(0, 2)
+                size = handle.tell()
+                if size < self._offset:
+                    # Truncated/rotated underneath us: start over.
+                    self._offset = 0
+                    self._tail = ""
+                handle.seek(self._offset)
+                chunk = handle.read()
+                self._offset = handle.tell()
+        except FileNotFoundError:
+            return []
+        if not chunk:
+            return []
+        text = self._tail + chunk
+        lines = text.split("\n")
+        # The fragment after the last newline is an in-progress write;
+        # keep it for the next poll.
+        self._tail = lines.pop()
+        records: list[TraceRecord] = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            if data.get("type") == "metric":
+                self.registry_snapshot.append(
+                    {key: value for key, value in data.items() if key != "type"}
+                )
+            else:
+                records.append(record_from_dict(data))
+        return records

@@ -1,0 +1,224 @@
+"""Live campaign telemetry plane: atomic status file + dashboard.
+
+A running :class:`~repro.runner.engine.CampaignRunner` periodically
+dumps a small JSON status file through
+:class:`CampaignStatusWriter` — per-worker unit activity, progress
+and cache counters, an ETA extrapolated from the executed units'
+wall-time history, and live per-cell occupancy gauges harvested from
+completed fleet results. The file is written atomically (temp file +
+``os.replace``) so a concurrent reader never sees a torn document:
+``repro watch`` tails it with :func:`read_status` and renders the
+refreshing text dashboard via :func:`render_status`.
+
+Everything here is wall-clock territory by design — the status plane
+observes the *campaign*, never the simulation, and no value ever
+flows back into sim state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any
+
+__all__ = ["CampaignStatusWriter", "read_status", "render_status"]
+
+
+class CampaignStatusWriter:
+    """Throttled atomic writer of a campaign's live status file.
+
+    The runner calls :meth:`begin` once per :meth:`run`, :meth:`note`
+    per completed unit (cache hits included), :meth:`note_result` per
+    result (to harvest fleet cell occupancy), and :meth:`finish` at
+    the end. Writes are throttled to one per ``interval`` seconds
+    (begin/finish always write), so even a cache-hit storm of
+    thousands of units costs a handful of file writes.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        interval: float = 1.0,
+        workers: int = 1,
+    ) -> None:
+        self.path = str(path)
+        self.interval = float(interval)
+        self.workers = max(int(workers), 1)
+        self.done = 0
+        self.total = 0
+        self.cache_hits = 0
+        self.executed = 0
+        self.finished = False
+        self._workers: dict[str, dict[str, Any]] = {}
+        self._cells: dict[int, dict[str, int]] = {}
+        self._executed_wall = 0.0
+        self._last_write = float("-inf")
+
+    # ------------------------------------------------------------------
+    # runner hooks
+    # ------------------------------------------------------------------
+    def begin(self, total: int) -> None:
+        """Start (or restart) a campaign of ``total`` units."""
+        self.total = total
+        self.done = 0
+        self.cache_hits = 0
+        self.executed = 0
+        self.finished = False
+        self._workers.clear()
+        self._cells.clear()
+        self._executed_wall = 0.0
+        self._write(force=True)
+
+    def note(self, record: Any, done: int, total: int) -> None:
+        """Register one completed unit's telemetry record."""
+        self.done = done
+        self.total = total
+        if record.cache_hit:
+            self.cache_hits += 1
+        else:
+            self.executed += 1
+            self._executed_wall += record.wall_time
+        self._workers[record.worker] = {
+            "unit": record.unit,
+            "wall_time": record.wall_time,
+            "cache_hit": record.cache_hit,
+        }
+        self._write()
+
+    def note_result(self, result: Any) -> None:
+        """Harvest per-cell occupancy gauges from a fleet result."""
+        peak = getattr(result, "peak_occupancy", None)
+        occupancy = getattr(result, "occupancy", None)
+        if not isinstance(peak, dict):
+            return
+        for cell, count in peak.items():
+            entry = self._cells.setdefault(
+                int(cell), {"peak": 0, "last": 0}
+            )
+            entry["peak"] = max(entry["peak"], int(count))
+        if isinstance(occupancy, dict):
+            for cell, count in occupancy.items():
+                entry = self._cells.setdefault(
+                    int(cell), {"peak": 0, "last": 0}
+                )
+                entry["last"] = int(count)
+        self._write()
+
+    def finish(self) -> None:
+        """Mark the campaign finished and flush a final status."""
+        self.finished = True
+        self._write(force=True)
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    @property
+    def eta_s(self) -> float | None:
+        """Projected wall seconds left, from executed-unit history."""
+        remaining = max(self.total - self.done, 0)
+        if remaining == 0:
+            return 0.0
+        if self.executed == 0:
+            return None
+        mean_wall = self._executed_wall / self.executed
+        return remaining * mean_wall / self.workers
+
+    def to_dict(self) -> dict[str, Any]:
+        """Status document (what lands in the JSON file)."""
+        return {
+            "updated_unix": time.time(),  # repro-lint: ignore[RPL001]  # wall-clock status plane
+            "finished": self.finished,
+            "done": self.done,
+            "total": self.total,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "eta_s": self.eta_s,
+            "workers": dict(self._workers),
+            "cells": {str(cell): dict(entry)
+                      for cell, entry in sorted(self._cells.items())},
+        }
+
+    def _write(self, force: bool = False) -> None:
+        now = time.monotonic()  # repro-lint: ignore[RPL001]  # write throttle
+        if not force and now - self._last_write < self.interval:
+            return
+        self._last_write = now
+        payload = json.dumps(self.to_dict(), indent=2, sort_keys=True)
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        # Atomic on POSIX: a concurrent `repro watch` reader sees
+        # either the previous complete document or this one, never a
+        # torn write.
+        os.replace(tmp, self.path)
+
+
+def read_status(path: str) -> dict[str, Any] | None:
+    """Load a status file; ``None`` when absent or mid-rotation.
+
+    ``os.replace`` makes torn documents impossible, but the watcher
+    may race the very first write or a deleted file — both read as
+    "no status yet" rather than an error.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (FileNotFoundError, json.JSONDecodeError):
+        return None
+
+
+def _format_eta(eta_s: float | None) -> str:
+    if eta_s is None:
+        return "eta --"
+    if eta_s >= 3600:
+        return f"eta {eta_s / 3600:.1f}h"
+    if eta_s >= 60:
+        return f"eta {eta_s / 60:.1f}m"
+    return f"eta {eta_s:.0f}s"
+
+
+def render_status(status: dict[str, Any] | None) -> str:
+    """Text dashboard body for one status document."""
+    if not status:
+        return "no campaign status yet"
+    done = status.get("done", 0)
+    total = status.get("total", 0)
+    width = 24
+    filled = int(width * done / total) if total else 0
+    bar = "#" * filled + "-" * (width - filled)
+    state = "done" if status.get("finished") else _format_eta(
+        status.get("eta_s")
+    )
+    lines = [
+        f"campaign [{bar}] {done}/{total} units · "
+        f"{status.get('cache_hits', 0)} cached · "
+        f"{status.get('executed', 0)} executed · {state}"
+    ]
+    workers = status.get("workers") or {}
+    if workers:
+        lines.append("workers:")
+        name_width = max(len(name) for name in workers)
+        for name in sorted(workers):
+            entry = workers[name]
+            source = "cache" if entry.get("cache_hit") else (
+                f"{entry.get('wall_time', 0.0):.2f}s"
+            )
+            lines.append(
+                f"  {name:<{name_width}}  {entry.get('unit', '?')}  "
+                f"[{source}]"
+            )
+    cells = status.get("cells") or {}
+    if cells:
+        parts = [
+            f"cell {cell}: {entry.get('last', 0)} UEs "
+            f"(peak {entry.get('peak', 0)})"
+            for cell, entry in sorted(
+                cells.items(), key=lambda item: int(item[0])
+            )
+        ]
+        lines.append("cells: " + " · ".join(parts))
+    return "\n".join(lines)

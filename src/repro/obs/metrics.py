@@ -24,8 +24,11 @@ from __future__ import annotations
 
 import bisect
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Any, Iterable
+
+import numpy as np
 
 #: Default histogram buckets, tuned for millisecond-scale latencies
 #: (values in the instrument's own unit; callers pick the unit).
@@ -351,3 +354,198 @@ class MetricsRegistry:
                     f"max={histogram.maximum:.3g}"
                 )
         return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# vectorized fleet metrics plane
+# ---------------------------------------------------------------------------
+
+#: Uplink goodput histogram bounds (bits/second).
+RATE_BUCKETS: tuple[float, ...] = (
+    0.5e6, 1e6, 2e6, 5e6, 10e6, 20e6, 30e6, 50e6, 75e6, 100e6,
+)
+#: PRB-share histogram bounds (fraction of a fair cell share).
+SHARE_BUCKETS: tuple[float, ...] = (
+    0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0,
+)
+#: SINR histogram bounds (dB) — same edges as ``channel/sinr_db``.
+SINR_DB_BUCKETS: tuple[float, ...] = (
+    -10.0, -5.0, 0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 40.0,
+)
+
+
+class FleetMetricsPlane:
+    """Struct-of-arrays metrics accumulator for a fleet run.
+
+    The metrics tier of a fleet cannot afford per-member
+    ``Recorder.observe`` calls (the whole point of the fast path is
+    that no per-member Python work scales with N), so this plane keeps
+    the per-member instruments as ``(N,)``/``(N, buckets)`` numpy
+    arrays and ingests one row set per fleet tick:
+
+    * :meth:`observe_channels` — the vectorized arm: the
+      :class:`~repro.cellular.batch.FleetTicker` calls it once per
+      tick, after all member ``_tick``s, reading the live per-channel
+      state (``_uplink_bps`` / ``_share_ul`` / ``_sinr_db``).
+    * :meth:`observe_samples` — the scalar arm: replays the identical
+      per-tick ingestion from the members' recorded
+      :class:`~repro.cellular.channel.CapacitySample` lists at collect
+      time, so a ``fast=False`` (or batch-fallback) run produces a
+      **bit-identical** snapshot — the float accumulation order per
+      member is the same sequential per-tick add on both arms.
+
+    :meth:`snapshot` renders the arrays in the exact record format of
+    :meth:`MetricsRegistry.snapshot` (histogram edges from
+    :data:`RATE_BUCKETS` / :data:`SHARE_BUCKETS` /
+    :data:`SINR_DB_BUCKETS`), so plane output merges into any
+    registry with the standard order-independent rules.
+
+    Congestion accounting mirrors
+    ``Channel._track_congestion`` exactly: a tick is congested iff
+    its share is **strictly below** ``congestion_share``, and each
+    congested tick contributes ``tick_period`` simulated seconds.
+    """
+
+    def __init__(
+        self,
+        n_members: int,
+        *,
+        congestion_share: float = 0.75,
+        tick_period: float = 0.1,
+    ) -> None:
+        if n_members <= 0:
+            raise ValueError(f"n_members must be positive, got {n_members}")
+        self.n_members = n_members
+        self.congestion_share = float(congestion_share)
+        self.tick_period = float(tick_period)
+        self.ticks = 0
+        #: Wall seconds spent ingesting (the plane's share of the
+        #: ``obs.overhead`` self-metric).
+        self.overhead_s = 0.0
+        # Wall-clock self-accounting only; never feeds sim state.
+        self._timer = time.perf_counter  # repro-lint: ignore[RPL001]  # overhead self-metric
+        self._congested = np.zeros(n_members, dtype=np.int64)
+        # All three instruments share one stacked array set so a tick
+        # costs a handful of numpy calls regardless of spec count.
+        # The bucket edge counts happen to be equal; the stacking
+        # relies on it.
+        self._names = ("fleet/uplink_bps", "fleet/uplink_share",
+                       "fleet/sinr_db")
+        bucket_sets = (RATE_BUCKETS, SHARE_BUCKETS, SINR_DB_BUCKETS)
+        edges = len(bucket_sets[0])
+        assert all(len(b) == edges for b in bucket_sets)
+        self._buckets = np.asarray(bucket_sets, dtype=np.float64)
+        self._counts = np.zeros((3, n_members, edges + 1), dtype=np.int64)
+        self._total = np.zeros((3, n_members), dtype=np.float64)
+        self._min = np.full((3, n_members), np.inf)
+        self._max = np.full((3, n_members), -np.inf)
+        self._spec_rows = np.arange(3)[:, None]
+        self._member_rows = np.arange(n_members)[None, :]
+        self._scratch = np.empty((3, n_members), dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # per-tick ingestion
+    # ------------------------------------------------------------------
+    def _ingest(self, rows: np.ndarray) -> None:
+        """Fold one tick's ``(3, N)`` rows (rate, share, sinr) in."""
+        # Count of edges strictly below the value == bisect_left ==
+        # searchsorted(side='left'), so bucket attribution is
+        # identical to Histogram.observe.
+        index = (self._buckets[:, :, None] < rows[:, None, :]).sum(axis=1)
+        self._counts[self._spec_rows, self._member_rows, index] += 1
+        self._total += rows
+        np.minimum(self._min, rows, out=self._min)
+        np.maximum(self._max, rows, out=self._max)
+        self._congested += rows[1] < self.congestion_share
+        self.ticks += 1
+
+    def observe_channels(self, channels) -> None:
+        """Ingest the live post-tick state of every member channel."""
+        timer = self._timer
+        start = timer()
+        rows = self._scratch
+        for i, channel in enumerate(channels):
+            rows[0, i] = channel._uplink_bps
+            rows[1, i] = channel._share_ul
+            rows[2, i] = channel._sinr_db
+        self._ingest(rows)
+        self.overhead_s += timer() - start
+
+    def observe_samples(self, member_samples) -> None:
+        """Replay recorded per-member sample lists, tick by tick.
+
+        ``member_samples`` is one sample sequence per member, all the
+        same length (fleet members tick in lockstep). Each tick goes
+        through the same :meth:`_ingest` op as the live arm so float
+        totals accumulate in the identical order.
+        """
+        if not member_samples:
+            return
+        n_ticks = len(member_samples[0])
+        for samples in member_samples:
+            if len(samples) != n_ticks:
+                raise ValueError(
+                    "fleet members must have lockstep sample counts: "
+                    f"{len(samples)} vs {n_ticks}"
+                )
+        timer = self._timer
+        start = timer()
+        rows = self._scratch
+        for k in range(n_ticks):
+            for i, samples in enumerate(member_samples):
+                sample = samples[k]
+                rows[0, i] = sample.uplink_bps
+                rows[1, i] = sample.uplink_share
+                rows[2, i] = sample.sinr_db
+            self._ingest(rows)
+        self.overhead_s += timer() - start
+
+    # ------------------------------------------------------------------
+    # snapshot / fold
+    # ------------------------------------------------------------------
+    def snapshot(self) -> list[dict[str, Any]]:
+        """Render as :meth:`MetricsRegistry.snapshot`-format records."""
+        records: list[dict[str, Any]] = []
+        for member in range(self.n_members):
+            records.append({
+                "kind": "counter", "name": "fleet/ticks",
+                "labels": {"member": member}, "value": float(self.ticks),
+            })
+            records.append({
+                "kind": "counter", "name": "fleet/congestion_time",
+                "labels": {"member": member},
+                "value": float(self._congested[member]) * self.tick_period,
+            })
+            for spec, name in enumerate(self._names):
+                records.append({
+                    "kind": "histogram", "name": name,
+                    "labels": {"member": member},
+                    "buckets": [float(b) for b in self._buckets[spec]],
+                    "counts": [int(c) for c in self._counts[spec, member]],
+                    "count": self.ticks,
+                    "total": float(self._total[spec, member]),
+                    "min": float(self._min[spec, member]),
+                    "max": float(self._max[spec, member]),
+                })
+        records.sort(key=lambda r: (r["name"], sorted(r["labels"].items())))
+        return records
+
+    def fold_into(self, registry: MetricsRegistry) -> None:
+        """Merge this plane's snapshot into ``registry``."""
+        registry.merge_snapshot(self.snapshot())
+
+
+def _declare_fleet_plane_names(obs) -> None:
+    """RPL008 declaration twin for names the plane writes directly.
+
+    :class:`FleetMetricsPlane` builds its registry records from numpy
+    arrays rather than through recorder calls, so the static
+    trace-schema scan cannot see the metric names at their real emit
+    sites. This never-called function declares them with literal
+    recorder calls the linter does recognize.
+    """
+    obs.count("fleet/ticks")
+    obs.count("fleet/congestion_time")
+    obs.observe("fleet/uplink_bps", 0.0)
+    obs.observe("fleet/uplink_share", 0.0)
+    obs.observe("fleet/sinr_db", 0.0)

@@ -17,13 +17,61 @@ Metric names use ``component/name`` (see :mod:`repro.obs.metrics`).
 
 from __future__ import annotations
 
+import enum
 import math
+import time
 import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
 from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+
+
+class ObsLevel(enum.Enum):
+    """How much observability a run pays for.
+
+    * ``OFF`` — the :data:`NULL_RECORDER` default: one ``obs.enabled``
+      attribute check per instrumented site, nothing recorded.
+    * ``METRICS`` — counters/gauges/histograms only (snapshotable and
+      mergeable across workers); trace emission is a no-op. Metrics-
+      level sessions stay batchable in the campaign planner, and
+      metrics-level fleets stay on the vectorized tick path (fed by
+      :class:`~repro.obs.metrics.FleetMetricsPlane`).
+    * ``TRACE`` — the full sim-time trace plus metrics. Trace-level
+      units are excluded from struct-of-arrays batches (the trace is
+      part of the payload) and fleet members sampled via
+      ``FleetConfig.trace_members`` run with per-tick scalar draws.
+    """
+
+    OFF = "off"
+    METRICS = "metrics"
+    TRACE = "trace"
+
+    @classmethod
+    def coerce(cls, value: "ObsLevel | str | bool | None") -> "ObsLevel":
+        """Normalize the accepted spellings of an obs level.
+
+        ``None``/``False`` mean :attr:`OFF` and ``True`` means
+        :attr:`TRACE` (the legacy ``obs=True`` switch instrumented a
+        full recorder), so every pre-``ObsLevel`` call site keeps its
+        meaning. Strings match enum values case-insensitively.
+        """
+        if value is None or value is False:
+            return cls.OFF
+        if value is True:
+            return cls.TRACE
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            try:
+                return cls(value.lower())
+            except ValueError:
+                raise ValueError(
+                    f"unknown obs level {value!r}; expected one of "
+                    f"{', '.join(level.value for level in cls)}"
+                ) from None
+        raise TypeError(f"cannot interpret {value!r} as an ObsLevel")
 
 
 def component_of(name: str) -> str:
@@ -100,6 +148,11 @@ class NullRecorder:
     """
 
     enabled = False
+    #: Observability tier this recorder implements (class attribute,
+    #: like ``enabled``, so dispatch stays one attribute load).
+    level = ObsLevel.OFF
+    #: Wall seconds spent recording (always 0.0 for the null twin).
+    overhead_s = 0.0
 
     def event(self, name: str, t: float | None = None, **labels: Any) -> None:
         """Ignore a point event."""
@@ -151,17 +204,33 @@ class Recorder(NullRecorder):
     the runtime twin of the RPL008 static check: the linter catches
     names in code it can see, the warning catches names built
     dynamically at run time.
+
+    With ``measure_overhead=True`` every recording method times itself
+    (two clock reads per record) and accumulates into
+    :attr:`overhead_s` — the raw material of the ``obs.overhead``
+    self-metric that ``run_session``/``run_fleet`` surface in
+    ``result.extra["obs_overhead"]``. Off by default: the recorded
+    values never feed back into the simulation either way.
     """
 
     enabled = True
+    level = ObsLevel.TRACE
 
     def __init__(
-        self, clock: Any | None = None, *, warn_unregistered: bool = False
+        self,
+        clock: Any | None = None,
+        *,
+        warn_unregistered: bool = False,
+        measure_overhead: bool = False,
     ) -> None:
         self.registry = MetricsRegistry()
         self.trace: list[TraceRecord] = []
         self._clock = clock
         self._depth = 0
+        self.overhead_s = 0.0
+        # Wall-clock self-accounting only: the measured time never
+        # reaches sim state or record timestamps.
+        self._timer = time.perf_counter if measure_overhead else None  # repro-lint: ignore[RPL001]  # overhead self-metric
         self._known_names: frozenset[str] | None = None
         self._warned_names: set[str] = set()
         if warn_unregistered:
@@ -205,6 +274,8 @@ class Recorder(NullRecorder):
     # ------------------------------------------------------------------
     def event(self, name: str, t: float | None = None, **labels: Any) -> None:
         """Record a point event at ``t`` (default: the sim clock)."""
+        timer = self._timer
+        start = timer() if timer is not None else 0.0
         if self._known_names is not None:
             self._check_name(name)
         self.trace.append(
@@ -215,14 +286,20 @@ class Recorder(NullRecorder):
                 depth=self._depth,
             )
         )
+        if timer is not None:
+            self.overhead_s += timer() - start
 
     def span_at(self, name: str, t0: float, t1: float, **labels: Any) -> None:
         """Record a completed span with explicit bounds."""
+        timer = self._timer
+        start = timer() if timer is not None else 0.0
         if self._known_names is not None:
             self._check_name(name)
         self.trace.append(
             TraceSpan(name=name, t0=t0, t1=t1, labels=labels, depth=self._depth)
         )
+        if timer is not None:
+            self.overhead_s += timer() - start
 
     @contextmanager
     def span(self, name: str, **labels: Any) -> Iterator[TraceSpan]:
@@ -252,15 +329,23 @@ class Recorder(NullRecorder):
     # ------------------------------------------------------------------
     def count(self, name: str, amount: float = 1.0, **labels: Any) -> None:
         """Increment the counter ``name{labels}``."""
+        timer = self._timer
+        start = timer() if timer is not None else 0.0
         if self._known_names is not None:
             self._check_name(name)
         self.registry.counter(name, **labels).inc(amount)
+        if timer is not None:
+            self.overhead_s += timer() - start
 
     def gauge(self, name: str, value: float, **labels: Any) -> None:
         """Set the gauge ``name{labels}``."""
+        timer = self._timer
+        start = timer() if timer is not None else 0.0
         if self._known_names is not None:
             self._check_name(name)
         self.registry.gauge(name, **labels).set(value)
+        if timer is not None:
+            self.overhead_s += timer() - start
 
     def observe(
         self,
@@ -270,6 +355,37 @@ class Recorder(NullRecorder):
         **labels: Any,
     ) -> None:
         """Observe ``value`` in the histogram ``name{labels}``."""
+        timer = self._timer
+        start = timer() if timer is not None else 0.0
         if self._known_names is not None:
             self._check_name(name)
         self.registry.histogram(name, buckets=buckets, **labels).observe(value)
+        if timer is not None:
+            self.overhead_s += timer() - start
+
+
+class MetricsRecorder(Recorder):
+    """Metrics-only recorder: the :data:`ObsLevel.METRICS` tier.
+
+    Counters, gauges and histograms record exactly as on
+    :class:`Recorder`; trace emission (events and spans) is a no-op,
+    so there is no trace list to pickle, no diagnosis pass at collect
+    time, and — because the trace is not part of the payload — a
+    metrics-level session stays batchable in the campaign planner
+    (:func:`repro.runner.batch.batch_key`). ``trace`` stays an empty
+    list so every ``isinstance(obs, Recorder)`` consumer keeps
+    working.
+    """
+
+    level = ObsLevel.METRICS
+
+    def event(self, name: str, t: float | None = None, **labels: Any) -> None:
+        """Ignore a point event (metrics tier records no trace)."""
+
+    def span_at(self, name: str, t0: float, t1: float, **labels: Any) -> None:
+        """Ignore a completed span (metrics tier records no trace)."""
+
+    @contextmanager
+    def span(self, name: str, **labels: Any) -> Iterator[None]:
+        """No-op span context (metrics tier records no trace)."""
+        yield

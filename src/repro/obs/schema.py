@@ -15,12 +15,14 @@ TRACE_NAMES = frozenset({
     "cell.congestion",
     "channel.capacity_dip",
     "channel.interference_outlier",
+    "fleet.member_sample",
     "gcc.overuse",
     "gcc.rate_decrease",
     "handover.a3_enter",
     "handover.execution",
     "jitter.gap",
     "loss.burst",
+    "obs.overhead",
     "player.underrun",
     "player.window",
     "receiver.owd_anomaly",
@@ -41,6 +43,13 @@ METRIC_NAMES = frozenset({
     "channel/interference_outliers",
     "channel/sinr_db",
     "channel/uplink_bps",
+    "fleet/congestion_time",
+    "fleet/occupancy",
+    "fleet/peak_occupancy",
+    "fleet/sinr_db",
+    "fleet/ticks",
+    "fleet/uplink_bps",
+    "fleet/uplink_share",
     "gcc/overuse_events",
     "gcc/packets_acked",
     "gcc/packets_lost",

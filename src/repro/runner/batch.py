@@ -14,10 +14,14 @@ The planner is deliberately conservative about what may batch:
 * :data:`~repro.runner.work.WORK_CHANNEL_PROBE` units — always
   batchable (pure channel, no params);
 * :data:`~repro.runner.work.WORK_SESSION` units — batchable unless
-  instrumented (``obs=True`` runs carry a live recorder whose trace
-  is part of the payload; they take the scalar path);
+  **trace**-instrumented (``obs="trace"`` runs carry a live recorder
+  whose trace is part of the payload; they take the scalar path).
+  Metrics-level units (``obs="metrics"``) batch freely: the
+  :class:`~repro.obs.MetricsRecorder` records counters/gauges/
+  histograms without a trace, so the vectorized execution is
+  unperturbed;
 * :data:`~repro.runner.work.WORK_FLEET` units — batchable unless
-  instrumented. A fleet batch groups a density sweep's fleets into
+  trace-instrumented. A fleet batch groups a density sweep's fleets into
   per-worker tasks: each fleet still executes whole (its members are
   already vectorized internally — SoA contention plus member-stacked
   tick plans, see :func:`repro.cellular.batch.install_fleet_plans`),
@@ -42,6 +46,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.core.config import ScenarioConfig
+from repro.obs import ObsLevel
 from repro.runner.work import (
     WORK_CHANNEL_PROBE,
     WORK_FLEET,
@@ -91,7 +96,14 @@ def batch_key(unit: WorkUnit) -> str | None:
     iff they are the same cached computation modulo seed.
     """
     if unit.kind in (WORK_SESSION, WORK_FLEET):
-        if dict(unit.params).get("obs"):
+        # Only trace-level obs forces the scalar path: the trace is
+        # part of the payload and must observe per-tick scalar
+        # scheduling. Metrics-level units batch freely — the
+        # MetricsRecorder (session) / FleetMetricsPlane (fleet)
+        # record without perturbing the vectorized execution, and the
+        # tier stays inside the fingerprint, so the grouping key still
+        # separates instrumented from bare payloads.
+        if ObsLevel.coerce(dict(unit.params).get("obs")) is ObsLevel.TRACE:
             return None
     elif unit.kind != WORK_CHANNEL_PROBE:
         return None
@@ -197,9 +209,16 @@ def execute_batch(plan: BatchPlan) -> "list[Any]":
             [config.seed for config in configs],
             session_stream_specs(configs[0]),
         )
+        # Grouping keys share the obs tier (it is in the fingerprint),
+        # but thread it per unit anyway so a future key relaxation
+        # cannot silently drop instrumentation.
         return [
-            run_session(config, draws=sweep.wrappers(config.seed))
-            for config in configs
+            run_session(
+                unit.config,
+                obs=dict(unit.params).get("obs"),
+                draws=sweep.wrappers(unit.config.seed),
+            )
+            for unit in plan.units
         ]
     # WORK_FLEET (and any future kind a caller schedules directly):
     # each unit executes whole in this worker task — a fleet is

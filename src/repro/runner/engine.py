@@ -25,7 +25,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
-from repro.obs import DiagnosisSummary, MetricsRegistry
+from repro.obs import CampaignStatusWriter, DiagnosisSummary, MetricsRegistry
 from repro.runner.batch import BatchPlan, execute_batch, plan_batches
 from repro.runner.cache import MISS, ResultCache
 from repro.runner.work import WorkUnit, execute_unit
@@ -55,6 +55,18 @@ class RunTelemetry:
             return float("inf")
         return self.sim_duration / wall
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able rendering of this record."""
+        return {
+            "unit": self.unit,
+            "worker": self.worker,
+            "wall_start": self.wall_start,
+            "wall_end": self.wall_end,
+            "wall_time": self.wall_time,
+            "sim_duration": self.sim_duration,
+            "cache_hit": self.cache_hit,
+        }
+
 
 @dataclass
 class CampaignTelemetry:
@@ -75,6 +87,35 @@ class CampaignTelemetry:
             f"{self.executed} executed in {self.wall_time:.1f} s wall "
             f"({ratio:.1f}x real time)"
         )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able rendering for post-hoc ETA/throughput analysis.
+
+        Everything the in-memory records hold survives the export, so
+        throughput studies (units/hour per worker, cache hit rates
+        over time) do not need a live watcher attached to the
+        campaign.
+        """
+        return {
+            "summary": self.summary(),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "executed": self.executed,
+            "wall_time": self.wall_time,
+            "runs": [record.to_dict() for record in self.runs],
+        }
+
+    def write_json(self, path: str) -> None:
+        """Write :meth:`to_dict` to ``path`` atomically."""
+        import json
+
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
 
 
 #: ``progress(done, total, record)`` — invoked in the parent process
@@ -174,6 +215,8 @@ class CampaignRunner:
         cache: ResultCache | None = None,
         progress: ProgressFn | None = None,
         batch: bool = False,
+        status_path: str | None = None,
+        status_interval: float = 1.0,
     ) -> None:
         if workers is None:
             workers = os.cpu_count() or 1
@@ -186,6 +229,16 @@ class CampaignRunner:
         self.telemetry = CampaignTelemetry()
         self.metrics = MetricsRegistry()
         self.diagnosis = DiagnosisSummary()
+        #: Live telemetry plane: when ``status_path`` is set, every
+        #: completed unit updates an atomic JSON status file that
+        #: ``repro watch`` tails (see :mod:`repro.obs.live`).
+        self.status: CampaignStatusWriter | None = (
+            CampaignStatusWriter(
+                status_path, interval=status_interval, workers=workers
+            )
+            if status_path is not None
+            else None
+        )
         self._pool: multiprocessing.pool.Pool | None = None
 
     def run(self, units: Sequence[WorkUnit]) -> list[Any]:
@@ -195,6 +248,8 @@ class CampaignRunner:
         results: list[Any] = [None] * total
         done = 0
         pending: list[tuple[int, WorkUnit]] = []
+        if self.status is not None:
+            self.status.begin(total)
 
         for index, unit in enumerate(units):
             cached = self.cache.get(unit) if self.cache is not None else MISS
@@ -244,6 +299,8 @@ class CampaignRunner:
             self._note(record, done, total)
 
         self.telemetry.wall_time += time.time() - campaign_start  # repro-lint: ignore[RPL001]
+        if self.status is not None:
+            self.status.finish()
         return results
 
     def _execute(
@@ -309,8 +366,14 @@ class CampaignRunner:
                 self.diagnosis.merge(
                     DiagnosisSummary.from_dict(diagnosis["summary"])
                 )
+        if self.status is not None:
+            # Fleet results feed the live per-cell occupancy gauges
+            # (duck-typed on peak_occupancy; other kinds are no-ops).
+            self.status.note_result(result)
 
     def _note(self, record: RunTelemetry, done: int, total: int) -> None:
         self.telemetry.runs.append(record)
         if self.progress is not None:
             self.progress(done, total, record)
+        if self.status is not None:
+            self.status.note(record, done, total)

@@ -16,7 +16,7 @@ from typing import Any
 
 from repro.core.config import ScenarioConfig
 from repro.core.session import run_session
-from repro.obs import Recorder
+from repro.obs import ObsLevel
 
 #: Full video-pipeline session (expensive; video figures).
 WORK_SESSION = "session"
@@ -87,12 +87,14 @@ def execute_unit(unit: WorkUnit) -> Any:
 
     params = dict(unit.params)
     if unit.kind == WORK_SESSION:
-        # ``obs=True`` runs the session under a live recorder and
-        # ships the per-run metric snapshot home inside the result
-        # (``extra["metrics"]``). It is part of the cache fingerprint:
-        # an instrumented result is a different payload.
-        recorder = Recorder() if params.pop("obs", False) else None
-        return run_session(unit.config, recorder=recorder)
+        # ``obs`` selects the observability tier (``"metrics"`` /
+        # ``"trace"``, with legacy ``True`` meaning ``trace``). The
+        # tier is part of the cache fingerprint: an instrumented
+        # result is a different payload (``extra["metrics"]`` and, at
+        # trace level, ``extra["diagnosis"]``).
+        return run_session(
+            unit.config, obs=ObsLevel.coerce(params.pop("obs", None))
+        )
     if unit.kind == WORK_CHANNEL_PROBE:
         return channel_probe_seed(unit.config)
     if unit.kind == WORK_PING_PROBE:
@@ -103,8 +105,9 @@ def execute_unit(unit: WorkUnit) -> Any:
         from repro.cellular.cell import CellCapacityConfig
         from repro.core.fleet import FleetConfig, run_fleet
 
-        recorder = Recorder() if params.pop("obs", False) else None
+        level = ObsLevel.coerce(params.pop("obs", None))
         capacity = params.pop("cell_capacity", None)
+        trace_members = tuple(params.pop("trace_members", ()))
         fleet_config = FleetConfig(
             base=unit.config,
             cell_capacity=(
@@ -112,9 +115,10 @@ def execute_unit(unit: WorkUnit) -> Any:
                 if capacity is not None
                 else CellCapacityConfig()
             ),
+            trace_members=trace_members,
             **params,
         )
-        return run_fleet(fleet_config, recorder=recorder)
+        return run_fleet(fleet_config, obs=level)
     raise ValueError(f"unknown work kind {unit.kind!r}")
 
 

@@ -366,3 +366,145 @@ class TestDiagnose:
         ) == 0
         replayed = json.loads(capsys.readouterr().out)
         assert replayed == live_payload
+
+
+class TestObsLevelFlags:
+    def test_fleet_obs_defaults_off(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.obs == "off"
+
+    def test_fleet_bare_obs_flag_means_trace(self):
+        args = build_parser().parse_args(["fleet", "--obs"])
+        assert args.obs == "trace"
+
+    def test_fleet_obs_accepts_metrics(self):
+        args = build_parser().parse_args(["fleet", "--obs", "metrics"])
+        assert args.obs == "metrics"
+
+    def test_fleet_obs_rejects_unknown_level(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--obs", "loud"])
+
+    def test_status_file_flags_parse(self):
+        args = build_parser().parse_args(
+            ["dataset", "--status-file", "s.json", "--status-interval", "0.5"]
+        )
+        assert args.status_file == "s.json"
+        assert args.status_interval == 0.5
+        assert build_parser().parse_args(["dataset"]).status_file is None
+
+
+class TestWatch:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["watch"])
+        assert args.status == "campaign_status.json"
+        assert args.interval == 1.0
+        assert args.once is False
+
+    def test_once_without_status_exits_nonzero(self, capsys, tmp_path):
+        code = main(
+            ["watch", "--status", str(tmp_path / "absent.json"), "--once"]
+        )
+        assert code == 1
+        assert "no campaign status" in capsys.readouterr().out
+
+    def test_once_renders_a_written_status(self, capsys, tmp_path):
+        from repro.obs import CampaignStatusWriter
+
+        path = tmp_path / "status.json"
+        writer = CampaignStatusWriter(str(path), interval=0.0, workers=2)
+        writer.begin(4)
+
+        class _Record:
+            worker, unit, wall_time, cache_hit = "w0", "probe:s1", 2.0, False
+
+        writer.note(_Record(), 1, 4)
+        assert main(["watch", "--status", str(path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "1/4 units" in out
+        assert "probe:s1" in out
+
+    def test_watch_exits_when_campaign_finishes(self, capsys, tmp_path):
+        from repro.obs import CampaignStatusWriter
+
+        path = tmp_path / "status.json"
+        writer = CampaignStatusWriter(str(path), interval=0.0)
+        writer.begin(1)
+        writer.finish()
+        # Not --once: the loop sees finished=True and returns.
+        assert main(["watch", "--status", str(path), "--interval", "0.01"]) == 0
+        assert "done" in capsys.readouterr().out
+
+
+class TestTraceFollow:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.follow is None
+        assert args.poll == 0.5
+        assert args.idle_timeout is None
+
+    def test_follow_prints_records_until_idle(self, capsys, tmp_path):
+        path = tmp_path / "live.jsonl"
+        path.write_text(
+            '{"type": "event", "name": "gcc.overuse", "t": 1.0}\n'
+            '{"type": "event", "name": "jitter.gap", "t": 2.0}\n'
+            '{"type": "event", "name": "loss.bu'  # in-progress tail
+        )
+        code = main(
+            [
+                "trace", "--follow", str(path),
+                "--poll", "0.01", "--idle-timeout", "0.05",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "gcc.overuse" in out and "jitter.gap" in out
+        assert "loss.bu" not in out  # partial tail withheld
+
+    def test_follow_applies_component_filter(self, capsys, tmp_path):
+        path = tmp_path / "live.jsonl"
+        path.write_text(
+            '{"type": "event", "name": "gcc.overuse", "t": 1.0}\n'
+            '{"type": "event", "name": "jitter.gap", "t": 2.0}\n'
+        )
+        code = main(
+            [
+                "trace", "--follow", str(path), "--component", "gcc",
+                "--poll", "0.01", "--idle-timeout", "0.05",
+                "--format", "json",
+            ]
+        )
+        assert code == 0
+        records = [
+            json.loads(line) for line in capsys.readouterr().out.splitlines()
+        ]
+        assert [record["name"] for record in records] == ["gcc.overuse"]
+
+
+class TestFleetObsEndToEnd:
+    def test_metrics_fleet_sweep_with_status_file(self, capsys, tmp_path):
+        status = tmp_path / "status.json"
+        code = main(
+            [
+                "fleet",
+                "--cc", "static",
+                "--densities", "1,2",
+                "--seeds", "1",
+                "--duration", "10",
+                "--obs", "metrics",
+                "--no-cache",
+                "--status-file", str(status),
+                "--status-interval", "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Per-session QoE" in out
+        # metrics level: no diagnosis layer, so no attribution column values
+        assert status.exists()
+        payload = json.loads(status.read_text())
+        assert payload["finished"] is True
+        assert payload["done"] == payload["total"] == 2
+        # The dashboard renders that same file.
+        assert main(["watch", "--status", str(status), "--once"]) == 0
+        assert "2/2 units" in capsys.readouterr().out

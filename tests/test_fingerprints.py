@@ -16,7 +16,14 @@ the suite pins:
 * the vectorized fleet fast path (struct-of-arrays contention +
   member-stacked tick plans + the shared fleet ticker) == the scalar
   reference contention, across pinned fleet configs that exercise
-  handovers under load balancing, admission caps, and ground routes.
+  handovers under load balancing, admission caps, and ground routes;
+* a metrics-level fleet (``obs="metrics"``, the vectorized
+  :class:`FleetMetricsPlane` riding the fleet ticker) == the dark
+  fleet, and its plane snapshot is itself bit-identical between the
+  fast and scalar arms;
+* a sample-traced fleet (``trace_members``) == the dark fleet, its
+  member traces invariant across arms, and for N=1 identical to a
+  plain traced session.
 
 Comparisons are exact float equality through
 :mod:`repro.core.fingerprint` — no tolerances. Any drift here means a
@@ -154,3 +161,116 @@ def test_traced_session_bit_identical_to_untraced():
     untraced = session_fingerprint(run_session(config))
     traced = session_fingerprint(run_session(config, recorder=Recorder()))
     assert traced == untraced
+
+
+def _fleet_config(name: str) -> FleetConfig:
+    spec = dict(FLEET_PINNED[name])
+    spec["base"] = spec["base"].with_overrides(
+        seed=3, duration=SESSION_DURATION
+    )
+    return FleetConfig(**spec)
+
+
+@pytest.mark.parametrize("name", sorted(FLEET_PINNED))
+def test_metrics_fleet_bit_identical_to_off(name):
+    """obs="metrics" must not perturb a single packet or draw."""
+    config = _fleet_config(name)
+    dark = run_fleet(config)
+    metered = run_fleet(config, obs="metrics")
+    assert [session_fingerprint(s) for s in metered.sessions] == [
+        session_fingerprint(s) for s in dark.sessions
+    ]
+    assert metered.occupancy == dark.occupancy
+    assert metered.congestion_time == dark.congestion_time
+
+
+@pytest.mark.parametrize("name", sorted(FLEET_PINNED))
+def test_metrics_plane_bit_identical_across_arms(name):
+    """The vectorized plane must reproduce the scalar replay exactly.
+
+    Snapshots are exact-equality dicts of float sums/mins/maxs, so any
+    reordering of the per-tick ingest arithmetic shows up here.
+    """
+    config = _fleet_config(name)
+    fast = run_fleet(config, obs="metrics", fast=True)
+    scalar = run_fleet(config, obs="metrics", fast=False)
+    fast_plane = [
+        r for r in fast.extra["metrics"]
+        if r["name"].startswith("fleet/")
+    ]
+    scalar_plane = [
+        r for r in scalar.extra["metrics"]
+        if r["name"].startswith("fleet/")
+    ]
+    assert fast_plane == scalar_plane
+    assert fast_plane  # the plane actually recorded something
+
+
+def test_sampled_trace_fleet_bit_identical_to_off():
+    """trace_members must not perturb the untraced members' packets."""
+    config = _fleet_config("gcc-urban-air-n4")
+    sampled = FleetConfig(
+        **{
+            **FLEET_PINNED["gcc-urban-air-n4"],
+            "base": config.base,
+            "trace_members": (1, 3),
+        }
+    )
+    dark = run_fleet(config)
+    traced = run_fleet(sampled)
+    assert [session_fingerprint(s) for s in traced.sessions] == [
+        session_fingerprint(s) for s in dark.sessions
+    ]
+    assert traced.extra["trace_members"] == [1, 3]
+
+
+def test_sampled_member_trace_invariant_across_arms():
+    """A sampled member's full trace must not depend on the arm.
+
+    The traced member runs the plan-None scalar path in both arms; if
+    the fast arm's ticker changed its draw order the recorded trace
+    (sim-time stamps included) would drift.
+    """
+    config = FleetConfig(
+        **{
+            **FLEET_PINNED["gcc-urban-air-n4"],
+            "base": _fleet_config("gcc-urban-air-n4").base,
+            "trace_members": (2,),
+        }
+    )
+    fast = run_fleet(config, fast=True)
+    scalar = run_fleet(config, fast=False)
+    assert fast.extra["member_traces"]["2"]["trace"] == (
+        scalar.extra["member_traces"]["2"]["trace"]
+    )
+    assert fast.extra["member_traces"]["2"]["metrics"] == (
+        scalar.extra["member_traces"]["2"]["metrics"]
+    )
+
+
+def test_n1_sampled_member_trace_matches_session_trace():
+    """An N=1 fleet's sampled member records the session's exact trace.
+
+    The fleet adds one ``fleet.member_sample`` marker and the plain
+    session appends its ``obs.overhead`` self-event; everything else —
+    every record, stamp and label, in order — must match.
+    """
+    config = PINNED["static-urban-air"].with_overrides(
+        seed=3, duration=SESSION_DURATION
+    )
+    fleet = run_fleet(
+        FleetConfig(base=config, num_sessions=1, trace_members=(0,))
+    )
+    recorder = Recorder()
+    run_session(config, recorder=recorder)
+    from repro.obs import trace_to_dicts
+
+    member = [
+        r for r in fleet.extra["member_traces"]["0"]["trace"]
+        if r["name"] != "fleet.member_sample"
+    ]
+    session = [
+        r for r in trace_to_dicts(recorder.trace)
+        if r["name"] != "obs.overhead"
+    ]
+    assert member == session

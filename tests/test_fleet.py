@@ -446,3 +446,116 @@ class TestFleetCampaign:
         assert point.num_sessions == 2
         assert math.isfinite(point.goodput_bps)
         assert point.congestion_attribution is not None
+
+
+# ----------------------------------------------------------------------
+# observability tiers + sampled member tracing (PR 10)
+# ----------------------------------------------------------------------
+QUICK_FLEET = BASE.with_overrides(duration=12.0)
+
+
+class TestFleetObsTiers:
+    def test_trace_members_normalized_sorted_deduped(self):
+        config = FleetConfig(
+            base=QUICK_FLEET, num_sessions=4, trace_members=(3, 1, 3)
+        )
+        assert config.trace_members == (1, 3)
+
+    def test_trace_members_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            FleetConfig(base=QUICK_FLEET, num_sessions=2, trace_members=(2,))
+        with pytest.raises(ValueError):
+            FleetConfig(base=QUICK_FLEET, num_sessions=2, trace_members=(-1,))
+
+    def test_trace_members_with_trace_level_rejected(self):
+        config = FleetConfig(
+            base=QUICK_FLEET, num_sessions=2, trace_members=(0,)
+        )
+        with pytest.raises(ValueError):
+            run_fleet(config, obs="trace")
+        with pytest.raises(ValueError):
+            run_fleet(config, recorder=Recorder())
+
+    def test_off_level_attaches_no_extra(self):
+        fleet = run_fleet(FleetConfig(base=QUICK_FLEET, num_sessions=2))
+        assert fleet.extra == {}
+
+    def test_metrics_level_carries_plane_and_overhead(self):
+        fleet = run_fleet(
+            FleetConfig(base=QUICK_FLEET, num_sessions=3, spread_radius=30.0),
+            obs="metrics",
+        )
+        names = {record["name"] for record in fleet.extra["metrics"]}
+        assert {
+            "fleet/ticks", "fleet/congestion_time", "fleet/uplink_bps",
+            "fleet/uplink_share", "fleet/sinr_db", "fleet/occupancy",
+        } <= names
+        overhead = fleet.extra["obs_overhead"]
+        assert overhead["wall_s"] > 0.0
+        assert 0.0 <= overhead["share"] < 1.0
+        # metrics tier: no trace, so no diagnosis layer
+        assert "diagnosis" not in fleet.extra
+
+    def test_metrics_plane_congestion_matches_channel_accounting(self):
+        fleet = run_fleet(
+            FleetConfig(base=QUICK_FLEET, num_sessions=3, spread_radius=30.0),
+            obs="metrics",
+        )
+        plane = {
+            record["labels"]["member"]: record["value"]
+            for record in fleet.extra["metrics"]
+            if record["name"] == "fleet/congestion_time"
+        }
+        for member, congestion in enumerate(fleet.congestion_time):
+            assert plane[member] == pytest.approx(congestion)
+
+    def test_sampled_member_traces_shape(self):
+        fleet = run_fleet(
+            FleetConfig(
+                base=QUICK_FLEET, num_sessions=3, spread_radius=30.0,
+                trace_members=(0, 2),
+            )
+        )
+        assert fleet.extra["trace_members"] == [0, 2]
+        traces = fleet.extra["member_traces"]
+        assert sorted(traces) == ["0", "2"]
+        for member, payload in traces.items():
+            assert {"trace", "metrics", "diagnosis"} <= set(payload)
+            names = [record["name"] for record in payload["trace"]]
+            assert names[0] == "fleet.member_sample"
+            marker = payload["trace"][0]["labels"]
+            assert marker["member"] == int(member)
+            assert payload["metrics"]  # member registry snapshot attached
+            assert "summary" in payload["diagnosis"]
+
+    def test_legacy_recorder_still_traces_whole_fleet(self):
+        recorder = Recorder()
+        fleet = run_fleet(
+            FleetConfig(base=QUICK_FLEET, num_sessions=2), recorder=recorder
+        )
+        assert recorder.trace  # shared-recorder path unchanged
+        assert "diagnosis" in fleet.extra
+
+    def test_fleet_unit_obs_levels_land_in_params(self):
+        dark = fleet_unit(QUICK_FLEET, num_sessions=2)
+        assert "obs" not in dict(dark.params)
+        metered = fleet_unit(QUICK_FLEET, num_sessions=2, obs="metrics")
+        assert dict(metered.params)["obs"] == "metrics"
+        legacy = fleet_unit(QUICK_FLEET, num_sessions=2, obs=True)
+        assert dict(legacy.params)["obs"] == "trace"
+        sampled = fleet_unit(
+            QUICK_FLEET, num_sessions=4, trace_members=(1, 2)
+        )
+        assert dict(sampled.params)["trace_members"] == (1, 2)
+        assert dark.fingerprint() != metered.fingerprint()
+
+    def test_execute_unit_threads_obs_and_trace_members(self):
+        unit = fleet_unit(
+            QUICK_FLEET, num_sessions=2, obs="metrics", trace_members=(1,)
+        )
+        result = execute_unit(unit)
+        assert result.extra["trace_members"] == [1]
+        assert any(
+            record["name"] == "fleet/ticks"
+            for record in result.extra["metrics"]
+        )

@@ -10,19 +10,26 @@ from repro.core.session import run_session
 from repro.experiments import ExperimentSettings, run_matrix
 from repro.obs import (
     NULL_RECORDER,
+    CampaignStatusWriter,
     Counter,
+    FleetMetricsPlane,
     Gauge,
     Histogram,
+    MetricsRecorder,
     MetricsRegistry,
     NullRecorder,
+    ObsLevel,
     Recorder,
     TraceEvent,
+    TraceFollower,
     TraceSpan,
     component_of,
     filter_records,
     format_key,
     merge_traces,
     read_jsonl,
+    read_status,
+    render_status,
     render_timeline,
     write_jsonl,
 )
@@ -236,6 +243,48 @@ class TestNullRecorder:
         # recorder must satisfy the same interface by inheritance.
         assert isinstance(Recorder(), NullRecorder)
         assert Recorder.enabled is True
+
+
+class TestObsLevel:
+    def test_coerce_accepts_the_legacy_bool_spellings(self):
+        assert ObsLevel.coerce(None) is ObsLevel.OFF
+        assert ObsLevel.coerce(False) is ObsLevel.OFF
+        assert ObsLevel.coerce(True) is ObsLevel.TRACE
+
+    def test_coerce_accepts_strings_case_insensitively(self):
+        assert ObsLevel.coerce("off") is ObsLevel.OFF
+        assert ObsLevel.coerce("metrics") is ObsLevel.METRICS
+        assert ObsLevel.coerce("TRACE") is ObsLevel.TRACE
+
+    def test_coerce_passes_levels_through(self):
+        for level in ObsLevel:
+            assert ObsLevel.coerce(level) is level
+
+    def test_coerce_rejects_unknown_values(self):
+        with pytest.raises(ValueError):
+            ObsLevel.coerce("loud")
+        with pytest.raises(TypeError):
+            ObsLevel.coerce(3)
+
+    def test_recorder_tiers_carry_their_level(self):
+        assert NullRecorder.level is ObsLevel.OFF
+        assert MetricsRecorder.level is ObsLevel.METRICS
+        assert Recorder.level is ObsLevel.TRACE
+
+
+class TestMetricsRecorder:
+    def test_trace_calls_are_noops_but_metrics_are_live(self):
+        recorder = MetricsRecorder()
+        recorder.event("gcc.overuse", offset_ms=1.0)
+        recorder.span_at("handover.execution", 1.0, 2.0)
+        with recorder.span("handover.execution"):
+            recorder.count("handover/executed")
+        recorder.gauge("gcc/target_bitrate", 5e6)
+        recorder.observe("receiver/owd_ms", 42.0)
+        assert recorder.trace == []
+        assert recorder.registry.get("handover/executed").value == 1
+        assert recorder.registry.get("gcc/target_bitrate").value == 5e6
+        assert recorder.registry.get("receiver/owd_ms").count == 1
 
 
 class TestRecorder:
@@ -521,3 +570,315 @@ class TestRunnerPoolLifecycle:
     @staticmethod
     def config() -> ScenarioConfig:
         return ScenarioConfig(cc="static", environment="urban")
+
+
+# ----------------------------------------------------------------------
+# vectorized fleet metrics plane
+# ----------------------------------------------------------------------
+class FakeChannel:
+    """Post-tick per-member channel state the plane reads."""
+
+    def __init__(self, bps: float, share: float, sinr: float) -> None:
+        self._uplink_bps = bps
+        self._share_ul = share
+        self._sinr_db = sinr
+
+
+class FakeSample:
+    def __init__(self, bps: float, share: float, sinr: float) -> None:
+        self.uplink_bps = bps
+        self.uplink_share = share
+        self.sinr_db = sinr
+
+
+TICKS = [
+    [(12e6, 1.0, 18.0), (4e6, 0.6, 7.5)],
+    [(9e6, 0.7, 12.0), (3e6, 0.5, 3.0)],
+    [(15e6, 1.0, 22.0), (6e6, 0.74, 9.0)],
+]
+
+
+def _live_plane() -> FleetMetricsPlane:
+    plane = FleetMetricsPlane(2)
+    for tick in TICKS:
+        plane.observe_channels([FakeChannel(*member) for member in tick])
+    return plane
+
+
+class TestFleetMetricsPlane:
+    def test_rejects_empty_fleet(self):
+        with pytest.raises(ValueError):
+            FleetMetricsPlane(0)
+
+    def test_snapshot_counts_and_congestion(self):
+        plane = _live_plane()
+        snapshot = plane.snapshot()
+        by_key = {
+            (record["name"], record["labels"]["member"]): record
+            for record in snapshot
+        }
+        assert by_key[("fleet/ticks", 0)]["value"] == 3.0
+        # Member 0 dips below 0.75 once (0.7), member 1 all three ticks.
+        assert by_key[("fleet/congestion_time", 0)]["value"] == (
+            pytest.approx(0.1)
+        )
+        assert by_key[("fleet/congestion_time", 1)]["value"] == (
+            pytest.approx(0.3)
+        )
+        rate = by_key[("fleet/uplink_bps", 1)]
+        assert rate["count"] == 3
+        assert rate["min"] == 3e6 and rate["max"] == 6e6
+        assert sum(rate["counts"]) == 3
+
+    def test_share_boundary_is_strictly_below(self):
+        # share == congestion_share is NOT congested (Channel uses <).
+        plane = FleetMetricsPlane(1, congestion_share=0.75)
+        plane.observe_channels([FakeChannel(1e6, 0.75, 10.0)])
+        plane.observe_channels([FakeChannel(1e6, 0.7499, 10.0)])
+        (record,) = [
+            r for r in plane.snapshot() if r["name"] == "fleet/congestion_time"
+        ]
+        assert record["value"] == pytest.approx(0.1)
+
+    def test_scalar_replay_is_bit_identical_to_live(self):
+        live = _live_plane()
+        replay = FleetMetricsPlane(2)
+        replay.observe_samples([
+            [FakeSample(*tick[member]) for tick in TICKS]
+            for member in range(2)
+        ])
+        assert replay.snapshot() == live.snapshot()
+
+    def test_replay_rejects_ragged_sample_lists(self):
+        plane = FleetMetricsPlane(2)
+        with pytest.raises(ValueError, match="lockstep"):
+            plane.observe_samples([
+                [FakeSample(1e6, 1.0, 10.0)],
+                [],
+            ])
+
+    def test_bucket_attribution_matches_histogram_observe(self):
+        # Values landing exactly on an edge must fall in the same
+        # bucket the scalar Histogram puts them in (bisect_left).
+        plane = FleetMetricsPlane(1)
+        plane.observe_channels([FakeChannel(1e6, 0.5, 0.0)])
+        registry = MetricsRegistry()
+        plane.fold_into(registry)
+        from repro.obs import RATE_BUCKETS
+
+        scalar = Histogram("fleet/uplink_bps", buckets=RATE_BUCKETS)
+        scalar.observe(1e6)
+        merged = registry.get("fleet/uplink_bps", member=0)
+        assert merged.counts == scalar.counts
+
+    def test_fold_into_merges_order_independently(self):
+        # Two planes (e.g. two fleets of a campaign) must merge into
+        # one registry identically whatever the completion order.
+        a = _live_plane()
+        b = FleetMetricsPlane(2)
+        b.observe_channels([FakeChannel(2e6, 0.4, -2.0),
+                            FakeChannel(8e6, 0.9, 14.0)])
+        ab = MetricsRegistry()
+        a.fold_into(ab)
+        b.fold_into(ab)
+        ba = MetricsRegistry()
+        b.fold_into(ba)
+        a.fold_into(ba)
+        assert ab.snapshot() == ba.snapshot()
+        assert ab.get("fleet/ticks", member=0).value == 4.0
+
+    def test_ingestion_time_lands_in_overhead(self):
+        plane = _live_plane()
+        assert plane.overhead_s > 0.0
+
+
+# ----------------------------------------------------------------------
+# growing-file tolerance: read_jsonl tail + TraceFollower
+# ----------------------------------------------------------------------
+class TestPartialTail:
+    def test_read_jsonl_skips_unterminated_tail(self, tmp_path):
+        path = tmp_path / "growing.jsonl"
+        path.write_text(
+            '{"type": "event", "name": "gcc.overuse", "t": 1.0}\n'
+            '{"type": "event", "name": "jitter.g'  # writer mid-record
+        )
+        trace, _ = read_jsonl(path)
+        assert [record.name for record in trace] == ["gcc.overuse"]
+
+    def test_read_jsonl_still_rejects_interior_corruption(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text(
+            'garbage\n{"type": "event", "name": "gcc.overuse", "t": 1.0}\n'
+        )
+        with pytest.raises(ValueError, match=":1"):
+            read_jsonl(path)
+
+
+class TestTraceFollower:
+    def test_missing_file_yields_nothing(self, tmp_path):
+        follower = TraceFollower(tmp_path / "absent.jsonl")
+        assert follower.poll() == []
+
+    def test_incremental_polls_return_only_new_records(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        follower = TraceFollower(path)
+        with path.open("w") as handle:
+            handle.write('{"type": "event", "name": "gcc.overuse", "t": 1.0}\n')
+            handle.flush()
+            assert [r.name for r in follower.poll()] == ["gcc.overuse"]
+            assert follower.poll() == []
+            handle.write('{"type": "event", "name": "jitter.gap", "t": 2.0}\n')
+            handle.flush()
+            assert [r.name for r in follower.poll()] == ["jitter.gap"]
+
+    def test_partial_line_completes_on_a_later_poll(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        follower = TraceFollower(path)
+        line = '{"type": "event", "name": "loss.burst", "t": 3.0}\n'
+        with path.open("w") as handle:
+            handle.write(line[:20])
+            handle.flush()
+            assert follower.poll() == []
+            handle.write(line[20:])
+            handle.flush()
+            assert [r.name for r in follower.poll()] == ["loss.burst"]
+
+    def test_truncation_resets_the_follower(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        follower = TraceFollower(path)
+        path.write_text(
+            '{"type": "event", "name": "gcc.overuse", "t": 1.0}\n' * 3
+        )
+        assert len(follower.poll()) == 3
+        path.write_text('{"type": "event", "name": "jitter.gap", "t": 9.0}\n')
+        assert [r.name for r in follower.poll()] == ["jitter.gap"]
+
+    def test_metric_lines_accumulate_separately(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        write_jsonl(path, _sample_recorder())
+        follower = TraceFollower(path)
+        records = follower.poll()
+        assert len(records) == 4
+        assert len(follower.registry_snapshot) == 2
+        rebuilt = MetricsRegistry.from_snapshot(follower.registry_snapshot)
+        assert rebuilt.get("handover/executed").value == 1
+
+
+# ----------------------------------------------------------------------
+# live campaign status plane
+# ----------------------------------------------------------------------
+class FakeTelemetryRecord:
+    def __init__(self, worker="w0", unit="u", wall_time=2.0, cache_hit=False):
+        self.worker = worker
+        self.unit = unit
+        self.wall_time = wall_time
+        self.cache_hit = cache_hit
+
+
+class FakeFleetResult:
+    def __init__(self, peak, occupancy):
+        self.peak_occupancy = peak
+        self.occupancy = occupancy
+
+
+class TestCampaignStatusWriter:
+    def _writer(self, tmp_path, **kwargs):
+        kwargs.setdefault("interval", 0.0)  # no throttle in tests
+        return CampaignStatusWriter(str(tmp_path / "status.json"), **kwargs)
+
+    def test_begin_writes_an_atomic_document(self, tmp_path):
+        writer = self._writer(tmp_path, workers=4)
+        writer.begin(10)
+        status = read_status(writer.path)
+        assert status["total"] == 10 and status["done"] == 0
+        assert status["finished"] is False
+        assert not list(tmp_path.glob("*.tmp.*"))  # temp file replaced
+
+    def test_notes_track_progress_cache_and_workers(self, tmp_path):
+        writer = self._writer(tmp_path)
+        writer.begin(3)
+        writer.note(FakeTelemetryRecord("w0", "a", 2.0, False), 1, 3)
+        writer.note(FakeTelemetryRecord("w1", "b", 0.0, True), 2, 3)
+        status = read_status(writer.path)
+        assert status["done"] == 2
+        assert status["cache_hits"] == 1 and status["executed"] == 1
+        assert status["workers"]["w0"]["unit"] == "a"
+        assert status["workers"]["w1"]["cache_hit"] is True
+
+    def test_eta_extrapolates_from_executed_wall_time(self, tmp_path):
+        writer = self._writer(tmp_path, workers=2)
+        writer.begin(5)
+        assert writer.eta_s is None  # no executed history yet
+        writer.note(FakeTelemetryRecord(wall_time=4.0), 1, 5)
+        # 4 remaining x 4 s mean / 2 workers = 8 s.
+        assert writer.eta_s == pytest.approx(8.0)
+        for done in (2, 3, 4, 5):
+            writer.note(FakeTelemetryRecord(wall_time=4.0), done, 5)
+        assert writer.eta_s == 0.0
+
+    def test_cache_hits_do_not_skew_eta(self, tmp_path):
+        writer = self._writer(tmp_path)
+        writer.begin(4)
+        writer.note(FakeTelemetryRecord(wall_time=6.0, cache_hit=False), 1, 4)
+        writer.note(FakeTelemetryRecord(wall_time=0.01, cache_hit=True), 2, 4)
+        assert writer.eta_s == pytest.approx(2 * 6.0)
+
+    def test_note_result_harvests_cell_occupancy(self, tmp_path):
+        writer = self._writer(tmp_path)
+        writer.begin(1)
+        writer.note_result(FakeFleetResult({3: 4, 7: 2}, {3: 1, 7: 2}))
+        writer.note_result(FakeFleetResult({3: 2}, {3: 3}))
+        writer.finish()
+        status = read_status(writer.path)
+        assert status["finished"] is True
+        assert status["cells"]["3"] == {"peak": 4, "last": 3}
+        assert status["cells"]["7"] == {"peak": 2, "last": 2}
+
+    def test_results_without_occupancy_are_ignored(self, tmp_path):
+        writer = self._writer(tmp_path)
+        writer.begin(1)
+        writer.note_result(object())  # a session result, no occupancy
+        assert writer.to_dict()["cells"] == {}
+
+    def test_throttle_suppresses_intermediate_writes(self, tmp_path):
+        writer = CampaignStatusWriter(
+            str(tmp_path / "status.json"), interval=3600.0
+        )
+        writer.begin(2)
+        first = (tmp_path / "status.json").read_text()
+        writer.note(FakeTelemetryRecord(), 1, 2)
+        assert (tmp_path / "status.json").read_text() == first  # throttled
+        writer.finish()  # force-writes
+        assert read_status(writer.path)["finished"] is True
+
+
+class TestReadRenderStatus:
+    def test_read_missing_or_torn_returns_none(self, tmp_path):
+        assert read_status(str(tmp_path / "absent.json")) is None
+        bad = tmp_path / "torn.json"
+        bad.write_text('{"done": 1,')
+        assert read_status(str(bad)) is None
+
+    def test_render_no_status(self):
+        assert "no campaign status" in render_status(None)
+
+    def test_render_shows_progress_workers_and_cells(self, tmp_path):
+        writer = CampaignStatusWriter(
+            str(tmp_path / "status.json"), interval=0.0, workers=2
+        )
+        writer.begin(4)
+        writer.note(FakeTelemetryRecord("w0", "fleet-n4-s1", 3.0), 1, 4)
+        writer.note(FakeTelemetryRecord("w1", "fleet-n4-s2", 0.0, True), 2, 4)
+        writer.note_result(FakeFleetResult({5: 3}, {5: 2}))
+        text = render_status(read_status(writer.path))
+        assert "2/4 units" in text
+        assert "1 cached" in text and "1 executed" in text
+        assert "fleet-n4-s1" in text and "[cache]" in text
+        assert "cell 5: 2 UEs (peak 3)" in text
+
+    def test_render_finished_campaign_says_done(self, tmp_path):
+        writer = CampaignStatusWriter(str(tmp_path / "s.json"), interval=0.0)
+        writer.begin(1)
+        writer.note(FakeTelemetryRecord(), 1, 1)
+        writer.finish()
+        assert "done" in render_status(read_status(writer.path))

@@ -358,3 +358,126 @@ class TestBatchedCampaign:
         assert merged.altitudes == expected.altitudes
         assert len(merged.handovers) == len(expected.handovers)
         assert merged.ping_pong == expected.ping_pong
+
+
+class TestMetricsLevelBatching:
+    """Metrics-tier obs must keep the batch planner engaged (PR 10)."""
+
+    def test_metrics_sessions_and_fleets_still_batch(self):
+        from repro.runner.batch import batch_key
+
+        config = ScenarioConfig(cc="static", duration=5.0)
+        for kind, extra in (
+            (WORK_SESSION, {}),
+            (WORK_FLEET, {"num_sessions": 2}),
+        ):
+            units = [
+                make_unit(
+                    kind, config.with_overrides(seed=s),
+                    obs="metrics", **extra,
+                )
+                for s in (1, 2, 3)
+            ]
+            assert all(batch_key(u) is not None for u in units)
+            plans, scalar = plan_batches(list(enumerate(units)))
+            assert scalar == []
+            assert len(plans) == 1 and plans[0].indices == (0, 1, 2)
+
+    def test_obs_tiers_never_share_a_group(self):
+        from repro.runner.batch import batch_key
+
+        config = ScenarioConfig(cc="static", duration=5.0)
+        dark = make_unit(WORK_SESSION, config.with_overrides(seed=1))
+        metered = make_unit(
+            WORK_SESSION, config.with_overrides(seed=2), obs="metrics"
+        )
+        assert batch_key(dark) != batch_key(metered)
+
+    def test_batched_metrics_fleet_campaign_carries_the_plane(self):
+        settings = ExperimentSettings(duration=8.0, seeds=(1, 2), warmup=2.0)
+        from repro.experiments.fleet import fleet_unit
+
+        units = [
+            fleet_unit(
+                CONFIGS[0].with_overrides(seed=seed, duration=settings.duration),
+                num_sessions=2,
+                obs="metrics",
+            )
+            for seed in settings.seeds
+        ]
+        with CampaignRunner(1, batch=True) as runner:
+            results = runner.run(units)
+        assert runner.telemetry.executed == len(units)
+        for result in results:
+            plane = [
+                r for r in result.extra["metrics"]
+                if r["name"] == "fleet/ticks"
+            ]
+            assert len(plane) == 2  # one per member
+            assert result.extra["obs_overhead"]["share"] >= 0.0
+        # The campaign-side registry merged every fleet's plane.
+        assert runner.metrics.get("fleet/ticks", member=0).value > 0
+
+
+class TestTelemetryExport:
+    def test_to_dict_roundtrips_every_run(self):
+        runner = CampaignRunner(1)
+        run_channel_probe(CONFIGS[0], QUICK, runner=runner)
+        payload = runner.telemetry.to_dict()
+        assert payload["executed"] == len(QUICK.seeds)
+        assert payload["cache_hits"] == 0
+        assert len(payload["runs"]) == len(QUICK.seeds)
+        for entry in payload["runs"]:
+            assert entry["unit"].startswith("channel-probe:")
+            assert entry["wall_time"] >= 0.0
+            assert entry["cache_hit"] is False
+        assert payload["summary"] == runner.telemetry.summary()
+
+    def test_write_json_is_valid_and_atomic(self, tmp_path):
+        import json as json_module
+
+        runner = CampaignRunner(1)
+        run_channel_probe(CONFIGS[0], QUICK, runner=runner)
+        path = tmp_path / "telemetry.json"
+        runner.telemetry.write_json(path)
+        loaded = json_module.loads(path.read_text())
+        assert loaded == runner.telemetry.to_dict()
+        assert not list(tmp_path.glob("*.tmp*"))
+
+
+class TestCampaignStatusFile:
+    def test_runner_maintains_the_status_file(self, tmp_path):
+        from repro.obs import read_status
+
+        path = tmp_path / "status.json"
+        runner = CampaignRunner(1, status_path=str(path), status_interval=0.0)
+        try:
+            run_channel_probe(CONFIGS[0], QUICK, runner=runner)
+        finally:
+            runner.close()
+        status = read_status(str(path))
+        assert status["finished"] is True
+        assert status["done"] == status["total"] == len(QUICK.seeds)
+        assert status["executed"] == len(QUICK.seeds)
+        assert status["workers"]  # per-worker activity recorded
+
+    def test_fleet_campaign_status_reports_cell_occupancy(self, tmp_path):
+        from repro.experiments.fleet import fleet_unit
+        from repro.obs import read_status
+
+        path = tmp_path / "status.json"
+        settings = ExperimentSettings(duration=8.0, seeds=(1,), warmup=2.0)
+        unit = fleet_unit(
+            CONFIGS[0].with_overrides(seed=1, duration=settings.duration),
+            num_sessions=2,
+        )
+        runner = CampaignRunner(1, status_path=str(path), status_interval=0.0)
+        try:
+            runner.run([unit])
+        finally:
+            runner.close()
+        status = read_status(str(path))
+        assert status["finished"] is True
+        assert status["cells"]  # harvested from the fleet result
+        for entry in status["cells"].values():
+            assert entry["peak"] >= entry["last"] >= 0
